@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Failure modes of the exhaustive baselines.
+///
+/// The paper reports that the exact algorithms "could not run" on large
+/// blocks (AES's 696-node block defeats both); these errors are how that
+/// manifests here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// The block has more searchable nodes than the configured limit.
+    TooLarge {
+        /// Number of eligible nodes in the block.
+        nodes: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The search exceeded its step budget before completing, so no
+    /// optimality claim can be made.
+    BudgetExhausted {
+        /// The configured step budget.
+        steps: u64,
+    },
+    /// Cut enumeration overflowed the configured collection limit.
+    TooManyCuts {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::TooLarge { nodes, limit } => {
+                write!(f, "block has {nodes} searchable nodes, exact limit is {limit}")
+            }
+            BaselineError::BudgetExhausted { steps } => {
+                write!(f, "exhaustive search exceeded its budget of {steps} steps")
+            }
+            BaselineError::TooManyCuts { limit } => {
+                write!(f, "cut enumeration exceeded the limit of {limit} cuts")
+            }
+        }
+    }
+}
+
+impl Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = BaselineError::TooLarge { nodes: 696, limit: 40 };
+        assert_eq!(e.to_string(), "block has 696 searchable nodes, exact limit is 40");
+        let e = BaselineError::BudgetExhausted { steps: 10 };
+        assert!(e.to_string().contains("10 steps"));
+        let e = BaselineError::TooManyCuts { limit: 5 };
+        assert!(e.to_string().contains("5 cuts"));
+    }
+}

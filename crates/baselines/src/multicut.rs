@@ -1,0 +1,200 @@
+use crate::{enumerate_cuts, BaselineError, ExactConfig};
+use isegen_core::{BlockContext, Cut, Ise, IseConfig, IseInstance, IseSelection};
+use isegen_ir::{Application, LatencyModel};
+
+/// Exact multiple-cut identification: enumerate every feasible cut of
+/// every block, then select the jointly optimal set of at most
+/// [`IseConfig::max_ises`] node-disjoint cuts maximising the
+/// application-level saving, by branch-and-bound.
+///
+/// Cuts from different blocks never conflict; cuts within one block must
+/// be node-disjoint. The paper reports this method optimal but limited to
+/// small blocks; [`BaselineError::TooLarge`] /
+/// [`BaselineError::TooManyCuts`] reproduce that limit.
+///
+/// # Errors
+///
+/// Propagates the enumeration errors of [`enumerate_cuts`].
+pub fn run_exact(
+    app: &Application,
+    model: &LatencyModel,
+    config: &IseConfig,
+    exact: &ExactConfig,
+) -> Result<IseSelection, BaselineError> {
+    let blocks = app.blocks();
+    let contexts: Vec<BlockContext<'_>> =
+        blocks.iter().map(|b| BlockContext::new(b, model)).collect();
+    let total_sw_cycles = app.total_software_latency(model);
+
+    // Candidate pool: (block index, cut, dynamic saving).
+    let mut pool: Vec<(usize, Cut, u64)> = Vec::new();
+    for (bi, ctx) in contexts.iter().enumerate() {
+        if blocks[bi].frequency() == 0 {
+            continue;
+        }
+        for cut in enumerate_cuts(ctx, config.io, exact, None)? {
+            let saving = blocks[bi].frequency() * cut.saved_cycles();
+            if saving > 0 {
+                pool.push((bi, cut, saving));
+            }
+        }
+    }
+    // Highest saving first: good incumbents early, tight bounds.
+    pool.sort_by(|a, b| b.2.cmp(&a.2));
+    // Suffix table of the best possible remaining savings (ignoring
+    // disjointness) for the bound.
+    let mut suffix_best: Vec<u64> = vec![0; pool.len() + 1];
+    for i in (0..pool.len()).rev() {
+        suffix_best[i] = suffix_best[i + 1].max(pool[i].2);
+    }
+
+    struct Bb<'p> {
+        pool: &'p [(usize, Cut, u64)],
+        suffix_best: &'p [u64],
+        max_ises: usize,
+        chosen: Vec<usize>,
+        best: (u64, Vec<usize>),
+    }
+    impl Bb<'_> {
+        fn saving_of(&self, chosen: &[usize]) -> u64 {
+            chosen.iter().map(|&i| self.pool[i].2).sum()
+        }
+        fn descend(&mut self, idx: usize, saving: u64) {
+            if saving > self.best.0 {
+                self.best = (saving, self.chosen.clone());
+            }
+            if idx >= self.pool.len() || self.chosen.len() >= self.max_ises {
+                return;
+            }
+            // Bound: the remaining slots can at best each take the best
+            // remaining single saving.
+            let slots = (self.max_ises - self.chosen.len()) as u64;
+            if saving + slots * self.suffix_best[idx] <= self.best.0 {
+                return;
+            }
+            // Take idx if disjoint with everything chosen in its block.
+            let (bi, cut, s) = &self.pool[idx];
+            let compatible = self.chosen.iter().all(|&j| {
+                let (bj, cj, _) = &self.pool[j];
+                bj != bi || cj.nodes().is_disjoint(cut.nodes())
+            });
+            if compatible {
+                self.chosen.push(idx);
+                self.descend(idx + 1, saving + s);
+                self.chosen.pop();
+            }
+            // Skip idx.
+            self.descend(idx + 1, saving);
+        }
+    }
+
+    let mut bb = Bb {
+        pool: &pool,
+        suffix_best: &suffix_best,
+        max_ises: config.max_ises,
+        chosen: Vec::new(),
+        best: (0, Vec::new()),
+    };
+    bb.descend(0, 0);
+    let (saved_cycles, chosen) = bb.best.clone();
+    debug_assert_eq!(saved_cycles, bb.saving_of(&chosen));
+
+    let ises = chosen
+        .into_iter()
+        .map(|i| {
+            let (bi, cut, _) = &pool[i];
+            Ise {
+                block_index: *bi,
+                cut: cut.clone(),
+                instances: vec![IseInstance {
+                    block_index: *bi,
+                    nodes: cut.nodes().clone(),
+                }],
+                saved_per_execution: cut.saved_cycles(),
+            }
+        })
+        .collect();
+
+    Ok(IseSelection {
+        ises,
+        total_sw_cycles,
+        saved_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_iterative;
+    use isegen_core::IoConstraints;
+    use isegen_ir::{BlockBuilder, Opcode};
+
+    fn twin_app() -> Application {
+        let mut b = BlockBuilder::new("twin").frequency(50);
+        for k in 0..2 {
+            let (p, q) = (b.input(format!("p{k}")), b.input(format!("q{k}")));
+            let m = b.op(Opcode::Mul, &[p, q]).unwrap();
+            let s = b.op(Opcode::Add, &[m, p]).unwrap();
+            b.op(Opcode::Shl, &[s, q]).unwrap();
+        }
+        let mut app = Application::new("twins");
+        app.push_block(b.build().unwrap());
+        app
+    }
+
+    #[test]
+    fn exact_at_least_matches_iterative() {
+        let app = twin_app();
+        let model = LatencyModel::paper_default();
+        let config = IseConfig {
+            io: IoConstraints::new(4, 2),
+            max_ises: 2,
+            reuse_matching: false,
+        };
+        let exact_cfg = ExactConfig::default();
+        let joint = run_exact(&app, &model, &config, &exact_cfg).unwrap();
+        let iterative = run_iterative(&app, &model, &config, &exact_cfg).unwrap();
+        assert!(
+            joint.saved_cycles >= iterative.saved_cycles,
+            "joint {} < iterative {}",
+            joint.saved_cycles,
+            iterative.saved_cycles
+        );
+        assert!(joint.speedup() >= 1.0);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let app = twin_app();
+        let model = LatencyModel::paper_default();
+        let config = IseConfig {
+            io: IoConstraints::new(4, 2),
+            max_ises: 1,
+            reuse_matching: false,
+        };
+        let sel = run_exact(&app, &model, &config, &ExactConfig::default()).unwrap();
+        assert!(sel.ises.len() <= 1);
+    }
+
+    #[test]
+    fn chosen_cuts_are_disjoint() {
+        let app = twin_app();
+        let model = LatencyModel::paper_default();
+        let config = IseConfig {
+            io: IoConstraints::new(2, 1),
+            max_ises: 4,
+            reuse_matching: false,
+        };
+        let sel = run_exact(&app, &model, &config, &ExactConfig::default()).unwrap();
+        for i in 0..sel.ises.len() {
+            for j in (i + 1)..sel.ises.len() {
+                if sel.ises[i].block_index == sel.ises[j].block_index {
+                    assert!(sel.ises[i]
+                        .cut
+                        .nodes()
+                        .is_disjoint(sel.ises[j].cut.nodes()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Gain-component ablation bench: bi-partition cost per disabled
+//! component (quality numbers come from `isegen-eval --bin ablation`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isegen_core::{bipartition, BlockContext, IoConstraints, SearchConfig};
+use isegen_eval::experiments::ablation::Variant;
+use isegen_ir::LatencyModel;
+use isegen_workloads::autcor00;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = LatencyModel::paper_default();
+    let io = IoConstraints::new(4, 2);
+    let app = autcor00();
+    let block = app.critical_block().expect("has blocks");
+    let ctx = BlockContext::new(block, &model);
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(20);
+    for variant in Variant::ALL {
+        let search = SearchConfig {
+            weights: variant.weights(),
+            ..SearchConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("autcor00", variant.label()),
+            &search,
+            |b, s| b.iter(|| black_box(bipartition(&ctx, io, s, None))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

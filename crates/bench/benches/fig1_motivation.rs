@@ -1,0 +1,16 @@
+//! Fig. 1 regeneration bench: the motivating reuse-vs-size comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_motivation");
+    group.sample_size(20);
+    group.bench_function("run", |b| {
+        b.iter(|| black_box(isegen_eval::experiments::fig1::run()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 4 (right) regeneration bench: single bi-partition runtime per
+//! algorithm across the suite's block sizes — the log-scale runtime plot
+//! of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isegen_baselines::{exact_single_cut, ExactConfig, GeneticFinder};
+use isegen_bench::bench_genetic;
+use isegen_core::{bipartition, BlockContext, CutFinder, IoConstraints, SearchConfig};
+use isegen_ir::LatencyModel;
+use isegen_workloads::mediabench_eembc_suite;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = LatencyModel::paper_default();
+    let io = IoConstraints::new(4, 2);
+    let mut group = c.benchmark_group("fig4_runtime");
+    group.sample_size(10);
+
+    for spec in mediabench_eembc_suite() {
+        let app = spec.application();
+        let block = app.critical_block().expect("has blocks").clone();
+        let nodes = spec.paper_nodes;
+        let ctx = BlockContext::new(&block, &model);
+
+        group.bench_with_input(BenchmarkId::new("isegen", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(bipartition(&ctx, io, &SearchConfig::default(), None)))
+        });
+        // the exhaustive search explodes with size; keep it to small blocks
+        if nodes <= 25 {
+            group.bench_with_input(BenchmarkId::new("exact", nodes), &nodes, |b, _| {
+                b.iter(|| black_box(exact_single_cut(&ctx, io, &ExactConfig::default(), None)))
+            });
+            group.bench_with_input(BenchmarkId::new("genetic", nodes), &nodes, |b, _| {
+                b.iter(|| {
+                    let mut finder = GeneticFinder::new(bench_genetic());
+                    black_box(finder.find_cut(&ctx, io, None))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

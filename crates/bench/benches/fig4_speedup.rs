@@ -1,0 +1,41 @@
+//! Fig. 4 (left) regeneration bench: whole-application ISE generation
+//! per algorithm on representative benchmarks. The speedup values
+//! themselves come from `cargo run -p isegen-eval --bin fig4`; this
+//! bench tracks the cost of regenerating them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isegen_baselines::{run_genetic, run_iterative, ExactConfig};
+use isegen_bench::{bench_genetic, paper_ise_config};
+use isegen_core::{generate, SearchConfig};
+use isegen_ir::LatencyModel;
+use isegen_workloads::{autcor00, conven00, fft00};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = LatencyModel::paper_default();
+    let config = paper_ise_config(false);
+    let mut group = c.benchmark_group("fig4_speedup");
+    group.sample_size(10);
+
+    for (name, app) in [
+        ("conven00", conven00()),
+        ("autcor00", autcor00()),
+        ("fft00", fft00()),
+    ] {
+        group.bench_function(format!("isegen/{name}"), |b| {
+            b.iter(|| black_box(generate(&app, &model, &config, &SearchConfig::default())))
+        });
+        group.bench_function(format!("iterative/{name}"), |b| {
+            b.iter(|| black_box(run_iterative(&app, &model, &config, &ExactConfig::default())))
+        });
+    }
+    // the genetic baseline is slow; bench it on the smallest kernel only
+    let app = conven00();
+    group.bench_function("genetic/conven00", |b| {
+        b.iter(|| black_box(run_genetic(&app, &model, &config, &bench_genetic())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 6 regeneration bench: AES ISE generation across the I/O sweep
+//! (ISEGEN with reuse; the genetic point is benched once).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isegen_baselines::run_genetic;
+use isegen_bench::bench_genetic;
+use isegen_core::{generate, IoConstraints, IseConfig, SearchConfig};
+use isegen_ir::LatencyModel;
+use isegen_workloads::aes;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = LatencyModel::paper_default();
+    let app = aes();
+    let mut group = c.benchmark_group("fig6_aes");
+    group.sample_size(10);
+
+    for (i, o) in [(2u32, 1u32), (4, 2), (8, 4)] {
+        let config = IseConfig {
+            io: IoConstraints::new(i, o),
+            max_ises: 4,
+            reuse_matching: true,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("isegen", format!("({i},{o})")),
+            &config,
+            |b, cfg| b.iter(|| black_box(generate(&app, &model, cfg, &SearchConfig::default()))),
+        );
+    }
+    let config = IseConfig {
+        io: IoConstraints::new(4, 2),
+        max_ises: 1,
+        reuse_matching: true,
+    };
+    group.bench_function("genetic/(4,2)", |b| {
+        b.iter(|| black_box(run_genetic(&app, &model, &config, &bench_genetic())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

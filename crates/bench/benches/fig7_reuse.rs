@@ -1,0 +1,39 @@
+//! Fig. 7 regeneration bench: pattern extraction and node-disjoint
+//! instance matching on the AES data-flow — the machinery behind the
+//! reusability counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isegen_core::{bipartition, BlockContext, IoConstraints, SearchConfig};
+use isegen_ir::LatencyModel;
+use isegen_match::{find_disjoint_instances, Pattern};
+use isegen_workloads::aes;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = LatencyModel::paper_default();
+    let app = aes();
+    let block = app.critical_block().expect("has blocks");
+    let ctx = BlockContext::new(block, &model);
+    let cut = bipartition(
+        &ctx,
+        IoConstraints::new(4, 2),
+        &SearchConfig::default(),
+        None,
+    );
+    assert!(!cut.is_empty());
+    let pattern = Pattern::extract(block, cut.nodes());
+
+    let mut group = c.benchmark_group("fig7_reuse");
+    group.sample_size(10);
+    group.bench_function("pattern_extract", |b| {
+        b.iter(|| black_box(Pattern::extract(block, cut.nodes())))
+    });
+    group.bench_function("disjoint_instances_aes", |b| {
+        b.iter(|| black_box(find_disjoint_instances(block, &pattern, None)))
+    });
+    group.bench_function("signature", |b| b.iter(|| black_box(pattern.signature())));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! §4.2 complexity bench: ISEGEN bi-partition runtime vs block size on
+//! random DFGs — the O(n²) claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use isegen_core::{bipartition, BlockContext, IoConstraints, SearchConfig};
+use isegen_ir::LatencyModel;
+use isegen_workloads::{random_application, RandomWorkloadConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = LatencyModel::paper_default();
+    let io = IoConstraints::new(4, 2);
+    // a single trajectory isolates the per-pass complexity
+    let search = SearchConfig {
+        restarts: 1,
+        ..SearchConfig::default()
+    };
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for nodes in [50usize, 100, 200, 400, 800] {
+        let app = random_application(&RandomWorkloadConfig {
+            seed: nodes as u64,
+            blocks: 1,
+            ops_per_block: nodes,
+            ..RandomWorkloadConfig::default()
+        });
+        let block = app.blocks()[0].clone();
+        let ctx = BlockContext::new(&block, &model);
+        group.throughput(Throughput::Elements(nodes as u64));
+        group.bench_with_input(BenchmarkId::new("bipartition", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(bipartition(&ctx, io, &search, None)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! §4.3 micro-benchmarks: the incremental toggle engine against
+//! from-scratch re-evaluation — the complexity contribution of the
+//! paper's ΔI/ΔO addendum scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isegen_core::{BlockContext, Cut, ToggleEngine};
+use isegen_graph::NodeId;
+use isegen_ir::LatencyModel;
+use isegen_workloads::{random_application, RandomWorkloadConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = LatencyModel::paper_default();
+    let mut group = c.benchmark_group("toggle_engine");
+    group.sample_size(20);
+
+    for nodes in [100usize, 400, 800] {
+        let app = random_application(&RandomWorkloadConfig {
+            seed: 7,
+            blocks: 1,
+            ops_per_block: nodes,
+            ..RandomWorkloadConfig::default()
+        });
+        let block = app.blocks()[0].clone();
+        let ctx = BlockContext::new(&block, &model);
+        let eligible: Vec<NodeId> = ctx.eligible().iter().collect();
+        let seq: Vec<NodeId> = (0..64).map(|i| eligible[i * 7 % eligible.len()]).collect();
+
+        // incremental: 64 toggles with O(deg)/O(n/64) updates each
+        group.bench_with_input(BenchmarkId::new("incremental64", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut engine = ToggleEngine::new(&ctx);
+                for &v in &seq {
+                    engine.toggle(v);
+                }
+                black_box(engine.snapshot())
+            })
+        });
+        // reference: the same 64 states re-derived from scratch each time
+        group.bench_with_input(BenchmarkId::new("scratch64", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut cut = isegen_graph::NodeSet::new(ctx.node_count());
+                let mut last = None;
+                for &v in &seq {
+                    cut.toggle(v);
+                    last = Some(Cut::evaluate(&ctx, cut.clone()));
+                }
+                black_box(last)
+            })
+        });
+        // probe throughput: the inner-loop candidate evaluation
+        group.bench_with_input(BenchmarkId::new("probe_all", nodes), &nodes, |b, _| {
+            let mut engine = ToggleEngine::new(&ctx);
+            for &v in seq.iter().take(8) {
+                engine.toggle(v);
+            }
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &v in &eligible {
+                    acc += engine.probe(v).merit;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! Each bench target regenerates one paper artefact (see `benches/`);
+//! this crate only hosts small utilities so the benches stay terse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use isegen_core::{IoConstraints, IseConfig};
+
+/// The paper's headline ISE configuration: I/O `(4,2)`, `N_ISE = 4`.
+pub fn paper_ise_config(reuse: bool) -> IseConfig {
+    IseConfig {
+        io: IoConstraints::new(4, 2),
+        max_ises: 4,
+        reuse_matching: reuse,
+    }
+}
+
+/// A genetic configuration small enough for benchmarking loops while
+/// keeping the algorithm's character (population search with penalties).
+pub fn bench_genetic() -> isegen_baselines::GeneticConfig {
+    isegen_baselines::GeneticConfig {
+        population: 32,
+        generations: 60,
+        ..isegen_baselines::GeneticConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_sane() {
+        let c = paper_ise_config(true);
+        assert_eq!(c.max_ises, 4);
+        assert!(c.reuse_matching);
+        assert!(bench_genetic().population > 0);
+    }
+}

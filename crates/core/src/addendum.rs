@@ -1,0 +1,295 @@
+//! The paper's §4.3 per-node addendum table, as an executable artifact.
+//!
+//! The paper quantifies the impact of toggling through per-node
+//! *addendums* `ΔI(v)`, `ΔO(v)`: the change the cut's input/output
+//! counts would undergo if `v` toggled right now. Initially (all
+//! software) `ΔI(v)`/`ΔO(v)` are the node's own operand/result counts;
+//! after each toggle the addendums of **only the toggled node's
+//! neighbourhood — parents, children and siblings — change** (Fig. 3's
+//! rule table; siblings are nodes sharing a child, whose input-sharing
+//! makes their deltas interact).
+//!
+//! [`AddendumTable`] maintains exactly this invariant: after every
+//! toggle it refreshes the addendums of the toggled node and its
+//! neighbourhood only. The paper omits the correctness proofs of its
+//! rules ("presented in [the technical report]"); here the locality
+//! claim *is the tested theorem* — property tests
+//! (`neighbourhood_locality_holds`, and `addendum_prop.rs` at crate
+//! level) verify every addendum against a from-scratch recount after
+//! arbitrary toggle sequences, which fails if any node outside the
+//! Fig. 3 neighbourhood had a stale delta.
+
+use crate::BlockContext;
+use isegen_graph::{NodeId, NodeSet};
+
+/// Maintained `ΔI`/`ΔO` addendums for every node (paper §4.3, Fig. 3).
+#[derive(Debug, Clone)]
+pub struct AddendumTable {
+    cut: NodeSet,
+    /// Edges from each node into cut members.
+    fanout_to_cut: Vec<u32>,
+    inputs: u32,
+    outputs: u32,
+    delta_i: Vec<i32>,
+    delta_o: Vec<i32>,
+}
+
+impl AddendumTable {
+    /// Builds the table for the all-software configuration of `ctx`'s
+    /// block: `I_ISE = O_ISE = 0` and each node's addendums are its own
+    /// operand/result counts, exactly as the paper initialises them.
+    pub fn new(ctx: &BlockContext<'_>) -> Self {
+        let n = ctx.node_count();
+        let mut table = AddendumTable {
+            cut: NodeSet::new(n),
+            fanout_to_cut: vec![0; n],
+            inputs: 0,
+            outputs: 0,
+            delta_i: vec![0; n],
+            delta_o: vec![0; n],
+        };
+        for v in ctx.block().dag().node_ids() {
+            let (di, do_) = table.compute_addendum(ctx, v);
+            table.delta_i[v.index()] = di;
+            table.delta_o[v.index()] = do_;
+        }
+        table
+    }
+
+    /// Current input operand count `I_ISE`.
+    #[inline]
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// Current output operand count `O_ISE`.
+    #[inline]
+    pub fn outputs(&self) -> u32 {
+        self.outputs
+    }
+
+    /// The maintained `ΔI(v)`: input-count change if `v` toggled now.
+    #[inline]
+    pub fn delta_i(&self, v: NodeId) -> i32 {
+        self.delta_i[v.index()]
+    }
+
+    /// The maintained `ΔO(v)`: output-count change if `v` toggled now.
+    #[inline]
+    pub fn delta_o(&self, v: NodeId) -> i32 {
+        self.delta_o[v.index()]
+    }
+
+    /// The current cut.
+    #[inline]
+    pub fn cut(&self) -> &NodeSet {
+        &self.cut
+    }
+
+    /// Toggles `v`, applying its addendums to `I_ISE`/`O_ISE` (the
+    /// paper's line-10 "impact of toggling") and refreshing the
+    /// addendums of the Fig. 3 neighbourhood: `v` itself, its parents,
+    /// its children and its siblings (other parents of its children).
+    pub fn toggle(&mut self, ctx: &BlockContext<'_>, v: NodeId) {
+        // Apply the maintained addendums.
+        self.inputs = (self.inputs as i32 + self.delta_i[v.index()]) as u32;
+        self.outputs = (self.outputs as i32 + self.delta_o[v.index()]) as u32;
+        let dag = ctx.block().dag();
+        if self.cut.contains(v) {
+            self.cut.remove(v);
+            for &p in dag.preds(v) {
+                self.fanout_to_cut[p.index()] -= 1;
+            }
+        } else {
+            self.cut.insert(v);
+            for &p in dag.preds(v) {
+                self.fanout_to_cut[p.index()] += 1;
+            }
+        }
+        // Refresh the neighbourhood's addendums (Fig. 3's affected set):
+        // v, its parents, its children, and its siblings — both nodes
+        // sharing a parent with v (their input-supplier counters moved)
+        // and nodes sharing a child (rules (i)–(l)).
+        let mut affected = vec![v];
+        for &p in dag.preds(v) {
+            affected.push(p);
+            affected.extend_from_slice(dag.succs(p)); // co-consumers of p
+        }
+        for &c in dag.succs(v) {
+            affected.push(c);
+            affected.extend_from_slice(dag.preds(c)); // co-parents of c
+        }
+        for u in affected {
+            let (di, do_) = self.compute_addendum(ctx, u);
+            self.delta_i[u.index()] = di;
+            self.delta_o[u.index()] = do_;
+        }
+    }
+
+    /// Derives `(ΔI(u), ΔO(u))` for the current cut from the maintained
+    /// counters, in O(deg(u)).
+    fn compute_addendum(&self, ctx: &BlockContext<'_>, u: NodeId) -> (i32, i32) {
+        let dag = ctx.block().dag();
+        let block = ctx.block();
+        let in_cut = self.cut.contains(u);
+        let mut di = 0i32;
+        let mut do_ = 0i32;
+        let outside_u = dag.out_degree(u) as u32 - self.fanout_to_cut[u.index()];
+        let escapes = outside_u > 0 || block.is_live_out(u);
+        if in_cut {
+            // leaving: u may resume supplying; u stops being an output
+            if self.fanout_to_cut[u.index()] > 0 {
+                di += 1;
+            }
+            if escapes {
+                do_ -= 1;
+            }
+        } else {
+            if self.fanout_to_cut[u.index()] > 0 {
+                di -= 1;
+            }
+            if escapes {
+                do_ += 1;
+            }
+        }
+        let preds = dag.preds(u);
+        for (i, &p) in preds.iter().enumerate() {
+            if preds[..i].contains(&p) {
+                continue;
+            }
+            let mult = preds.iter().filter(|&&q| q == p).count() as u32;
+            let pi = p.index();
+            if self.cut.contains(p) {
+                let outside_p = dag.out_degree(p) as u32 - self.fanout_to_cut[pi];
+                if in_cut {
+                    if outside_p == 0 && !block.is_live_out(p) {
+                        do_ += 1;
+                    }
+                } else if outside_p == mult && !block.is_live_out(p) {
+                    do_ -= 1;
+                }
+            } else if in_cut {
+                if self.fanout_to_cut[pi] == mult {
+                    di -= 1;
+                }
+            } else if self.fanout_to_cut[pi] == 0 {
+                di += 1;
+            }
+        }
+        (di, do_)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isegen_ir::{BasicBlock, BlockBuilder, LatencyModel, Opcode};
+
+    fn dotprod() -> BasicBlock {
+        let mut b = BlockBuilder::new("dot");
+        let (a, b_, c, d) = (b.input("a"), b.input("b"), b.input("c"), b.input("d"));
+        let m1 = b.op(Opcode::Mul, &[a, b_]).unwrap();
+        let m2 = b.op(Opcode::Mul, &[c, d]).unwrap();
+        b.op(Opcode::Add, &[m1, m2]).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Recounts I/O from scratch (the check the table must match).
+    fn scratch_io(ctx: &BlockContext<'_>, cut: &NodeSet) -> (u32, u32) {
+        let cut_eval = crate::Cut::evaluate(ctx, cut.clone());
+        (cut_eval.input_count(), cut_eval.output_count())
+    }
+
+    #[test]
+    fn initial_addendums_are_node_io_counts() {
+        // "Initially, all nodes are in S and ΔI and ΔO equal the number
+        //  of inputs and number of outputs of the corresponding node."
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let table = AddendumTable::new(&ctx);
+        assert_eq!(table.inputs(), 0);
+        assert_eq!(table.outputs(), 0);
+        let ids: Vec<NodeId> = block.dag().node_ids().collect();
+        // mul: 2 distinct inputs, 1 output
+        assert_eq!(table.delta_i(ids[4]), 2);
+        assert_eq!(table.delta_o(ids[4]), 1);
+        // add: 2 inputs, 1 output (live-out)
+        assert_eq!(table.delta_i(ids[6]), 2);
+        assert_eq!(table.delta_o(ids[6]), 1);
+    }
+
+    #[test]
+    fn sign_reversal_after_toggle() {
+        // "After toggling from S to H, ΔI and ΔO of the node reverse in
+        //  sign so that the changes will be undone if it toggles back."
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let ids: Vec<NodeId> = block.dag().node_ids().collect();
+        let mut table = AddendumTable::new(&ctx);
+        let before = (table.delta_i(ids[4]), table.delta_o(ids[4]));
+        table.toggle(&ctx, ids[4]);
+        let after = (table.delta_i(ids[4]), table.delta_o(ids[4]));
+        assert_eq!(after, (-before.0, -before.1));
+        // toggling back restores the counts
+        table.toggle(&ctx, ids[4]);
+        assert_eq!(table.inputs(), 0);
+        assert_eq!(table.outputs(), 0);
+    }
+
+    #[test]
+    fn figure5_example() {
+        // The paper's Fig. 5: toggling a node into a one-node cut gives
+        // I_ISE = its inputs, O_ISE = its outputs; toggling the second
+        // mul (independent subgraph) adds its counts.
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let ids: Vec<NodeId> = block.dag().node_ids().collect();
+        let mut table = AddendumTable::new(&ctx);
+        table.toggle(&ctx, ids[4]);
+        assert_eq!((table.inputs(), table.outputs()), (2, 1));
+        table.toggle(&ctx, ids[5]);
+        assert_eq!((table.inputs(), table.outputs()), (4, 2));
+        // adding the consumer merges the outputs
+        table.toggle(&ctx, ids[6]);
+        assert_eq!((table.inputs(), table.outputs()), (4, 1));
+        assert_eq!(
+            (table.inputs(), table.outputs()),
+            scratch_io(&ctx, table.cut())
+        );
+    }
+
+    #[test]
+    fn neighbourhood_locality_holds() {
+        // Every addendum — including nodes far from the toggles — must
+        // equal the from-scratch delta. If Fig. 3's affected set were
+        // too small, a distant stale addendum would fail this.
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let ids: Vec<NodeId> = block.dag().node_ids().collect();
+        let mut table = AddendumTable::new(&ctx);
+        for &i in &[4usize, 6, 5, 4, 6, 5, 6] {
+            table.toggle(&ctx, ids[i]);
+            let (bi, bo) = scratch_io(&ctx, table.cut());
+            assert_eq!((table.inputs(), table.outputs()), (bi, bo));
+            for &v in &ids {
+                let mut flipped = table.cut().clone();
+                flipped.toggle(v);
+                let (fi, fo) = scratch_io(&ctx, &flipped);
+                assert_eq!(
+                    table.delta_i(v),
+                    fi as i32 - bi as i32,
+                    "stale ΔI at {v}"
+                );
+                assert_eq!(
+                    table.delta_o(v),
+                    fo as i32 - bo as i32,
+                    "stale ΔO at {v}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+use std::fmt;
+
+/// Register-file port budget for an ISE: the maximum number of input and
+/// output operands a custom instruction may have (paper §2, `N_in`/`N_out`).
+///
+/// The paper sweeps `(2,1), (3,1), (4,1), (4,2), (6,3), (8,4)` on AES and
+/// uses `(4,2)` for the MediaBench/EEMBC comparison.
+///
+/// ```
+/// use isegen_core::IoConstraints;
+///
+/// let io = IoConstraints::new(4, 2);
+/// assert_eq!(io.to_string(), "(4,2)");
+/// assert!(io.admits(3, 2));
+/// assert!(!io.admits(5, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IoConstraints {
+    max_inputs: u32,
+    max_outputs: u32,
+}
+
+impl IoConstraints {
+    /// Creates a port budget of `max_inputs` read ports and `max_outputs`
+    /// write ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is zero — an instruction without inputs or
+    /// without outputs is meaningless.
+    pub fn new(max_inputs: u32, max_outputs: u32) -> Self {
+        assert!(max_inputs > 0, "an ISE needs at least one input port");
+        assert!(max_outputs > 0, "an ISE needs at least one output port");
+        IoConstraints {
+            max_inputs,
+            max_outputs,
+        }
+    }
+
+    /// Maximum number of input operands.
+    #[inline]
+    pub fn max_inputs(self) -> u32 {
+        self.max_inputs
+    }
+
+    /// Maximum number of output operands.
+    #[inline]
+    pub fn max_outputs(self) -> u32 {
+        self.max_outputs
+    }
+
+    /// Whether a cut with the given I/O counts fits the budget.
+    #[inline]
+    pub fn admits(self, inputs: u32, outputs: u32) -> bool {
+        inputs <= self.max_inputs && outputs <= self.max_outputs
+    }
+
+    /// Total number of violated ports: `max(0, in−N_in) + max(0, out−N_out)`.
+    ///
+    /// This is the magnitude the paper's I/O penalty component scales with.
+    #[inline]
+    pub fn violation(self, inputs: u32, outputs: u32) -> u32 {
+        inputs.saturating_sub(self.max_inputs) + outputs.saturating_sub(self.max_outputs)
+    }
+
+    /// The sweep of constraints used in the paper's AES study (Fig. 6/7).
+    pub const AES_SWEEP: [(u32, u32); 6] = [(2, 1), (3, 1), (4, 1), (4, 2), (6, 3), (8, 4)];
+}
+
+impl fmt::Display for IoConstraints {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.max_inputs, self.max_outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_and_violation() {
+        let io = IoConstraints::new(4, 2);
+        assert!(io.admits(4, 2));
+        assert!(io.admits(0, 0));
+        assert!(!io.admits(5, 2));
+        assert!(!io.admits(4, 3));
+        assert_eq!(io.violation(4, 2), 0);
+        assert_eq!(io.violation(6, 2), 2);
+        assert_eq!(io.violation(6, 4), 4);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(IoConstraints::new(8, 4).to_string(), "(8,4)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn zero_inputs_rejected() {
+        let _ = IoConstraints::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn zero_outputs_rejected() {
+        let _ = IoConstraints::new(1, 0);
+    }
+
+    #[test]
+    fn aes_sweep_is_the_paper_sweep() {
+        assert_eq!(IoConstraints::AES_SWEEP.len(), 6);
+        assert_eq!(IoConstraints::AES_SWEEP[3], (4, 2));
+    }
+}

@@ -1,0 +1,620 @@
+use crate::{BlockContext, Cut, IoConstraints};
+use isegen_graph::components::{Components, OUTSIDE};
+use isegen_graph::{path, NodeId, NodeSet};
+
+/// Incremental hardware/software partition state — the paper's §4.3
+/// toggle-impact machinery.
+///
+/// The paper maintains per-node input/output *addendums* (ΔI, ΔO, Fig. 3)
+/// so that toggling a node between software (S) and hardware (H) updates
+/// the cut's operand counts in O(deg) instead of a full recount. This
+/// implementation expresses the same bookkeeping with an equivalent
+/// counter scheme:
+///
+/// * `fanout_to_cut[p]` — number of edges from `p` into cut nodes. The
+///   cut's **input count** is the number of nodes outside the cut with
+///   `fanout_to_cut > 0` (distinct producers feeding the cut).
+/// * A cut node is an **output** when it has at least one consumer outside
+///   the cut or is live-out of the block.
+///
+/// Equivalence with a from-scratch recount is enforced by property tests
+/// (`tests/engine_prop.rs`), substituting for the rule-table proofs the
+/// paper defers to its technical report.
+///
+/// After every *committed* toggle the engine refreshes its heavier state
+/// (longest-path arrays, convexity masks, connected components) in
+/// O(n + e + |C|·n/64); per-*candidate* probes then cost O(deg + n/64).
+#[derive(Debug)]
+pub struct ToggleEngine<'c, 'a> {
+    ctx: &'c BlockContext<'a>,
+    cut: NodeSet,
+    fanout_to_cut: Vec<u32>,
+    input_count: u32,
+    output_count: u32,
+    sw_sum: u64,
+    up: Vec<f64>,
+    down: Vec<f64>,
+    critical: f64,
+    below: NodeSet,
+    above: NodeSet,
+    convex_now: bool,
+    comp_label: Vec<u32>,
+    comp_cp: Vec<f64>,
+    comp_cp_total: f64,
+    scratch_a: NodeSet,
+    scratch_b: NodeSet,
+}
+
+/// The predicted effect of toggling one node, produced by
+/// [`ToggleEngine::probe`]. Feed it to the gain function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Probe {
+    /// `true` when the node would move S → H (join the cut).
+    pub entering: bool,
+    /// Input operand count of the cut after the toggle.
+    pub inputs: u32,
+    /// Output operand count of the cut after the toggle.
+    pub outputs: u32,
+    /// Convexity of the cut after the toggle. Exact for entering moves
+    /// and for leaving moves out of a convex cut; pessimistically `false`
+    /// for leaving moves out of a non-convex cut (the merit component is
+    /// zero for non-convex cuts anyway, per §4.2).
+    pub convex: bool,
+    /// Estimated merit `λ_sw − λ_hw` of the cut after the toggle; `0.0`
+    /// when `convex` is false (paper §4.2). The hardware critical path is
+    /// exact for entering moves and conservative (an upper bound) for
+    /// leaving moves.
+    pub merit: f64,
+    /// Number of distinct neighbours of the node currently in the cut
+    /// (the paper's `N(v, C)` affinity input).
+    pub neighbors_in_cut: u32,
+    /// For a leaving move: the summed hardware critical paths of the
+    /// *other* connected components of the cut (the paper's
+    /// independent-cuts input). `0.0` for entering moves.
+    pub other_components_hw: f64,
+}
+
+impl<'c, 'a> ToggleEngine<'c, 'a> {
+    /// Starts from the all-software configuration (empty cut).
+    pub fn new(ctx: &'c BlockContext<'a>) -> Self {
+        Self::from_cut(ctx, NodeSet::new(ctx.node_count()))
+    }
+
+    /// Starts from an existing cut (e.g. the best cut of the previous
+    /// K-L pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut`'s capacity does not match the block.
+    pub fn from_cut(ctx: &'c BlockContext<'a>, cut: NodeSet) -> Self {
+        let n = ctx.node_count();
+        assert_eq!(cut.capacity(), n, "cut capacity does not match block");
+        let dag = ctx.block().dag();
+        let mut fanout_to_cut = vec![0u32; n];
+        for v in cut.iter() {
+            for &p in dag.preds(v) {
+                fanout_to_cut[p.index()] += 1;
+            }
+        }
+        let mut engine = ToggleEngine {
+            ctx,
+            cut,
+            fanout_to_cut,
+            input_count: 0,
+            output_count: 0,
+            sw_sum: 0,
+            up: vec![0.0; n],
+            down: vec![0.0; n],
+            critical: 0.0,
+            below: NodeSet::new(n),
+            above: NodeSet::new(n),
+            convex_now: true,
+            comp_label: vec![OUTSIDE; n],
+            comp_cp: Vec::new(),
+            comp_cp_total: 0.0,
+            scratch_a: NodeSet::new(n),
+            scratch_b: NodeSet::new(n),
+        };
+        engine.recount_io();
+        engine.refresh();
+        engine
+    }
+
+    /// The current cut.
+    #[inline]
+    pub fn cut(&self) -> &NodeSet {
+        &self.cut
+    }
+
+    /// Current input operand count.
+    #[inline]
+    pub fn input_count(&self) -> u32 {
+        self.input_count
+    }
+
+    /// Current output operand count.
+    #[inline]
+    pub fn output_count(&self) -> u32 {
+        self.output_count
+    }
+
+    /// Whether the current cut is convex (exact).
+    #[inline]
+    pub fn is_convex(&self) -> bool {
+        self.convex_now
+    }
+
+    /// Software latency of the current cut, in cycles.
+    #[inline]
+    pub fn software_latency(&self) -> u64 {
+        self.sw_sum
+    }
+
+    /// Hardware critical path of the current cut, in MAC units (exact).
+    #[inline]
+    pub fn hardware_latency(&self) -> f64 {
+        self.critical
+    }
+
+    /// Exact merit `λ_sw − λ_hw` of the current cut.
+    #[inline]
+    pub fn merit(&self) -> f64 {
+        self.sw_sum as f64 - self.critical
+    }
+
+    /// Whether the current cut is a *legal* ISE: non-empty, convex and
+    /// within the port budget.
+    pub fn is_legal(&self, io: IoConstraints) -> bool {
+        !self.cut.is_empty() && self.convex_now && io.admits(self.input_count, self.output_count)
+    }
+
+    /// Takes an exact [`Cut`] snapshot of the current state.
+    pub fn snapshot(&self) -> Cut {
+        Cut::from_parts(
+            self.cut.clone(),
+            self.input_count,
+            self.output_count,
+            self.sw_sum,
+            self.critical,
+        )
+    }
+
+    /// Predicts the effect of toggling `v` without committing it.
+    ///
+    /// O(deg(v) + n/64).
+    pub fn probe(&mut self, v: NodeId) -> Probe {
+        let entering = !self.cut.contains(v);
+        let (inputs, outputs) = self.io_after(v, entering);
+        let convex = self.convex_after(v, entering);
+        let merit = if convex {
+            let sw2 = if entering {
+                self.sw_sum + self.ctx.sw_cycles(v) as u64
+            } else {
+                self.sw_sum - self.ctx.sw_cycles(v) as u64
+            };
+            let hw2 = self.critical_after(v, entering);
+            sw2 as f64 - hw2
+        } else {
+            0.0
+        };
+        let neighbors_in_cut = self.distinct_neighbors_in_cut(v);
+        let other_components_hw = if entering {
+            0.0
+        } else {
+            let label = self.comp_label[v.index()];
+            debug_assert_ne!(label, OUTSIDE, "leaving node must be labelled");
+            self.comp_cp_total - self.comp_cp[label as usize]
+        };
+        Probe {
+            entering,
+            inputs,
+            outputs,
+            convex,
+            merit,
+            neighbors_in_cut,
+            other_components_hw,
+        }
+    }
+
+    /// Toggles `v` between software and hardware, updating all state.
+    ///
+    /// Returns `true` when `v` entered the cut.
+    pub fn toggle(&mut self, v: NodeId) -> bool {
+        let entering = !self.cut.contains(v);
+        let (inputs, outputs) = self.io_after(v, entering);
+        let dag = self.ctx.block().dag();
+        if entering {
+            self.cut.insert(v);
+            for &p in dag.preds(v) {
+                self.fanout_to_cut[p.index()] += 1;
+            }
+            self.sw_sum += self.ctx.sw_cycles(v) as u64;
+        } else {
+            self.cut.remove(v);
+            for &p in dag.preds(v) {
+                self.fanout_to_cut[p.index()] -= 1;
+            }
+            self.sw_sum -= self.ctx.sw_cycles(v) as u64;
+        }
+        self.input_count = inputs;
+        self.output_count = outputs;
+        self.refresh();
+        entering
+    }
+
+    // ----- incremental pieces ------------------------------------------
+
+    /// Input/output counts after toggling `v`, derived in O(deg(v)) from
+    /// the maintained counters — the ΔI/ΔO addendum scheme of Fig. 3.
+    fn io_after(&self, v: NodeId, entering: bool) -> (u32, u32) {
+        let dag = self.ctx.block().dag();
+        let block = self.ctx.block();
+        let vi = v.index();
+        let mut inp = self.input_count as i64;
+        let mut out = self.output_count as i64;
+        let outside_v = dag.out_degree(v) as u32 - self.fanout_to_cut[vi];
+        let v_escapes = outside_v > 0 || block.is_live_out(v);
+        if entering {
+            // v stops being an outside supplier of the cut.
+            if self.fanout_to_cut[vi] > 0 {
+                inp -= 1;
+            }
+            // v becomes an output if its value escapes the cut.
+            if v_escapes {
+                out += 1;
+            }
+        } else {
+            // v resumes being an outside supplier if it feeds cut nodes.
+            if self.fanout_to_cut[vi] > 0 {
+                inp += 1;
+            }
+            // v stops being an output.
+            if v_escapes {
+                out -= 1;
+            }
+        }
+        let preds = dag.preds(v);
+        for (i, &p) in preds.iter().enumerate() {
+            if preds[..i].contains(&p) {
+                continue; // count each distinct producer once
+            }
+            let mult = preds.iter().filter(|&&q| q == p).count() as u32;
+            let pi = p.index();
+            if self.cut.contains(p) {
+                let outside_p = dag.out_degree(p) as u32 - self.fanout_to_cut[pi];
+                if entering {
+                    // p's edges to v become internal; if v was p's only
+                    // escape and p is not live-out, p stops being an output.
+                    if outside_p == mult && !block.is_live_out(p) {
+                        out -= 1;
+                    }
+                } else {
+                    // p's edges to v become external; if p had no escape
+                    // before and is not live-out, it becomes an output.
+                    if outside_p == 0 && !block.is_live_out(p) {
+                        out += 1;
+                    }
+                }
+            } else if entering {
+                // p becomes a supplier if it was not one already.
+                if self.fanout_to_cut[pi] == 0 {
+                    inp += 1;
+                }
+            } else {
+                // p stops being a supplier if v consumed all of p's
+                // cut-directed edges.
+                if self.fanout_to_cut[pi] == mult {
+                    inp -= 1;
+                }
+            }
+        }
+        debug_assert!(inp >= 0 && out >= 0, "io counters went negative");
+        (inp as u32, out as u32)
+    }
+
+    /// Convexity after toggling `v`. Exact for entering moves (the union
+    /// masks extend monotonically); exact for leaving a convex cut (the
+    /// only possible new violation passes through `v`); pessimistic
+    /// `false` when leaving a non-convex cut.
+    fn convex_after(&mut self, v: NodeId, entering: bool) -> bool {
+        let reach = self.ctx.reach();
+        if entering {
+            self.scratch_a.clone_from(&self.below);
+            self.scratch_a.union_with(reach.descendants(v));
+            self.scratch_b.clone_from(&self.above);
+            self.scratch_b.union_with(reach.ancestors(v));
+            self.scratch_a.intersect_with(&self.scratch_b);
+            self.scratch_a.subtract(&self.cut);
+            self.scratch_a.remove(v);
+            self.scratch_a.is_empty()
+        } else if self.convex_now {
+            if self.cut.len() <= 1 {
+                return true;
+            }
+            let has_cut_anc = reach.ancestors(v).intersection_len(&self.cut) > 0;
+            let has_cut_desc = reach.descendants(v).intersection_len(&self.cut) > 0;
+            !(has_cut_anc && has_cut_desc)
+        } else {
+            false
+        }
+    }
+
+    /// Hardware critical path after toggling `v`. Exact for entering
+    /// moves (any new longest path must pass through `v`, and `up`/`down`
+    /// are exact within the current cut); for leaving moves it returns
+    /// the current critical path when `v` lies on it (an upper bound) and
+    /// the exact value otherwise.
+    fn critical_after(&self, v: NodeId, entering: bool) -> f64 {
+        let dag = self.ctx.block().dag();
+        let vi = v.index();
+        let dv = self.ctx.hw_delay(v);
+        if entering {
+            let mut up_in = 0.0f64;
+            for &p in dag.preds(v) {
+                if self.cut.contains(p) && self.up[p.index()] > up_in {
+                    up_in = self.up[p.index()];
+                }
+            }
+            let mut down_in = 0.0f64;
+            for &s in dag.succs(v) {
+                if self.cut.contains(s) && self.down[s.index()] > down_in {
+                    down_in = self.down[s.index()];
+                }
+            }
+            self.critical.max(up_in + dv + down_in)
+        } else {
+            let through_v = self.up[vi] + self.down[vi] - dv;
+            if through_v + 1e-12 < self.critical {
+                self.critical
+            } else {
+                // v is on a critical path; removal may shorten the cut's
+                // delay, but by at most dv. Use the conservative bound.
+                self.critical
+            }
+        }
+    }
+
+    fn distinct_neighbors_in_cut(&self, v: NodeId) -> u32 {
+        let dag = self.ctx.block().dag();
+        let preds = dag.preds(v);
+        let succs = dag.succs(v);
+        let mut count = 0u32;
+        for (i, &p) in preds.iter().enumerate() {
+            if self.cut.contains(p) && !preds[..i].contains(&p) {
+                count += 1;
+            }
+        }
+        for (i, &s) in succs.iter().enumerate() {
+            if self.cut.contains(s) && !succs[..i].contains(&s) && !preds.contains(&s) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Full recount of I/O from the cut alone — initialisation and the
+    /// reference the property tests compare the incremental path against.
+    fn recount_io(&mut self) {
+        let dag = self.ctx.block().dag();
+        let block = self.ctx.block();
+        let mut inputs = 0u32;
+        let mut outputs = 0u32;
+        let mut sw = 0u64;
+        for v in dag.node_ids() {
+            let vi = v.index();
+            if self.cut.contains(v) {
+                sw += self.ctx.sw_cycles(v) as u64;
+                let outside = dag.out_degree(v) as u32 - self.fanout_to_cut[vi];
+                if outside > 0 || block.is_live_out(v) {
+                    outputs += 1;
+                }
+            } else if self.fanout_to_cut[vi] > 0 {
+                inputs += 1;
+            }
+        }
+        self.input_count = inputs;
+        self.output_count = outputs;
+        self.sw_sum = sw;
+    }
+
+    /// Refreshes the heavier derived state after a committed toggle:
+    /// longest-path arrays, convexity masks and component labelling.
+    /// O(n + e + |C|·n/64).
+    fn refresh(&mut self) {
+        let dag = self.ctx.block().dag();
+        let ud = path::up_down_within(dag, self.ctx.topo(), &self.cut, |v| self.ctx.hw_delay(v));
+        self.up = ud.up;
+        self.down = ud.down;
+        self.critical = ud.critical;
+
+        let reach = self.ctx.reach();
+        self.below.clear();
+        self.above.clear();
+        for v in self.cut.iter() {
+            self.below.union_with(reach.descendants(v));
+            self.above.union_with(reach.ancestors(v));
+        }
+        self.scratch_a.clone_from(&self.below);
+        self.scratch_a.intersect_with(&self.above);
+        self.scratch_a.subtract(&self.cut);
+        self.convex_now = self.scratch_a.is_empty();
+
+        let comps = Components::within(dag, &self.cut);
+        let count = comps.count();
+        self.comp_cp.clear();
+        self.comp_cp.resize(count, 0.0);
+        for v in self.cut.iter() {
+            let vi = v.index();
+            self.comp_label[vi] = comps.component_of(v);
+            let through = self.up[vi] + self.down[vi] - self.ctx.hw_delay(v);
+            let slot = &mut self.comp_cp[self.comp_label[vi] as usize];
+            if through > *slot {
+                *slot = through;
+            }
+        }
+        for v in dag.node_ids() {
+            if !self.cut.contains(v) {
+                self.comp_label[v.index()] = OUTSIDE;
+            }
+        }
+        self.comp_cp_total = self.comp_cp.iter().sum();
+    }
+
+    /// Number of connected components of the current cut.
+    pub fn component_count(&self) -> usize {
+        self.comp_cp.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isegen_ir::{BasicBlock, BlockBuilder, LatencyModel, Opcode};
+
+    fn dotprod() -> BasicBlock {
+        let mut b = BlockBuilder::new("dot");
+        let (a, b_, c, d) = (b.input("a"), b.input("b"), b.input("c"), b.input("d"));
+        let m1 = b.op(Opcode::Mul, &[a, b_]).unwrap();
+        let m2 = b.op(Opcode::Mul, &[c, d]).unwrap();
+        b.op(Opcode::Add, &[m1, m2]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn check_against_scratch(engine: &ToggleEngine<'_, '_>, ctx: &BlockContext<'_>) {
+        let reference = Cut::evaluate(ctx, engine.cut().clone());
+        assert_eq!(engine.input_count(), reference.input_count(), "inputs");
+        assert_eq!(engine.output_count(), reference.output_count(), "outputs");
+        assert_eq!(engine.software_latency(), reference.software_latency(), "sw");
+        assert!(
+            (engine.hardware_latency() - reference.hardware_latency()).abs() < 1e-9,
+            "hw: {} vs {}",
+            engine.hardware_latency(),
+            reference.hardware_latency()
+        );
+        assert_eq!(engine.is_convex(), ctx.is_convex(engine.cut()), "convexity");
+    }
+
+    #[test]
+    fn toggle_sequence_tracks_scratch_evaluation() {
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let mut engine = ToggleEngine::new(&ctx);
+        let ids: Vec<NodeId> = block.dag().node_ids().collect();
+        // toggle operations in and out in various orders
+        for seq in &[
+            vec![4, 5, 6],
+            vec![6, 4, 5],
+            vec![4, 4, 5, 6, 5],
+            vec![6, 6],
+        ] {
+            let mut engine2 = ToggleEngine::new(&ctx);
+            for &i in seq {
+                engine2.toggle(ids[i]);
+                check_against_scratch(&engine2, &ctx);
+            }
+        }
+        // also from a seeded cut
+        engine.toggle(ids[4]);
+        engine.toggle(ids[6]);
+        check_against_scratch(&engine, &ctx);
+        let reseeded = ToggleEngine::from_cut(&ctx, engine.cut().clone());
+        assert_eq!(reseeded.input_count(), engine.input_count());
+        assert_eq!(reseeded.output_count(), engine.output_count());
+    }
+
+    #[test]
+    fn probe_matches_commit_for_entering() {
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let mut engine = ToggleEngine::new(&ctx);
+        let ids: Vec<NodeId> = block.dag().node_ids().collect();
+        for &i in &[4usize, 6, 5] {
+            let p = engine.probe(ids[i]);
+            assert!(p.entering);
+            engine.toggle(ids[i]);
+            assert_eq!(p.inputs, engine.input_count(), "probe inputs for {i}");
+            assert_eq!(p.outputs, engine.output_count(), "probe outputs for {i}");
+            assert_eq!(p.convex, engine.is_convex(), "probe convexity for {i}");
+            if p.convex {
+                assert!(
+                    (p.merit - engine.merit()).abs() < 1e-9,
+                    "probe merit {} vs {}",
+                    p.merit,
+                    engine.merit()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_leaving_reports_components() {
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let mut engine = ToggleEngine::new(&ctx);
+        let ids: Vec<NodeId> = block.dag().node_ids().collect();
+        // two independent muls: two components
+        engine.toggle(ids[4]);
+        engine.toggle(ids[5]);
+        assert_eq!(engine.component_count(), 2);
+        let p = engine.probe(ids[4]);
+        assert!(!p.entering);
+        // the other component is the other mul: cp = 0.85
+        assert!((p.other_components_hw - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn legality() {
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let mut engine = ToggleEngine::new(&ctx);
+        let ids: Vec<NodeId> = block.dag().node_ids().collect();
+        assert!(!engine.is_legal(IoConstraints::new(4, 2)), "empty cut is not legal");
+        engine.toggle(ids[4]);
+        engine.toggle(ids[5]);
+        engine.toggle(ids[6]);
+        assert!(engine.is_legal(IoConstraints::new(4, 2)));
+        assert!(!engine.is_legal(IoConstraints::new(3, 1)));
+        // {m1, add} with m2 outside is convex; {m1, m2} alone is too.
+        engine.toggle(ids[5]);
+        assert!(engine.is_convex());
+    }
+
+    #[test]
+    fn snapshot_equals_scratch_cut() {
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let mut engine = ToggleEngine::new(&ctx);
+        let ids: Vec<NodeId> = block.dag().node_ids().collect();
+        engine.toggle(ids[4]);
+        engine.toggle(ids[6]);
+        let snap = engine.snapshot();
+        let reference = Cut::evaluate(&ctx, engine.cut().clone());
+        assert_eq!(snap, reference);
+    }
+
+    #[test]
+    fn non_convex_intermediate_detected() {
+        // chain: in -> a -> b -> c. Cut {a, c} is not convex.
+        let mut bb = BlockBuilder::new("chain");
+        let x = bb.input("x");
+        let a = bb.op(Opcode::Add, &[x, x]).unwrap();
+        let b = bb.op(Opcode::Mul, &[a, a]).unwrap();
+        let c = bb.op(Opcode::Not, &[b]).unwrap();
+        let block = bb.build().unwrap();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let mut engine = ToggleEngine::new(&ctx);
+        engine.toggle(a);
+        assert!(engine.is_convex());
+        engine.toggle(c);
+        assert!(!engine.is_convex());
+        // filling the hole restores convexity
+        engine.toggle(b);
+        assert!(engine.is_convex());
+    }
+}

@@ -1,0 +1,348 @@
+use crate::driver::CutFinder;
+use crate::gain::gain_of;
+use crate::{BlockContext, Cut, GainWeights, IoConstraints, ToggleEngine};
+use isegen_graph::{NodeId, NodeSet};
+
+/// Knobs of the modified Kernighan–Lin search (paper Fig. 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// Maximum number of improvement passes. The paper found
+    /// experimentally that 5 passes suffice; the loop also exits early
+    /// when a pass fails to improve the best cut.
+    pub max_passes: usize,
+    /// Gain-function weights (paper §4.2).
+    pub weights: GainWeights,
+    /// Number of diversified restarts. A K-L pass follows one greedy
+    /// toggle trajectory; on blocks with several distant high-merit
+    /// regions a single trajectory can settle in the wrong basin. Each
+    /// restart forces the first toggle onto the best-gain node of a
+    /// *different* region (seeds are kept ≥ 3 edges apart), and the best
+    /// cut across restarts wins. Deterministic. `1` reproduces the
+    /// paper's single-trajectory algorithm exactly.
+    pub restarts: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            max_passes: 5,
+            weights: GainWeights::default(),
+            restarts: 3,
+        }
+    }
+}
+
+/// Runs one ISEGEN bi-partition of a basic block (paper Fig. 2): finds the
+/// best legal cut reachable by iterative improvement from the all-software
+/// configuration, honouring `io` constraints and never touching nodes in
+/// `forbidden` (e.g. nodes already claimed by earlier ISEs).
+///
+/// Returns the best cut found; the cut is empty when no legal cut with
+/// positive merit exists (e.g. everything is forbidden).
+///
+/// The algorithm, following the paper:
+///
+/// 1. `BC` ← all-software (empty cut).
+/// 2. Up to [`SearchConfig::max_passes`] times: starting from `BC`,
+///    repeatedly evaluate the gain function for every unmarked node,
+///    toggle the best node S↔H and mark it — intermediate cuts may
+///    violate constraints ("we allow a cut to be illegal giving it an
+///    opportunity to eventually grow into a valid cut") — while tracking
+///    the best *legal* cut seen in the pass.
+/// 3. If the pass improved on `BC`, commit and iterate; otherwise stop.
+pub fn bipartition(
+    ctx: &BlockContext<'_>,
+    io: IoConstraints,
+    config: &SearchConfig,
+    forbidden: Option<&NodeSet>,
+) -> Cut {
+    let n = ctx.node_count();
+    // Nodes the search may toggle: eligible and not forbidden.
+    let mut free = ctx.eligible().clone();
+    if let Some(f) = forbidden {
+        free.subtract(f);
+    }
+    if free.is_empty() {
+        return Cut::empty(n);
+    }
+    let free_nodes: Vec<NodeId> = free.iter().collect();
+
+    // Two gain flavours per trajectory: the configured weights, and a
+    // cohesion-boosted variant (double affinity). Low affinity finds the
+    // best *independent-subgraph* cuts (fbital-style min/max pairs);
+    // high affinity tracks deep *connected* clusters (Viterbi ACS
+    // butterflies). The paper tunes one weight set per evaluation; the
+    // small portfolio makes the defaults robust across both regimes.
+    let cohesive = SearchConfig {
+        weights: GainWeights {
+            affinity: config.weights.affinity * 2.0,
+            ..config.weights
+        },
+        ..config.clone()
+    };
+    let mut best_cut = Cut::empty(n);
+    for cfg in [config, &cohesive] {
+        let candidate = kl_trajectories(ctx, io, cfg, &free_nodes, None);
+        if candidate.merit() > best_cut.merit() {
+            best_cut = candidate;
+        }
+        for seed in restart_seeds(ctx, io, cfg, &free_nodes) {
+            let candidate = kl_trajectories(ctx, io, cfg, &free_nodes, Some(seed));
+            if candidate.merit() > best_cut.merit() {
+                best_cut = candidate;
+            }
+        }
+    }
+    best_cut
+}
+
+/// Runs the Fig. 2 pass loop once, optionally forcing the very first
+/// toggle onto `seed` (restart diversification).
+fn kl_trajectories(
+    ctx: &BlockContext<'_>,
+    io: IoConstraints,
+    config: &SearchConfig,
+    free_nodes: &[NodeId],
+    seed: Option<NodeId>,
+) -> Cut {
+    let n = ctx.node_count();
+    let mut best_cut = Cut::empty(n);
+    let mut best_merit = 0.0f64;
+
+    for pass in 0..config.max_passes {
+        let mut engine = ToggleEngine::from_cut(ctx, best_cut.nodes().clone());
+        let mut marked = NodeSet::new(n);
+        let mut pass_best: Option<Cut> = None;
+        let mut pass_best_merit = best_merit;
+        let mut forced = if pass == 0 { seed } else { None };
+
+        for _ in 0..free_nodes.len() {
+            // Evaluate the gain function for every unmarked node and pick
+            // the best; ties break to the lowest node id (determinism).
+            let chosen = match forced.take() {
+                Some(s) => Some(s),
+                None => {
+                    let mut chosen: Option<(f64, NodeId)> = None;
+                    for &v in free_nodes {
+                        if marked.contains(v) {
+                            continue;
+                        }
+                        let g = gain_of(&mut engine, ctx, &config.weights, io, v);
+                        let better = match chosen {
+                            None => true,
+                            Some((bg, _)) => g > bg,
+                        };
+                        if better {
+                            chosen = Some((g, v));
+                        }
+                    }
+                    chosen.map(|(_, v)| v)
+                }
+            };
+            let Some(v) = chosen else { break };
+            engine.toggle(v);
+            marked.insert(v);
+            if engine.is_legal(io) {
+                let m = engine.merit();
+                if m > pass_best_merit {
+                    pass_best_merit = m;
+                    pass_best = Some(engine.snapshot());
+                }
+            }
+        }
+
+        match pass_best {
+            Some(cut) => {
+                best_merit = pass_best_merit;
+                best_cut = cut;
+            }
+            None => break, // no improvement this pass
+        }
+    }
+    best_cut
+}
+
+/// Picks up to `restarts − 1` forced first moves, spread across the
+/// block: the highest-gain unmarked nodes with pairwise undirected
+/// distance ≥ 3, so each restart explores a different region.
+fn restart_seeds(
+    ctx: &BlockContext<'_>,
+    io: IoConstraints,
+    config: &SearchConfig,
+    free_nodes: &[NodeId],
+) -> Vec<NodeId> {
+    if config.restarts <= 1 {
+        return Vec::new();
+    }
+    let n = ctx.node_count();
+    let mut engine = ToggleEngine::new(ctx);
+    let mut scored: Vec<(f64, NodeId)> = free_nodes
+        .iter()
+        .map(|&v| (gain_of(&mut engine, ctx, &config.weights, io, v), v))
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+
+    let dag = ctx.block().dag();
+    let mut banned = NodeSet::new(n);
+    let mut seeds = Vec::new();
+    for (_, v) in scored {
+        if seeds.len() + 1 >= config.restarts {
+            break;
+        }
+        if banned.contains(v) {
+            continue;
+        }
+        seeds.push(v);
+        // Ban the undirected 2-neighbourhood of the seed.
+        let mut frontier = vec![v];
+        banned.insert(v);
+        for _ in 0..2 {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &w in dag.preds(u).iter().chain(dag.succs(u)) {
+                    if banned.insert(w) {
+                        next.push(w);
+                    }
+                }
+            }
+            frontier = next;
+        }
+    }
+    seeds
+}
+
+/// [`CutFinder`] adapter for the ISEGEN bi-partition, so the generic
+/// application driver ([`crate::generate_with`]) can run ISEGEN alongside
+/// the baseline algorithms.
+#[derive(Debug, Clone, Default)]
+pub struct IsegenFinder {
+    config: SearchConfig,
+}
+
+impl IsegenFinder {
+    /// Creates a finder with the given search configuration.
+    pub fn new(config: SearchConfig) -> Self {
+        IsegenFinder { config }
+    }
+
+    /// The search configuration in use.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+}
+
+impl CutFinder for IsegenFinder {
+    fn find_cut(
+        &mut self,
+        ctx: &BlockContext<'_>,
+        io: IoConstraints,
+        forbidden: Option<&NodeSet>,
+    ) -> Cut {
+        bipartition(ctx, io, &self.config, forbidden)
+    }
+
+    fn name(&self) -> &str {
+        "isegen"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isegen_ir::{BasicBlock, BlockBuilder, LatencyModel, Opcode};
+
+    fn dotprod() -> BasicBlock {
+        let mut b = BlockBuilder::new("dot");
+        let (a, b_, c, d) = (b.input("a"), b.input("b"), b.input("c"), b.input("d"));
+        let m1 = b.op(Opcode::Mul, &[a, b_]).unwrap();
+        let m2 = b.op(Opcode::Mul, &[c, d]).unwrap();
+        b.op(Opcode::Add, &[m1, m2]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_the_whole_cluster() {
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let cut = bipartition(&ctx, IoConstraints::new(4, 2), &SearchConfig::default(), None);
+        assert_eq!(cut.nodes().len(), 3);
+        assert_eq!(cut.input_count(), 4);
+        assert_eq!(cut.output_count(), 1);
+        assert!(ctx.is_convex(cut.nodes()));
+        assert!(cut.merit() > 0.0);
+    }
+
+    #[test]
+    fn respects_io_constraints() {
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        for (i, o) in [(2u32, 1u32), (3, 1), (4, 1), (4, 2)] {
+            let io = IoConstraints::new(i, o);
+            let cut = bipartition(&ctx, io, &SearchConfig::default(), None);
+            assert!(
+                cut.is_empty() || cut.satisfies_io(io),
+                "cut {:?} violates {io}",
+                cut
+            );
+            if !cut.is_empty() {
+                assert!(ctx.is_convex(cut.nodes()), "cut must be convex under {io}");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_forbidden_nodes() {
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let ids: Vec<NodeId> = block.dag().node_ids().collect();
+        let forbidden = NodeSet::from_ids(7, [ids[6]]); // the add
+        let cut = bipartition(
+            &ctx,
+            IoConstraints::new(4, 2),
+            &SearchConfig::default(),
+            Some(&forbidden),
+        );
+        assert!(!cut.nodes().contains(ids[6]));
+        assert!(!cut.is_empty(), "the muls alone still form a cut");
+    }
+
+    #[test]
+    fn all_forbidden_yields_empty() {
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let cut = bipartition(
+            &ctx,
+            IoConstraints::new(4, 2),
+            &SearchConfig::default(),
+            Some(ctx.eligible()),
+        );
+        assert!(cut.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let a = bipartition(&ctx, IoConstraints::new(4, 2), &SearchConfig::default(), None);
+        let b = bipartition(&ctx, IoConstraints::new(4, 2), &SearchConfig::default(), None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_pass_config() {
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let config = SearchConfig {
+            max_passes: 1,
+            ..SearchConfig::default()
+        };
+        let cut = bipartition(&ctx, IoConstraints::new(4, 2), &config, None);
+        assert!(!cut.is_empty());
+    }
+}

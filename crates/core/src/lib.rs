@@ -1,0 +1,76 @@
+//! ISEGEN: generation of instruction set extensions by iterative
+//! improvement (Biswas, Banerjee, Dutt, Pozzi, Ienne — DATE 2005).
+//!
+//! ISE identification is hardware/software partitioning at instruction
+//! granularity: pick *cuts* (subgraphs, possibly disconnected) of a basic
+//! block's data-flow graph to execute on an Ad-hoc Functional Unit (AFU),
+//! subject to register-file port constraints and convexity. This crate
+//! implements the paper's contribution:
+//!
+//! * [`IoConstraints`] — the `(N_in, N_out)` port budget.
+//! * [`BlockContext`] — per-block precomputation (topological order,
+//!   transitive closure, barrier distances, per-node latencies).
+//! * [`Cut`] — an evaluated cut: I/O counts, software latency, hardware
+//!   critical path, merit.
+//! * [`ToggleEngine`] — the incremental bookkeeping of paper §4.3: toggling
+//!   a node between software (S) and hardware (H) updates I/O counts,
+//!   critical-path estimates and convexity masks in O(deg) / O(n/64)
+//!   rather than re-deriving them from scratch.
+//! * [`AddendumTable`] — the paper's Fig. 3 per-node ΔI/ΔO addendum
+//!   scheme as a standalone, property-tested artifact (its locality
+//!   claim is verified rather than proven-by-reference).
+//! * [`GainWeights`] / the gain function — the five weighted control
+//!   parameters of §4.2 (merit, I/O penalty, convexity affinity,
+//!   directional growth, independent cuts).
+//! * [`bipartition`] — the modified Kernighan–Lin pass structure of Fig. 2.
+//! * [`generate`] / [`generate_with`] — the whole-application driver
+//!   (Problem 2): block ranking by speedup potential, up to `N_ISE`
+//!   successive bi-partitions, optional reuse of each ISE across all its
+//!   isomorphic instances (the AES regularity play of §5).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use isegen_core::{bipartition, BlockContext, IoConstraints, SearchConfig};
+//! use isegen_ir::{BlockBuilder, LatencyModel, Opcode};
+//!
+//! # fn main() -> Result<(), isegen_ir::BuildError> {
+//! // (a*b + c*d) — a classic 2-MUL + ADD cluster.
+//! let mut b = BlockBuilder::new("dotprod");
+//! let (a, b_, c, d) = (b.input("a"), b.input("b"), b.input("c"), b.input("d"));
+//! let m1 = b.op(Opcode::Mul, &[a, b_])?;
+//! let m2 = b.op(Opcode::Mul, &[c, d])?;
+//! b.op(Opcode::Add, &[m1, m2])?;
+//! let block = b.build()?;
+//!
+//! let model = LatencyModel::paper_default();
+//! let ctx = BlockContext::new(&block, &model);
+//! let cut = bipartition(&ctx, IoConstraints::new(4, 2), &SearchConfig::default(), None);
+//! assert_eq!(cut.nodes().len(), 3); // all three ops fused into one ISE
+//! assert!(cut.merit() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addendum;
+mod constraints;
+mod context;
+mod cut;
+mod driver;
+mod engine;
+mod gain;
+mod kl;
+mod speedup;
+
+pub use addendum::AddendumTable;
+pub use constraints::IoConstraints;
+pub use context::BlockContext;
+pub use cut::Cut;
+pub use driver::{generate, generate_with, CutFinder, Ise, IseConfig, IseInstance, IseSelection};
+pub use engine::ToggleEngine;
+pub use gain::GainWeights;
+pub use kl::{bipartition, IsegenFinder, SearchConfig};
+pub use speedup::application_speedup;

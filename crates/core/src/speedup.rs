@@ -1,0 +1,56 @@
+/// Whole-application speedup from total software cycles and cycles saved
+/// by ISEs (paper §5):
+///
+/// ```text
+/// S = Λ_sw / (Λ_sw − saved)
+/// ```
+///
+/// Degenerate inputs are handled gracefully: an application with zero
+/// latency, or savings that meet/exceed the total (impossible for real
+/// cuts but reachable through misconfigured models), yield `1.0` and
+/// `f64::INFINITY`-free results by clamping `saved` to `Λ_sw − 1`.
+///
+/// ```
+/// use isegen_core::application_speedup;
+///
+/// assert_eq!(application_speedup(1000, 0), 1.0);
+/// assert_eq!(application_speedup(1000, 500), 2.0);
+/// ```
+pub fn application_speedup(total_sw_cycles: u64, saved_cycles: u64) -> f64 {
+    if total_sw_cycles == 0 {
+        return 1.0;
+    }
+    let saved = saved_cycles.min(total_sw_cycles - 1);
+    total_sw_cycles as f64 / (total_sw_cycles - saved) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_values() {
+        assert_eq!(application_speedup(100, 0), 1.0);
+        assert_eq!(application_speedup(100, 50), 2.0);
+        assert_eq!(application_speedup(100, 75), 4.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(application_speedup(0, 0), 1.0);
+        assert_eq!(application_speedup(0, 10), 1.0);
+        // clamped: saving everything leaves at least one cycle
+        assert_eq!(application_speedup(10, 10), 10.0);
+        assert_eq!(application_speedup(10, 999), 10.0);
+    }
+
+    #[test]
+    fn monotone_in_savings() {
+        let mut last = 0.0;
+        for saved in 0..100 {
+            let s = application_speedup(100, saved);
+            assert!(s >= last);
+            last = s;
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates the gain-component ablation (DESIGN.md §6): speedup with
+//! each of the five gain weights zeroed in turn.
+
+use isegen_eval::experiments::ablation::{self, Variant};
+
+fn main() {
+    let result = ablation::run();
+    println!("{}", result.render());
+    println!("Geometric-mean speedup per variant:");
+    for v in Variant::ALL {
+        if let Some(g) = result.geomean(v) {
+            println!("  {:>14}: {g:.3}", v.label());
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Runs every experiment of the paper in sequence — the one-shot
+//! reproduction driver behind EXPERIMENTS.md.
+
+use isegen_baselines::GeneticConfig;
+use isegen_core::SearchConfig;
+use isegen_eval::experiments;
+use isegen_eval::HarnessConfig;
+
+fn main() {
+    println!("==== ISEGEN (DATE 2005) full reproduction ====\n");
+
+    println!("{}\n", experiments::fig1::run().render());
+
+    let fig4 = experiments::fig4::run(&HarnessConfig::paper_default());
+    println!("{}", fig4.render());
+    println!("Genetic/ISEGEN runtime ratio:");
+    for (bench, ratio) in fig4.genetic_over_isegen_runtime() {
+        println!("  {bench:>16}: {ratio:8.1}x");
+    }
+    println!();
+
+    let fig6 = experiments::fig6::run(&SearchConfig::default(), &GeneticConfig::default());
+    println!("{}", fig6.render());
+    println!(
+        "Mean ISEGEN/Genetic speedup ratio: {:.3}\n",
+        fig6.mean_isegen_advantage()
+    );
+
+    println!("{}\n", experiments::fig7::run(&SearchConfig::default()).render());
+
+    let conv = experiments::convergence::run(8);
+    println!("{}", conv.render());
+    println!(
+        "Worst convergence across workloads: {} passes\n",
+        conv.worst_convergence()
+    );
+
+    println!("{}\n", experiments::ablation::run().render());
+
+    println!("{}\n", experiments::deployment::run().render());
+
+    println!(
+        "{}",
+        experiments::scaling::run(&[50, 100, 200, 400, 800]).render()
+    );
+}

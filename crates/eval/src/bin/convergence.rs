@@ -1,0 +1,11 @@
+//! Regenerates the §4.1 convergence study: best-cut merit as a function
+//! of the K-L pass budget ("5 passes are enough").
+
+fn main() {
+    let result = isegen_eval::experiments::convergence::run(8);
+    println!("{}", result.render());
+    println!(
+        "Worst convergence across workloads: {} passes (paper claims <= 5)",
+        result.worst_convergence()
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates the deployment study (the paper's §6 future work): code
+//! size, energy and AFU area impact of the generated ISEs.
+
+fn main() {
+    let result = isegen_eval::experiments::deployment::run();
+    println!("{}", result.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 1 (motivating example): reuse beats size.
+
+fn main() {
+    let result = isegen_eval::experiments::fig1::run();
+    println!("{}", result.render());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 4: speedup and runtime of the four algorithms on
+//! the MediaBench/EEMBC suite, I/O (4,2), N_ISE = 4.
+
+use isegen_eval::HarnessConfig;
+
+fn main() {
+    let config = HarnessConfig::paper_default();
+    let result = isegen_eval::experiments::fig4::run(&config);
+    println!("{}", result.render());
+    println!("Genetic/ISEGEN runtime ratio (paper: ISEGEN runs orders of magnitude faster):");
+    for (bench, ratio) in result.genetic_over_isegen_runtime() {
+        println!("  {bench:>16}: {ratio:8.1}x");
+    }
+}

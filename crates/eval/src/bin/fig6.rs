@@ -1,0 +1,15 @@
+//! Regenerates Figure 6: AES speedup under the I/O sweep for
+//! N_ISE ∈ {1, 4}, Genetic vs ISEGEN.
+
+use isegen_baselines::GeneticConfig;
+use isegen_core::SearchConfig;
+
+fn main() {
+    let result =
+        isegen_eval::experiments::fig6::run(&SearchConfig::default(), &GeneticConfig::default());
+    println!("{}", result.render());
+    println!(
+        "Mean ISEGEN/Genetic speedup ratio: {:.3} (paper: ISEGEN wins on average)",
+        result.mean_isegen_advantage()
+    );
+}

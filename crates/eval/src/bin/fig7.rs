@@ -1,0 +1,13 @@
+//! Regenerates Figure 7: reusability of ISEGEN's AES cuts across the
+//! I/O-constraint sweep.
+
+use isegen_core::SearchConfig;
+
+fn main() {
+    let result = isegen_eval::experiments::fig7::run(&SearchConfig::default());
+    println!("{}", result.render());
+    println!("Total accelerated instances per constraint:");
+    for (io, n) in result.total_instances() {
+        println!("  {io}: {n}");
+    }
+}

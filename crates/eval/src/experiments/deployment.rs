@@ -1,0 +1,214 @@
+//! The paper's future work, §6: "evaluating the impact of ISEs on code
+//! size and energy reduction" — plus the AFU area the RTL backend
+//! estimates.
+//!
+//! Models (documented, deliberately simple — the *relative* reductions
+//! are the result):
+//!
+//! * **Code size**: static instruction count; every matched instance of
+//!   a `k`-operation ISE replaces `k` instructions with 1.
+//! * **Energy**: executing an instruction on the core costs
+//!   `E_FETCH + E_CYCLE · sw_cycles(op)`; one AFU invocation costs a
+//!   single fetch plus `E_HW · Σ hw_delay(op)` for its datapath (the
+//!   AFU has no fetch/decode/register-file activity per internal op —
+//!   that is precisely where ISE energy savings come from).
+
+use crate::Table;
+use isegen_core::{generate, IoConstraints, IseConfig, IseSelection, SearchConfig};
+use isegen_ir::{Application, LatencyModel, Opcode};
+use isegen_rtl::AfuLibrary;
+use isegen_workloads::all_workloads;
+
+/// Energy per instruction fetch/decode, picojoules.
+pub const E_FETCH: f64 = 6.0;
+/// Energy per core execution cycle, picojoules.
+pub const E_CYCLE: f64 = 8.0;
+/// Energy per MAC-delay-unit of AFU datapath activity, picojoules.
+pub const E_HW: f64 = 3.0;
+
+/// Deployment impact of one workload's ISE selection.
+#[derive(Debug, Clone)]
+pub struct DeploymentRow {
+    /// Workload name.
+    pub benchmark: String,
+    /// Speedup of the selection (context).
+    pub speedup: f64,
+    /// Static instructions before ISEs.
+    pub code_before: u64,
+    /// Static instructions after replacing every instance.
+    pub code_after: u64,
+    /// Dynamic energy before, picojoules.
+    pub energy_before: f64,
+    /// Dynamic energy after, picojoules.
+    pub energy_after: f64,
+    /// AFU area, NAND2-equivalent gates.
+    pub afu_gates: f64,
+}
+
+impl DeploymentRow {
+    /// Static code-size reduction in percent.
+    pub fn code_reduction_pct(&self) -> f64 {
+        100.0 * (self.code_before - self.code_after) as f64 / self.code_before as f64
+    }
+
+    /// Dynamic energy reduction in percent.
+    pub fn energy_reduction_pct(&self) -> f64 {
+        100.0 * (self.energy_before - self.energy_after) / self.energy_before
+    }
+}
+
+/// The whole study.
+#[derive(Debug, Clone)]
+pub struct DeploymentResult {
+    /// One row per workload.
+    pub rows: Vec<DeploymentRow>,
+}
+
+fn op_energy(model: &LatencyModel, op: Opcode) -> f64 {
+    if op == Opcode::Input {
+        0.0
+    } else {
+        E_FETCH + E_CYCLE * model.sw_cycles(op) as f64
+    }
+}
+
+fn analyse(app: &Application, model: &LatencyModel, sel: &IseSelection) -> (u64, u64, f64, f64) {
+    // Static instruction counts and dynamic energy, before.
+    let mut code_before = 0u64;
+    let mut energy_before = 0.0f64;
+    for block in app.blocks() {
+        code_before += block.operation_count() as u64;
+        let per_exec: f64 = block
+            .dag()
+            .nodes()
+            .map(|(_, op)| op_energy(model, op.opcode()))
+            .sum();
+        energy_before += block.frequency() as f64 * per_exec;
+    }
+    // Apply every instance.
+    let mut code_after = code_before;
+    let mut energy_after = energy_before;
+    for ise in &sel.ises {
+        let block = &app.blocks()[ise.block_index];
+        let k = ise.cut.nodes().len() as u64;
+        let sw_energy_of_cut: f64 = ise
+            .cut
+            .nodes()
+            .iter()
+            .map(|v| op_energy(model, block.opcode(v)))
+            .sum();
+        let hw_energy_of_cut: f64 = E_FETCH
+            + E_HW
+                * ise
+                    .cut
+                    .nodes()
+                    .iter()
+                    .map(|v| model.hw_delay(block.opcode(v)))
+                    .sum::<f64>();
+        for inst in &ise.instances {
+            let freq = app.blocks()[inst.block_index].frequency() as f64;
+            code_after -= k - 1;
+            energy_after -= freq * (sw_energy_of_cut - hw_energy_of_cut);
+        }
+    }
+    (code_before, code_after, energy_before, energy_after)
+}
+
+/// Runs ISEGEN (reuse on, I/O `(4,2)`, `N_ISE = 4`) on every workload
+/// and derives the deployment impact.
+pub fn run() -> DeploymentResult {
+    let model = LatencyModel::paper_default();
+    let config = IseConfig {
+        io: IoConstraints::new(4, 2),
+        max_ises: 4,
+        reuse_matching: true,
+    };
+    let rows = all_workloads()
+        .into_iter()
+        .map(|spec| {
+            let app = spec.application();
+            let sel = generate(&app, &model, &config, &SearchConfig::default());
+            let afu = AfuLibrary::from_selection(&app, &model, &sel)
+                .expect("driver cuts are always eligible");
+            let (code_before, code_after, energy_before, energy_after) =
+                analyse(&app, &model, &sel);
+            DeploymentRow {
+                benchmark: spec.name.to_string(),
+                speedup: sel.speedup(),
+                code_before,
+                code_after,
+                energy_before,
+                energy_after,
+                afu_gates: afu.total_gates(),
+            }
+        })
+        .collect();
+    DeploymentResult { rows }
+}
+
+impl DeploymentResult {
+    /// The deployment table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new([
+            "benchmark",
+            "speedup",
+            "code_before",
+            "code_after",
+            "code_red%",
+            "energy_red%",
+            "afu_gates",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.benchmark.clone(),
+                format!("{:.3}", r.speedup),
+                r.code_before.to_string(),
+                r.code_after.to_string(),
+                format!("{:.1}", r.code_reduction_pct()),
+                format!("{:.1}", r.energy_reduction_pct()),
+                format!("{:.0}", r.afu_gates),
+            ]);
+        }
+        format!(
+            "Deployment impact (paper future work): code size & energy, I/O (4,2), N_ISE = 4\n{t}"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reductions_are_positive_and_bounded() {
+        // single small workload to keep the test quick
+        let model = LatencyModel::paper_default();
+        let config = IseConfig {
+            io: IoConstraints::new(4, 2),
+            max_ises: 4,
+            reuse_matching: true,
+        };
+        let app = isegen_workloads::autcor00();
+        let sel = generate(&app, &model, &config, &SearchConfig::default());
+        let (cb, ca, eb, ea) = analyse(&app, &model, &sel);
+        assert!(ca < cb, "ISEs must shrink static code");
+        assert!(ca >= 1);
+        assert!(ea < eb, "ISEs must save energy");
+        assert!(ea > 0.0);
+    }
+
+    #[test]
+    fn row_percentages() {
+        let r = DeploymentRow {
+            benchmark: "x".into(),
+            speedup: 1.5,
+            code_before: 100,
+            code_after: 80,
+            energy_before: 1000.0,
+            energy_after: 600.0,
+            afu_gates: 1234.0,
+        };
+        assert!((r.code_reduction_pct() - 20.0).abs() < 1e-12);
+        assert!((r.energy_reduction_pct() - 40.0).abs() < 1e-12);
+    }
+}

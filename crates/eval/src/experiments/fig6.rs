@@ -1,0 +1,119 @@
+//! Figure 6: AES speedup under the I/O-constraint sweep
+//! `(2,1) … (8,4)`, for `N_ISE = 1` and `N_ISE = 4`, Genetic vs ISEGEN.
+//!
+//! Both algorithms deploy with reuse matching (one AFU covers every
+//! isomorphic instance of its cut), so the comparison isolates cut
+//! *quality*: ISEGEN's directionally-grown cuts align with AES's regular
+//! structure and recur often; the GA's stochastic cuts recur rarely —
+//! the paper's regularity-exploitation story.
+
+use crate::{run_algorithm, Algorithm, HarnessConfig, Table};
+use isegen_baselines::GeneticConfig;
+use isegen_core::{IoConstraints, SearchConfig};
+use isegen_ir::LatencyModel;
+use isegen_workloads::aes;
+
+/// One point of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Cell {
+    /// The I/O constraint.
+    pub io: IoConstraints,
+    /// Genetic speedup.
+    pub genetic: f64,
+    /// ISEGEN speedup.
+    pub isegen: f64,
+}
+
+/// Both plots of Figure 6.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// `N_ISE = 1` sweep (left plot).
+    pub n1: Vec<Fig6Cell>,
+    /// `N_ISE = 4` sweep (right plot).
+    pub n4: Vec<Fig6Cell>,
+}
+
+/// Runs the Figure 6 sweep.
+pub fn run(search: &SearchConfig, genetic: &GeneticConfig) -> Fig6Result {
+    let model = LatencyModel::paper_default();
+    let app = aes();
+    let sweep = |max_ises: usize| -> Vec<Fig6Cell> {
+        IoConstraints::AES_SWEEP
+            .iter()
+            .map(|&(i, o)| {
+                let io = IoConstraints::new(i, o);
+                let config = HarnessConfig {
+                    io,
+                    max_ises,
+                    reuse: true,
+                    search: search.clone(),
+                    genetic: *genetic,
+                    ..HarnessConfig::paper_default()
+                };
+                let g = run_algorithm(Algorithm::Genetic, &app, &model, &config);
+                let i = run_algorithm(Algorithm::Isegen, &app, &model, &config);
+                Fig6Cell {
+                    io,
+                    genetic: g.speedup.expect("genetic always completes"),
+                    isegen: i.speedup.expect("isegen always completes"),
+                }
+            })
+            .collect()
+    };
+    Fig6Result {
+        n1: sweep(1),
+        n4: sweep(4),
+    }
+}
+
+impl Fig6Result {
+    fn render_one(cells: &[Fig6Cell], n_ise: usize) -> Table {
+        let mut t = Table::new(["io", "Genetic", "ISEGEN"]);
+        for c in cells {
+            t.row([c.io.to_string(), format!("{:.3}", c.genetic), format!("{:.3}", c.isegen)]);
+        }
+        let _ = n_ise;
+        t
+    }
+
+    /// Both sweeps as one report.
+    pub fn render(&self) -> String {
+        format!(
+            "Figure 6 (left): AES speedup, N_ISE = 1\n{}\n\
+             Figure 6 (right): AES speedup, N_ISE = 4\n{}",
+            Self::render_one(&self.n1, 1),
+            Self::render_one(&self.n4, 4)
+        )
+    }
+
+    /// Mean ISEGEN-over-Genetic speedup advantage across all points (the
+    /// paper: "on average, ISEGEN obtains more speedup than the genetic
+    /// solution").
+    pub fn mean_isegen_advantage(&self) -> f64 {
+        let all: Vec<&Fig6Cell> = self.n1.iter().chain(&self.n4).collect();
+        let sum: f64 = all.iter().map(|c| c.isegen / c.genetic).sum();
+        sum / all.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_layout() {
+        let cell = Fig6Cell {
+            io: IoConstraints::new(4, 2),
+            genetic: 1.5,
+            isegen: 1.9,
+        };
+        let r = Fig6Result {
+            n1: vec![cell],
+            n4: vec![cell],
+        };
+        let text = r.render();
+        assert!(text.contains("(4,2)"));
+        assert!(text.contains("1.900"));
+        assert!((r.mean_isegen_advantage() - 1.9 / 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 7: reusability of ISEGEN's AES cuts — the number of matched
+//! instances of each generated cut (CUT1..CUT4) under every I/O
+//! constraint of the sweep.
+
+use crate::Table;
+use isegen_core::{generate, IoConstraints, IseConfig, SearchConfig};
+use isegen_ir::LatencyModel;
+use isegen_workloads::aes;
+
+/// Instance counts of the four cuts under one constraint.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// The I/O constraint.
+    pub io: IoConstraints,
+    /// Operation count of each generated cut, selection order.
+    pub cut_sizes: Vec<usize>,
+    /// Instances matched for each generated cut, selection order
+    /// (CUT1..CUT4; shorter when fewer ISEs were generated).
+    pub instances: Vec<usize>,
+}
+
+/// The whole figure.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// One row per I/O constraint of the paper's sweep.
+    pub rows: Vec<Fig7Row>,
+}
+
+/// Runs ISEGEN (reuse on, `N_ISE = 4`) on AES across the sweep and counts
+/// the instances of every generated cut.
+pub fn run(search: &SearchConfig) -> Fig7Result {
+    let model = LatencyModel::paper_default();
+    let app = aes();
+    let rows = IoConstraints::AES_SWEEP
+        .iter()
+        .map(|&(i, o)| {
+            let io = IoConstraints::new(i, o);
+            let config = IseConfig {
+                io,
+                max_ises: 4,
+                reuse_matching: true,
+            };
+            let sel = generate(&app, &model, &config, search);
+            Fig7Row {
+                io,
+                cut_sizes: sel.ises.iter().map(|i| i.cut.nodes().len()).collect(),
+                instances: sel.ises.iter().map(|i| i.instances.len()).collect(),
+            }
+        })
+        .collect();
+    Fig7Result { rows }
+}
+
+impl Fig7Result {
+    /// The figure's bar chart as a table: instances of CUT1..CUT4 per
+    /// constraint.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["io", "CUT1", "CUT2", "CUT3", "CUT4"]);
+        for row in &self.rows {
+            let mut cells = vec![row.io.to_string()];
+            for k in 0..4 {
+                cells.push(match (row.instances.get(k), row.cut_sizes.get(k)) {
+                    (Some(n), Some(sz)) => format!("{n} (|C|={sz})"),
+                    _ => "-".to_string(),
+                });
+            }
+            t.row(cells);
+        }
+        format!("Figure 7: Reusability of cuts in AES (instances per cut)\n{t}")
+    }
+
+    /// Total accelerated instances per constraint — the coverage signal
+    /// behind the Fig. 6 non-monotonicity discussion.
+    pub fn total_instances(&self) -> Vec<(IoConstraints, usize)> {
+        self.rows
+            .iter()
+            .map(|r| (r.io, r.instances.iter().sum()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_layout() {
+        let r = Fig7Result {
+            rows: vec![Fig7Row {
+                io: IoConstraints::new(2, 1),
+                cut_sizes: vec![19, 4],
+                instances: vec![24, 6],
+            }],
+        };
+        let text = r.render();
+        assert!(text.contains("(2,1)"));
+        assert!(text.contains("24 (|C|=19)"));
+        assert!(text.contains('-'));
+        assert_eq!(r.total_instances()[0].1, 30);
+    }
+}

@@ -1,0 +1,11 @@
+//! One module per paper artefact. Each exposes `run(...)` returning
+//! structured results plus a `render()` producing the figure's table.
+
+pub mod ablation;
+pub mod convergence;
+pub mod deployment;
+pub mod fig1;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod scaling;

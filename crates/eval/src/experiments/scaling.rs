@@ -1,0 +1,88 @@
+//! §4.2 complexity claim: ISEGEN's worst-case running time is O(n²) in
+//! the block size. This study times one bi-partition on random DFGs of
+//! growing size.
+
+use crate::Table;
+use isegen_core::{bipartition, BlockContext, IoConstraints, SearchConfig};
+use isegen_ir::LatencyModel;
+use isegen_workloads::{random_application, RandomWorkloadConfig};
+use std::time::{Duration, Instant};
+
+/// One measurement point.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Operations in the block.
+    pub nodes: usize,
+    /// Wall time of one full bi-partition.
+    pub runtime: Duration,
+}
+
+/// The scaling study.
+#[derive(Debug, Clone)]
+pub struct ScalingResult {
+    /// Measurements in ascending size.
+    pub points: Vec<ScalingPoint>,
+}
+
+/// Times one ISEGEN bi-partition per block size.
+pub fn run(sizes: &[usize]) -> ScalingResult {
+    let model = LatencyModel::paper_default();
+    let io = IoConstraints::new(4, 2);
+    let search = SearchConfig::default();
+    let points = sizes
+        .iter()
+        .map(|&nodes| {
+            let app = random_application(&RandomWorkloadConfig {
+                seed: nodes as u64,
+                blocks: 1,
+                ops_per_block: nodes,
+                ..RandomWorkloadConfig::default()
+            });
+            let block = &app.blocks()[0];
+            let ctx = BlockContext::new(block, &model);
+            let start = Instant::now();
+            let cut = bipartition(&ctx, io, &search, None);
+            let runtime = start.elapsed();
+            std::hint::black_box(cut);
+            ScalingPoint { nodes, runtime }
+        })
+        .collect();
+    ScalingResult { points }
+}
+
+impl ScalingResult {
+    /// Runtime per size, with the size-normalised growth exponent
+    /// between consecutive points (≈ 2 for quadratic behaviour).
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["nodes", "runtime_us", "growth_exponent"]);
+        for (i, p) in self.points.iter().enumerate() {
+            let exponent = if i == 0 {
+                "-".to_string()
+            } else {
+                let prev = &self.points[i - 1];
+                let dt = p.runtime.as_secs_f64() / prev.runtime.as_secs_f64().max(1e-12);
+                let dn = p.nodes as f64 / prev.nodes as f64;
+                format!("{:.2}", dt.ln() / dn.ln())
+            };
+            t.row([
+                p.nodes.to_string(),
+                p.runtime.as_micros().to_string(),
+                exponent,
+            ]);
+        }
+        format!("ISEGEN bi-partition runtime scaling (random DFGs)\n{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_requested_sizes() {
+        let result = run(&[20, 40]);
+        assert_eq!(result.points.len(), 2);
+        assert_eq!(result.points[0].nodes, 20);
+        assert!(result.render().contains("40"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Experiment harness regenerating every table and figure of the ISEGEN
+//! paper (Biswas et al., DATE 2005).
+//!
+//! One module per experiment, each with a `run()` returning structured
+//! results and a `render()` producing the text table the paper's figure
+//! plots. One binary per figure (`fig1`, `fig4`, `fig6`, `fig7`,
+//! `convergence`, `ablation`, `all_experiments`).
+//!
+//! | Paper artefact | Module | Binary |
+//! |---|---|---|
+//! | Fig. 1 (motivation: reuse beats size) | [`experiments::fig1`] | `fig1` |
+//! | Fig. 4 left (speedup, 7 benchmarks, 4 algorithms) | [`experiments::fig4`] | `fig4` |
+//! | Fig. 4 right (runtime, µs, log scale) | [`experiments::fig4`] | `fig4` |
+//! | Fig. 6 (AES speedup vs I/O constraints, N_ISE ∈ {1,4}) | [`experiments::fig6`] | `fig6` |
+//! | Fig. 7 (AES cut reusability) | [`experiments::fig7`] | `fig7` |
+//! | §4.1 "5 passes suffice" | [`experiments::convergence`] | `convergence` |
+//! | §4.2 gain-component value | [`experiments::ablation`] | `ablation` |
+//! | §6 future work (code size / energy / AFU area) | [`experiments::deployment`] | `deployment` |
+//!
+//! [`simulate`] additionally validates the analytic speedup model by
+//! counting cycles operationally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod runner;
+pub mod simulate;
+mod table;
+
+pub use runner::{run_algorithm, Algorithm, HarnessConfig, RunOutcome};
+pub use table::Table;

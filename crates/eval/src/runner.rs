@@ -1,0 +1,196 @@
+use isegen_baselines::{
+    run_exact, run_genetic, run_iterative, ExactConfig, GeneticConfig,
+};
+use isegen_core::{generate, IoConstraints, IseConfig, IseSelection, SearchConfig};
+use isegen_ir::{Application, LatencyModel};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The four algorithms of the paper's comparison (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Exact multiple-cut identification (exhaustive, jointly optimal).
+    Exact,
+    /// Iterative exact single-cut identification.
+    Iterative,
+    /// Genetic formulation (DAC 2004).
+    Genetic,
+    /// ISEGEN (this paper).
+    Isegen,
+}
+
+impl Algorithm {
+    /// All four, in the paper's legend order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Exact,
+        Algorithm::Iterative,
+        Algorithm::Genetic,
+        Algorithm::Isegen,
+    ];
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Algorithm::Exact => "Exact",
+            Algorithm::Iterative => "Iterative",
+            Algorithm::Genetic => "Genetic",
+            Algorithm::Isegen => "ISEGEN",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Shared configuration for a harness run.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Port budget per ISE.
+    pub io: IoConstraints,
+    /// AFU budget (`N_ISE`).
+    pub max_ises: usize,
+    /// Deployment model: when `true`, every generated ISE covers all of
+    /// its node-disjoint isomorphic instances (one AFU, many sites). The
+    /// paper's Fig. 4 comparison is pure cut quality (off); the AES study
+    /// (Fig. 6/7) deploys with reuse (on) — where ISEGEN's aligned,
+    /// regular cuts recur far more often than the genetic baseline's.
+    /// Applied to ISEGEN, Genetic and Iterative alike; the exact
+    /// multiple-cut baseline always deploys one AFU per cut.
+    pub reuse: bool,
+    /// ISEGEN search knobs.
+    pub search: SearchConfig,
+    /// Budgets of the exhaustive baselines.
+    pub exact: ExactConfig,
+    /// Genetic baseline parameters.
+    pub genetic: GeneticConfig,
+}
+
+impl HarnessConfig {
+    /// The paper's headline configuration: I/O `(4,2)`, `N_ISE = 4`.
+    pub fn paper_default() -> Self {
+        HarnessConfig {
+            io: IoConstraints::new(4, 2),
+            max_ises: 4,
+            reuse: false,
+            search: SearchConfig::default(),
+            exact: ExactConfig::default(),
+            genetic: GeneticConfig::default(),
+        }
+    }
+
+    fn ise_config(&self) -> IseConfig {
+        IseConfig {
+            io: self.io,
+            max_ises: self.max_ises,
+            reuse_matching: self.reuse,
+        }
+    }
+}
+
+/// Result of one algorithm run on one application.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Whole-application speedup, `None` when the algorithm could not
+    /// complete (exhaustive baselines on large blocks).
+    pub speedup: Option<f64>,
+    /// Wall-clock time of the run.
+    pub runtime: Duration,
+    /// The full selection, when the run completed.
+    pub selection: Option<IseSelection>,
+    /// Failure note (e.g. "block has 696 searchable nodes...").
+    pub note: Option<String>,
+}
+
+impl RunOutcome {
+    /// `"x.xxx"` or `"DNF"` for figures.
+    pub fn speedup_cell(&self) -> String {
+        match self.speedup {
+            Some(s) => format!("{s:.3}"),
+            None => "DNF".to_string(),
+        }
+    }
+
+    /// Runtime in microseconds (the paper's Fig. 4 unit).
+    pub fn runtime_us(&self) -> u128 {
+        self.runtime.as_micros()
+    }
+}
+
+/// Runs `algorithm` on `app` under `config`, timing the wall clock.
+pub fn run_algorithm(
+    algorithm: Algorithm,
+    app: &Application,
+    model: &LatencyModel,
+    config: &HarnessConfig,
+) -> RunOutcome {
+    let start = Instant::now();
+    let ise_config = config.ise_config();
+    let (selection, note) = match algorithm {
+        Algorithm::Exact => match run_exact(app, model, &ise_config, &config.exact) {
+            Ok(sel) => (Some(sel), None),
+            Err(e) => (None, Some(e.to_string())),
+        },
+        Algorithm::Iterative => {
+            match run_iterative(app, model, &ise_config, &config.exact) {
+                Ok(sel) => (Some(sel), None),
+                Err(e) => (None, Some(e.to_string())),
+            }
+        }
+        Algorithm::Genetic => (
+            Some(run_genetic(app, model, &ise_config, &config.genetic)),
+            None,
+        ),
+        Algorithm::Isegen => (
+            Some(generate(app, model, &ise_config, &config.search)),
+            None,
+        ),
+    };
+    let runtime = start.elapsed();
+    RunOutcome {
+        algorithm,
+        speedup: selection.as_ref().map(|s| s.speedup()),
+        runtime,
+        selection,
+        note,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isegen_workloads::conven00;
+
+    #[test]
+    fn all_four_complete_on_a_small_benchmark() {
+        let app = conven00();
+        let model = LatencyModel::paper_default();
+        let config = HarnessConfig::paper_default();
+        for alg in Algorithm::ALL {
+            let out = run_algorithm(alg, &app, &model, &config);
+            assert!(out.speedup.is_some(), "{alg} failed: {:?}", out.note);
+            assert!(out.speedup.unwrap() >= 1.0);
+            assert!(out.runtime_us() > 0 || out.runtime.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn isegen_matches_exact_on_conven00() {
+        let app = conven00();
+        let model = LatencyModel::paper_default();
+        let config = HarnessConfig::paper_default();
+        let exact = run_algorithm(Algorithm::Exact, &app, &model, &config);
+        let isegen = run_algorithm(Algorithm::Isegen, &app, &model, &config);
+        let (se, si) = (exact.speedup.unwrap(), isegen.speedup.unwrap());
+        assert!(
+            si >= se * 0.999,
+            "ISEGEN {si} noticeably below exact {se} on a 6-node block"
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Algorithm::Isegen.to_string(), "ISEGEN");
+        assert_eq!(Algorithm::Exact.to_string(), "Exact");
+    }
+}

@@ -1,0 +1,133 @@
+//! Cycle-level execution simulation: validates the analytic speedup
+//! model by *running* the application, block execution by block
+//! execution, and counting cycles with and without the generated ISEs.
+//!
+//! The analytic model (paper §5) computes
+//! `S = Λ_sw / (Λ_sw − Σ freq·saved)`. This simulator re-derives both
+//! sides operationally: every block execution issues its operations on
+//! the single-issue core (software latency each), except that operations
+//! claimed by an ISE instance issue once per instance as a single AFU
+//! instruction of `ceil(λ_hw)` cycles. The two must agree exactly —
+//! a regression brake on both the model and the driver's bookkeeping.
+
+use isegen_core::IseSelection;
+use isegen_ir::{Application, LatencyModel, Opcode};
+
+/// Cycle counts of one simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimReport {
+    /// Total cycles without any ISE.
+    pub cycles_software: u64,
+    /// Total cycles with the selection's ISEs deployed.
+    pub cycles_accelerated: u64,
+}
+
+impl SimReport {
+    /// The simulated speedup.
+    pub fn speedup(&self) -> f64 {
+        if self.cycles_accelerated == 0 {
+            return 1.0;
+        }
+        self.cycles_software as f64 / self.cycles_accelerated as f64
+    }
+}
+
+/// Simulates `app` running `frequency(b)` executions of every block,
+/// with and without `selection`'s ISEs.
+pub fn simulate(app: &Application, model: &LatencyModel, selection: &IseSelection) -> SimReport {
+    // Per block: which nodes are covered by some instance, and the AFU
+    // issue cost charged per block execution for each instance.
+    let mut covered: Vec<Vec<bool>> = app
+        .blocks()
+        .iter()
+        .map(|b| vec![false; b.dag().node_count()])
+        .collect();
+    let mut afu_cycles_per_exec: Vec<u64> = vec![0; app.blocks().len()];
+    for ise in &selection.ises {
+        let afu_cost = {
+            // the instruction occupies whole cycles: ceil(λ_hw), min 1
+            let hw = ise.cut.hardware_latency();
+            (hw.ceil() as u64).max(1)
+        };
+        for inst in &ise.instances {
+            for v in inst.nodes.iter() {
+                covered[inst.block_index][v.index()] = true;
+            }
+            afu_cycles_per_exec[inst.block_index] += afu_cost;
+        }
+    }
+
+    let mut cycles_software = 0u64;
+    let mut cycles_accelerated = 0u64;
+    for (bi, block) in app.blocks().iter().enumerate() {
+        let mut sw_per_exec = 0u64;
+        let mut residual = 0u64; // residual software ops when accelerated
+        for (id, op) in block.dag().nodes() {
+            if op.opcode() == Opcode::Input {
+                continue;
+            }
+            let cost = model.sw_cycles(op.opcode()) as u64;
+            sw_per_exec += cost;
+            if !covered[bi][id.index()] {
+                residual += cost;
+            }
+        }
+        let acc_per_exec = residual + afu_cycles_per_exec[bi];
+        cycles_software += block.frequency() * sw_per_exec;
+        cycles_accelerated += block.frequency() * acc_per_exec;
+    }
+    SimReport {
+        cycles_software,
+        cycles_accelerated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isegen_core::{generate, IoConstraints, IseConfig, SearchConfig};
+    use isegen_workloads::{autcor00, fbital00, viterb00};
+
+    #[test]
+    fn simulation_agrees_with_the_analytic_model() {
+        let model = LatencyModel::paper_default();
+        for app in [autcor00(), fbital00(), viterb00()] {
+            for reuse in [false, true] {
+                let config = IseConfig {
+                    io: IoConstraints::new(4, 2),
+                    max_ises: 4,
+                    reuse_matching: reuse,
+                };
+                let sel = generate(&app, &model, &config, &SearchConfig::default());
+                let sim = simulate(&app, &model, &sel);
+                assert_eq!(
+                    sim.cycles_software,
+                    sel.total_sw_cycles,
+                    "{}: software cycle disagreement",
+                    app.name()
+                );
+                let analytic = sel.speedup();
+                let simulated = sim.speedup();
+                assert!(
+                    (analytic - simulated).abs() < 1e-9,
+                    "{} (reuse {reuse}): analytic {analytic} vs simulated {simulated}",
+                    app.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_selection_is_neutral() {
+        let model = LatencyModel::paper_default();
+        let app = autcor00();
+        let sel = IseSelection {
+            ises: Vec::new(),
+            total_sw_cycles: app.total_software_latency(&model),
+            saved_cycles: 0,
+        };
+        let sim = simulate(&app, &model, &sel);
+        assert_eq!(sim.cycles_software, sim.cycles_accelerated);
+        assert_eq!(sim.speedup(), 1.0);
+    }
+}

@@ -1,0 +1,434 @@
+use crate::NodeId;
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A dense bitset over the node ids of one graph.
+///
+/// `NodeSet` is the workhorse of the ISE algorithms: cuts, marks, barrier
+/// masks and reachability rows are all `NodeSet`s, so set algebra
+/// (union/intersection/difference) runs word-parallel. The capacity is fixed
+/// at construction to the node count of the graph the set indexes into.
+///
+/// ```
+/// use isegen_graph::{NodeSet, NodeId};
+///
+/// let mut set = NodeSet::new(100);
+/// set.insert(NodeId::from_index(3));
+/// set.insert(NodeId::from_index(64));
+/// assert_eq!(set.len(), 2);
+/// assert!(set.contains(NodeId::from_index(3)));
+/// let ids: Vec<usize> = set.iter().map(|n| n.index()).collect();
+/// assert_eq!(ids, vec![3, 64]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set able to hold node indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        NodeSet {
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Creates a set containing every node index in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut set = NodeSet::new(capacity);
+        for w in set.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        set.mask_tail();
+        set.len = capacity;
+        set
+    }
+
+    /// Builds a set of the given capacity from an iterator of node ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of bounds for `capacity`.
+    pub fn from_ids<I: IntoIterator<Item = NodeId>>(capacity: usize, ids: I) -> Self {
+        let mut set = NodeSet::new(capacity);
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+
+    /// Number of node indices this set can hold (`0..capacity`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of nodes currently in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the set contains no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn check(&self, id: NodeId) {
+        assert!(
+            id.index() < self.capacity,
+            "node {id} out of bounds for NodeSet of capacity {}",
+            self.capacity
+        );
+    }
+
+    /// Inserts a node; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds for this set's capacity.
+    #[inline]
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        self.check(id);
+        let (w, b) = (id.index() / WORD_BITS, id.index() % WORD_BITS);
+        let mask = 1u64 << b;
+        let was_absent = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        self.len += was_absent as usize;
+        was_absent
+    }
+
+    /// Removes a node; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds for this set's capacity.
+    #[inline]
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        self.check(id);
+        let (w, b) = (id.index() / WORD_BITS, id.index() % WORD_BITS);
+        let mask = 1u64 << b;
+        let was_present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        self.len -= was_present as usize;
+        was_present
+    }
+
+    /// Toggles membership of a node; returns `true` if it is now present.
+    #[inline]
+    pub fn toggle(&mut self, id: NodeId) -> bool {
+        if self.contains(id) {
+            self.remove(id);
+            false
+        } else {
+            self.insert(id);
+            true
+        }
+    }
+
+    /// Tests membership.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        let idx = id.index();
+        if idx >= self.capacity {
+            return false;
+        }
+        self.words[idx / WORD_BITS] & (1u64 << (idx % WORD_BITS)) != 0
+    }
+
+    /// Removes every node from the set.
+    pub fn clear(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = 0;
+        }
+        self.len = 0;
+    }
+
+    /// In-place union: `self ← self ∪ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        self.check_same(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+        self.recount();
+    }
+
+    /// In-place intersection: `self ← self ∩ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        self.check_same(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+        self.recount();
+    }
+
+    /// In-place difference: `self ← self \ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn subtract(&mut self, other: &NodeSet) {
+        self.check_same(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+        self.recount();
+    }
+
+    /// Returns `true` when the two sets share no node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        self.check_same(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Returns `true` when every node of `self` is also in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        self.check_same(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Number of nodes in `self ∩ other` without materialising the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn intersection_len(&self, other: &NodeSet) -> usize {
+        self.check_same(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// The smallest node id in the set, if any.
+    pub fn first(&self) -> Option<NodeId> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(NodeId::from_index(wi * WORD_BITS + w.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Iterates the node ids in the set in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    fn check_same(&self, other: &NodeSet) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "NodeSet capacity mismatch: {} vs {}",
+            self.capacity, other.capacity
+        );
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.capacity % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    fn recount(&mut self) {
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = NodeId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<T: IntoIterator<Item = NodeId>>(&mut self, iter: T) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+/// Iterator over the node ids of a [`NodeSet`], produced by
+/// [`NodeSet::iter`].
+pub struct Iter<'a> {
+    set: &'a NodeSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(NodeId::from_index(self.word_idx * WORD_BITS + bit));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = NodeSet::new(130);
+        assert!(s.insert(id(0)));
+        assert!(!s.insert(id(0)));
+        assert!(s.insert(id(129)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(id(0)));
+        assert!(s.contains(id(129)));
+        assert!(!s.contains(id(64)));
+        assert!(s.remove(id(0)));
+        assert!(!s.remove(id(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn toggle_flips_membership() {
+        let mut s = NodeSet::new(8);
+        assert!(s.toggle(id(3)));
+        assert!(s.contains(id(3)));
+        assert!(!s.toggle(id(3)));
+        assert!(!s.contains(id(3)));
+    }
+
+    #[test]
+    fn full_masks_tail_bits() {
+        let s = NodeSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert_eq!(s.iter().count(), 70);
+        assert!(s.contains(id(69)));
+        assert!(!s.contains(id(70)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = NodeSet::from_ids(10, [id(1), id(2), id(3)]);
+        let b = NodeSet::from_ids(10, [id(3), id(4)]);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u, NodeSet::from_ids(10, [id(1), id(2), id(3), id(4)]));
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i, NodeSet::from_ids(10, [id(3)]));
+
+        let mut d = a.clone();
+        d.subtract(&b);
+        assert_eq!(d, NodeSet::from_ids(10, [id(1), id(2)]));
+
+        assert_eq!(a.intersection_len(&b), 1);
+        assert!(!a.is_disjoint(&b));
+        assert!(i.is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let a = NodeSet::from_ids(200, [id(0), id(100)]);
+        let b = NodeSet::from_ids(200, [id(1), id(199)]);
+        assert!(a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn iter_in_order_across_words() {
+        let ids = [id(0), id(63), id(64), id(65), id(127), id(128)];
+        let s = NodeSet::from_ids(200, ids);
+        let collected: Vec<NodeId> = s.iter().collect();
+        assert_eq!(collected, ids);
+    }
+
+    #[test]
+    fn first_and_empty() {
+        let mut s = NodeSet::new(100);
+        assert!(s.is_empty());
+        assert_eq!(s.first(), None);
+        s.insert(id(77));
+        s.insert(id(80));
+        assert_eq!(s.first(), Some(id(77)));
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = NodeSet::new(4);
+        assert!(!s.contains(id(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_out_of_range_panics() {
+        let mut s = NodeSet::new(4);
+        s.insert(id(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn algebra_capacity_mismatch_panics() {
+        let mut a = NodeSet::new(4);
+        let b = NodeSet::new(5);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn extend_collects() {
+        let mut s = NodeSet::new(10);
+        s.extend([id(1), id(2)]);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Connected components of a cut-induced subgraph.
+//!
+//! ISEGEN deliberately allows a cut to be a union of **independent
+//! subgraphs** (paper §3, §4.2 "Independent Cuts"); the gain function needs
+//! to know, for every hardware node, which connected component it belongs
+//! to and how valuable the *other* components are.
+
+use crate::{Dag, NodeId, NodeSet};
+
+/// Component labelling of the subgraph induced by a cut.
+///
+/// Edges are considered undirected for the purpose of connectivity, as in
+/// the paper's notion of "independently connected subgraphs".
+///
+/// ```
+/// use isegen_graph::{Dag, NodeSet, components::Components};
+///
+/// # fn main() -> Result<(), isegen_graph::GraphError> {
+/// let mut dag: Dag<()> = Dag::new();
+/// let a = dag.add_node(());
+/// let b = dag.add_node(());
+/// let c = dag.add_node(());
+/// dag.add_edge(a, b)?;
+/// // c is isolated from {a, b}
+/// let cut = NodeSet::from_ids(3, [a, b, c]);
+/// let comps = Components::within(&dag, &cut);
+/// assert_eq!(comps.count(), 2);
+/// assert_eq!(comps.component_of(a), comps.component_of(b));
+/// assert_ne!(comps.component_of(a), comps.component_of(c));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component index per node; `u32::MAX` for nodes outside the cut.
+    label: Vec<u32>,
+    count: usize,
+}
+
+/// Sentinel label for nodes outside the cut.
+pub const OUTSIDE: u32 = u32::MAX;
+
+impl Components {
+    /// Labels the connected components of the subgraph induced by `cut`.
+    ///
+    /// O(V + E) via breadth-first search over cut-internal edges in both
+    /// directions.
+    pub fn within<N>(dag: &Dag<N>, cut: &NodeSet) -> Self {
+        let n = dag.node_count();
+        let mut label = vec![OUTSIDE; n];
+        let mut count = 0usize;
+        let mut queue: Vec<NodeId> = Vec::new();
+        for start in cut.iter() {
+            if label[start.index()] != OUTSIDE {
+                continue;
+            }
+            let comp = count as u32;
+            count += 1;
+            label[start.index()] = comp;
+            queue.clear();
+            queue.push(start);
+            while let Some(v) = queue.pop() {
+                for &w in dag.preds(v).iter().chain(dag.succs(v)) {
+                    if cut.contains(w) && label[w.index()] == OUTSIDE {
+                        label[w.index()] = comp;
+                        queue.push(w);
+                    }
+                }
+            }
+        }
+        Components { label, count }
+    }
+
+    /// Number of connected components in the cut.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component index of `node`, or [`OUTSIDE`] if it is not in the cut.
+    #[inline]
+    pub fn component_of(&self, node: NodeId) -> u32 {
+        self.label[node.index()]
+    }
+
+    /// Collects the members of every component.
+    pub fn members(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (i, &l) in self.label.iter().enumerate() {
+            if l != OUTSIDE {
+                out[l as usize].push(NodeId::from_index(i));
+            }
+        }
+        out
+    }
+
+    /// The members of every component as [`NodeSet`]s of capacity
+    /// `capacity` (the graph's node count).
+    pub fn member_sets(&self, capacity: usize) -> Vec<NodeSet> {
+        let mut out = vec![NodeSet::new(capacity); self.count];
+        for (i, &l) in self.label.iter().enumerate() {
+            if l != OUTSIDE {
+                out[l as usize].insert(NodeId::from_index(i));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cut_has_no_components() {
+        let mut d: Dag<()> = Dag::new();
+        d.add_node(());
+        let comps = Components::within(&d, &NodeSet::new(1));
+        assert_eq!(comps.count(), 0);
+        assert_eq!(comps.component_of(NodeId::from_index(0)), OUTSIDE);
+    }
+
+    #[test]
+    fn connectivity_ignores_direction() {
+        // a -> c <- b : a and b are connected through c when all are in cut.
+        let mut d: Dag<()> = Dag::new();
+        let a = d.add_node(());
+        let b = d.add_node(());
+        let c = d.add_node(());
+        d.add_edge(a, c).unwrap();
+        d.add_edge(b, c).unwrap();
+        let comps = Components::within(&d, &NodeSet::full(3));
+        assert_eq!(comps.count(), 1);
+    }
+
+    #[test]
+    fn outside_nodes_split_components() {
+        // chain a-b-c; cut {a, c} has two components (b outside).
+        let mut d: Dag<()> = Dag::new();
+        let a = d.add_node(());
+        let b = d.add_node(());
+        let c = d.add_node(());
+        d.add_edge(a, b).unwrap();
+        d.add_edge(b, c).unwrap();
+        let cut = NodeSet::from_ids(3, [a, c]);
+        let comps = Components::within(&d, &cut);
+        assert_eq!(comps.count(), 2);
+        let members = comps.members();
+        assert_eq!(members.len(), 2);
+        assert_eq!(members[0], vec![a]);
+        assert_eq!(members[1], vec![c]);
+        let sets = comps.member_sets(3);
+        assert!(sets[0].contains(a) && sets[1].contains(c));
+    }
+}

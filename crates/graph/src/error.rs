@@ -1,0 +1,87 @@
+use crate::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph mutation.
+///
+/// ```
+/// use isegen_graph::{Dag, GraphError};
+///
+/// let mut dag: Dag<()> = Dag::new();
+/// let a = dag.add_node(());
+/// let b = dag.add_node(());
+/// dag.add_edge(a, b).unwrap();
+/// assert!(matches!(dag.add_edge(b, a), Err(GraphError::WouldCycle { .. })));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// Adding the edge would create a directed cycle.
+    WouldCycle {
+        /// Source endpoint of the rejected edge.
+        src: NodeId,
+        /// Destination endpoint of the rejected edge.
+        dst: NodeId,
+    },
+    /// A node id does not belong to the graph.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A self-loop (edge from a node to itself) was requested.
+    SelfLoop {
+        /// The node for which the self-loop was requested.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::WouldCycle { src, dst } => {
+                write!(f, "edge {src} -> {dst} would create a cycle")
+            }
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed in a dag")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::WouldCycle {
+            src: NodeId::from_index(1),
+            dst: NodeId::from_index(2),
+        };
+        assert_eq!(e.to_string(), "edge n1 -> n2 would create a cycle");
+
+        let e = GraphError::NodeOutOfBounds {
+            node: NodeId::from_index(9),
+            node_count: 3,
+        };
+        assert_eq!(e.to_string(), "node n9 out of bounds for graph with 3 nodes");
+
+        let e = GraphError::SelfLoop {
+            node: NodeId::from_index(0),
+        };
+        assert_eq!(e.to_string(), "self-loop on node n0 is not allowed in a dag");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,72 @@
+//! Directed-acyclic-graph substrate for instruction-set-extension (ISE)
+//! identification.
+//!
+//! This crate provides the graph machinery the ISEGEN algorithm (Biswas et
+//! al., DATE 2005) and its baselines are built on:
+//!
+//! * [`Dag`] — a compact adjacency-list DAG with cycle-checked edge
+//!   insertion and parallel-edge support (an operation may consume the same
+//!   value twice, e.g. `x * x`).
+//! * [`NodeSet`] — a dense bitset over node ids; cuts, marks and masks are
+//!   all `NodeSet`s so the hot loops of the toggle engine are word-parallel.
+//! * [`TopoOrder`] — cached topological order and ranks.
+//! * [`Reachability`] — per-node ancestor/descendant bitsets (transitive
+//!   closure) enabling O(n/64) convexity tests.
+//! * [`convex`] — the architectural-feasibility test of the paper
+//!   (a cut is *convex* when no path leaves and re-enters it).
+//! * [`components`] — connected components of a cut-induced subgraph
+//!   (ISEGEN explicitly supports disconnected cuts).
+//! * [`path`] — critical-path and barrier-distance computations used by the
+//!   merit function and the directional-growth gain component.
+//! * [`gen`] — layered random DAG generation for property tests and scaling
+//!   benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use isegen_graph::{Dag, NodeSet, TopoOrder, Reachability, convex};
+//!
+//! # fn main() -> Result<(), isegen_graph::GraphError> {
+//! let mut dag: Dag<&str> = Dag::new();
+//! let a = dag.add_node("a");
+//! let b = dag.add_node("b");
+//! let c = dag.add_node("c");
+//! dag.add_edge(a, b)?;
+//! dag.add_edge(b, c)?;
+//!
+//! let topo = TopoOrder::new(&dag);
+//! let reach = Reachability::new(&dag, &topo);
+//!
+//! // {a, c} is not convex: the path a -> b -> c escapes through b.
+//! let mut cut = NodeSet::new(dag.node_count());
+//! cut.insert(a);
+//! cut.insert(c);
+//! assert!(!convex::is_convex(&reach, &cut));
+//! cut.insert(b);
+//! assert!(convex::is_convex(&reach, &cut));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod dag;
+mod error;
+mod node;
+mod topo;
+
+pub mod components;
+pub mod convex;
+pub mod dot;
+pub mod gen;
+pub mod path;
+mod reach;
+
+pub use bitset::NodeSet;
+pub use dag::Dag;
+pub use error::GraphError;
+pub use node::NodeId;
+pub use reach::Reachability;
+pub use topo::TopoOrder;

@@ -1,0 +1,87 @@
+use std::fmt;
+
+/// Identifier of a node inside a [`Dag`](crate::Dag).
+///
+/// Node ids are dense indices assigned in insertion order, which lets every
+/// per-node attribute live in a plain `Vec` and every node set in a
+/// [`NodeSet`](crate::NodeSet) bitset.
+///
+/// ```
+/// use isegen_graph::Dag;
+///
+/// let mut dag: Dag<()> = Dag::new();
+/// let n = dag.add_node(());
+/// assert_eq!(n.index(), 0);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    ///
+    /// Mostly useful when reconstructing ids from serialized data or dense
+    /// per-node tables; ids handed out by [`Dag::add_node`](crate::Dag::add_node)
+    /// should be preferred.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let id = NodeId::from_index(7);
+        assert_eq!(format!("{id}"), "n7");
+        assert_eq!(format!("{id:?}"), "n7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32::MAX")]
+    fn oversized_index_panics() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,130 @@
+use crate::{Dag, NodeId, NodeSet, TopoOrder};
+
+/// Transitive closure of a [`Dag`]: per-node ancestor and descendant
+/// bitsets.
+///
+/// Built once per basic block in O(V·E/64); afterwards convexity tests and
+/// "is there a path" queries are O(n/64) and O(1) respectively. This is the
+/// data structure behind the paper's fast convexity-violation checks
+/// (§4.3).
+///
+/// ```
+/// use isegen_graph::{Dag, TopoOrder, Reachability};
+///
+/// # fn main() -> Result<(), isegen_graph::GraphError> {
+/// let mut dag: Dag<()> = Dag::new();
+/// let a = dag.add_node(());
+/// let b = dag.add_node(());
+/// let c = dag.add_node(());
+/// dag.add_edge(a, b)?;
+/// dag.add_edge(b, c)?;
+/// let reach = Reachability::new(&dag, &TopoOrder::new(&dag));
+/// assert!(reach.reaches(a, c));
+/// assert!(!reach.reaches(c, a));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    desc: Vec<NodeSet>,
+    anc: Vec<NodeSet>,
+}
+
+impl Reachability {
+    /// Computes the transitive closure of `dag` using `topo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` was not computed from `dag`.
+    pub fn new<N>(dag: &Dag<N>, topo: &TopoOrder) -> Self {
+        let n = dag.node_count();
+        assert_eq!(topo.len(), n, "topological order does not match graph");
+        let mut desc = vec![NodeSet::new(n); n];
+        // Reverse topological order: descendants of v = succs ∪ their descendants.
+        for &v in topo.order().iter().rev() {
+            let mut set = NodeSet::new(n);
+            for &s in dag.succs(v) {
+                set.insert(s);
+                // Clone-free union: split_at_mut not possible across Vec<NodeSet>
+                // of different indices cheaply; use a scratch borrow instead.
+                let succ_desc = desc[s.index()].clone();
+                set.union_with(&succ_desc);
+            }
+            desc[v.index()] = set;
+        }
+        let mut anc = vec![NodeSet::new(n); n];
+        for &v in topo.order() {
+            let mut set = NodeSet::new(n);
+            for &p in dag.preds(v) {
+                set.insert(p);
+                let pred_anc = anc[p.index()].clone();
+                set.union_with(&pred_anc);
+            }
+            anc[v.index()] = set;
+        }
+        Reachability { desc, anc }
+    }
+
+    /// Strict descendants of `v` (excluding `v`).
+    #[inline]
+    pub fn descendants(&self, v: NodeId) -> &NodeSet {
+        &self.desc[v.index()]
+    }
+
+    /// Strict ancestors of `v` (excluding `v`).
+    #[inline]
+    pub fn ancestors(&self, v: NodeId) -> &NodeSet {
+        &self.anc[v.index()]
+    }
+
+    /// Returns `true` when a path of one or more edges `from ⇝ to` exists.
+    #[inline]
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.desc[from.index()].contains(to)
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.desc.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_closure() {
+        let mut d: Dag<()> = Dag::new();
+        let a = d.add_node(());
+        let b = d.add_node(());
+        let c = d.add_node(());
+        let e = d.add_node(());
+        d.add_edge(a, b).unwrap();
+        d.add_edge(a, c).unwrap();
+        d.add_edge(b, e).unwrap();
+        d.add_edge(c, e).unwrap();
+        let r = Reachability::new(&d, &TopoOrder::new(&d));
+        assert!(r.reaches(a, e));
+        assert!(r.reaches(a, b));
+        assert!(!r.reaches(b, c));
+        assert!(!r.reaches(e, a));
+        assert!(!r.reaches(a, a), "strict closure excludes self");
+        assert_eq!(r.descendants(a).len(), 3);
+        assert_eq!(r.ancestors(e).len(), 3);
+        assert_eq!(r.ancestors(a).len(), 0);
+    }
+
+    #[test]
+    fn matches_dfs_on_parallel_edges() {
+        let mut d: Dag<()> = Dag::new();
+        let a = d.add_node(());
+        let b = d.add_node(());
+        d.add_edge(a, b).unwrap();
+        d.add_edge(a, b).unwrap();
+        let r = Reachability::new(&d, &TopoOrder::new(&d));
+        assert!(r.reaches(a, b));
+        assert_eq!(r.descendants(a).len(), 1);
+    }
+}

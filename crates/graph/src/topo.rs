@@ -1,0 +1,140 @@
+use crate::{Dag, NodeId};
+
+/// A topological order of a [`Dag`], with O(1) rank lookup.
+///
+/// ```
+/// use isegen_graph::{Dag, TopoOrder};
+///
+/// # fn main() -> Result<(), isegen_graph::GraphError> {
+/// let mut dag: Dag<()> = Dag::new();
+/// let a = dag.add_node(());
+/// let b = dag.add_node(());
+/// dag.add_edge(a, b)?;
+/// let topo = TopoOrder::new(&dag);
+/// assert!(topo.rank(a) < topo.rank(b));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoOrder {
+    order: Vec<NodeId>,
+    rank: Vec<u32>,
+}
+
+impl TopoOrder {
+    /// Computes a topological order with Kahn's algorithm.
+    ///
+    /// Ties are broken by node index, so the order is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains a cycle (possible only after
+    /// [`Dag::add_edge_assume_acyclic`] misuse).
+    pub fn new<N>(dag: &Dag<N>) -> Self {
+        let n = dag.node_count();
+        let mut indeg: Vec<usize> = (0..n).map(|i| dag.in_degree(NodeId::from_index(i))).collect();
+        // BinaryHeap would give smallest-index-first; a simple bucket queue
+        // scanning forward is O(V+E) because ids only ever decrease locally.
+        let mut ready: Vec<NodeId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(NodeId::from_index)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut rank = vec![0u32; n];
+        let mut head = 0;
+        while head < ready.len() {
+            let v = ready[head];
+            head += 1;
+            rank[v.index()] = order.len() as u32;
+            order.push(v);
+            for &s in dag.succs(v) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "graph contains a cycle");
+        TopoOrder { order, rank }
+    }
+
+    /// The nodes in topological order.
+    #[inline]
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The position of `node` in the topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[inline]
+    pub fn rank(&self, node: NodeId) -> u32 {
+        self.rank[node.index()]
+    }
+
+    /// Number of nodes covered by this order.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` for the order of an empty graph.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_edges() {
+        let mut d: Dag<()> = Dag::new();
+        let n: Vec<NodeId> = (0..5).map(|_| d.add_node(())).collect();
+        d.add_edge(n[3], n[1]).unwrap();
+        d.add_edge(n[1], n[0]).unwrap();
+        d.add_edge(n[4], n[0]).unwrap();
+        d.add_edge(n[3], n[2]).unwrap();
+        let topo = TopoOrder::new(&d);
+        assert_eq!(topo.len(), 5);
+        for (src, dst) in d.edges() {
+            assert!(topo.rank(src) < topo.rank(dst), "{src} before {dst}");
+        }
+        // order()[rank(v)] == v
+        for v in d.node_ids() {
+            assert_eq!(topo.order()[topo.rank(v) as usize], v);
+        }
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut d: Dag<()> = Dag::new();
+        let a = d.add_node(());
+        let b = d.add_node(());
+        let c = d.add_node(());
+        let topo = TopoOrder::new(&d);
+        assert_eq!(topo.order(), &[a, b, c]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d: Dag<()> = Dag::new();
+        let topo = TopoOrder::new(&d);
+        assert!(topo.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detected() {
+        let mut d: Dag<()> = Dag::new();
+        let a = d.add_node(());
+        let b = d.add_node(());
+        d.add_edge_assume_acyclic(a, b);
+        d.add_edge_assume_acyclic(b, a); // invariant violation on purpose
+        let _ = TopoOrder::new(&d);
+    }
+}

@@ -1,0 +1,116 @@
+use crate::{BasicBlock, LatencyModel};
+
+/// An application: a named collection of basic blocks with execution
+/// frequencies.
+///
+/// Problem 2 of the paper selects up to `N_ISE` cuts across all blocks of
+/// an application, ranking blocks by speedup potential.
+///
+/// ```
+/// use isegen_ir::{Application, BlockBuilder, Opcode, LatencyModel};
+///
+/// # fn main() -> Result<(), isegen_ir::BuildError> {
+/// let mut b = BlockBuilder::new("hot").frequency(1_000);
+/// let x = b.input("x");
+/// b.op(Opcode::Not, &[x])?;
+/// let mut app = Application::new("demo");
+/// app.push_block(b.build()?);
+/// let model = LatencyModel::paper_default();
+/// assert_eq!(app.total_software_latency(&model), 1_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Application {
+    name: String,
+    blocks: Vec<BasicBlock>,
+}
+
+impl Application {
+    /// Creates an empty application.
+    pub fn new(name: impl Into<String>) -> Self {
+        Application {
+            name: name.into(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// The application's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a basic block.
+    pub fn push_block(&mut self, block: BasicBlock) {
+        self.blocks.push(block);
+    }
+
+    /// The blocks, in insertion order.
+    #[inline]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Looks a block up by name.
+    pub fn block_by_name(&self, name: &str) -> Option<&BasicBlock> {
+        self.blocks.iter().find(|b| b.name() == name)
+    }
+
+    /// The block with the most operation nodes (the paper's
+    /// "critical basic block"), if any.
+    pub fn critical_block(&self) -> Option<&BasicBlock> {
+        self.blocks.iter().max_by_key(|b| b.operation_count())
+    }
+
+    /// Total dynamic software latency:
+    /// `Σ_b frequency(b) · software_latency(b)`.
+    pub fn total_software_latency(&self, model: &LatencyModel) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| b.frequency() * b.software_latency(model))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockBuilder, Opcode};
+
+    fn block(name: &str, ops: usize, freq: u64) -> BasicBlock {
+        let mut b = BlockBuilder::new(name).frequency(freq);
+        let mut v = b.input("x");
+        for _ in 0..ops {
+            v = b.op(Opcode::Add, &[v, v]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lookup_and_critical() {
+        let mut app = Application::new("a");
+        app.push_block(block("small", 2, 10));
+        app.push_block(block("big", 5, 1));
+        assert_eq!(app.blocks().len(), 2);
+        assert_eq!(app.block_by_name("big").unwrap().name(), "big");
+        assert!(app.block_by_name("missing").is_none());
+        assert_eq!(app.critical_block().unwrap().name(), "big");
+    }
+
+    #[test]
+    fn total_latency_weights_by_frequency() {
+        let mut app = Application::new("a");
+        app.push_block(block("b1", 3, 10)); // 3 adds * 1 cycle * 10
+        app.push_block(block("b2", 1, 5)); // 1 add * 1 cycle * 5
+        let model = LatencyModel::paper_default();
+        assert_eq!(app.total_software_latency(&model), 35);
+    }
+
+    #[test]
+    fn empty_application() {
+        let app = Application::new("empty");
+        assert!(app.critical_block().is_none());
+        assert_eq!(app.total_software_latency(&LatencyModel::paper_default()), 0);
+    }
+}

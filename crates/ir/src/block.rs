@@ -1,0 +1,165 @@
+use crate::{LatencyModel, Operation};
+use isegen_graph::{Dag, NodeId, NodeSet};
+
+/// A basic block: a data-flow graph of [`Operation`]s, an execution
+/// frequency, and the set of live-out values.
+///
+/// Blocks are built with [`BlockBuilder`](crate::BlockBuilder), which
+/// validates arities and marks sinks live-out. The DFG is immutable after
+/// construction (ISE identification never mutates the program).
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    name: String,
+    dag: Dag<Operation>,
+    freq: u64,
+    live_outs: NodeSet,
+}
+
+impl BasicBlock {
+    pub(crate) fn from_parts(
+        name: String,
+        dag: Dag<Operation>,
+        freq: u64,
+        live_outs: NodeSet,
+    ) -> Self {
+        BasicBlock {
+            name,
+            dag,
+            freq,
+            live_outs,
+        }
+    }
+
+    /// The block's name (unique within an application by convention).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The data-flow graph.
+    #[inline]
+    pub fn dag(&self) -> &Dag<Operation> {
+        &self.dag
+    }
+
+    /// Dynamic execution count of this block.
+    #[inline]
+    pub fn frequency(&self) -> u64 {
+        self.freq
+    }
+
+    /// Overrides the execution frequency (e.g. when attaching a profile).
+    pub fn set_frequency(&mut self, freq: u64) {
+        self.freq = freq;
+    }
+
+    /// Nodes whose values are consumed after the block.
+    #[inline]
+    pub fn live_outs(&self) -> &NodeSet {
+        &self.live_outs
+    }
+
+    /// Whether `node`'s value escapes the block.
+    #[inline]
+    pub fn is_live_out(&self, node: NodeId) -> bool {
+        self.live_outs.contains(node)
+    }
+
+    /// Number of DFG nodes, including external-input markers.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    /// Number of *operation* nodes (external-input markers excluded).
+    ///
+    /// This is the count the paper reports per benchmark ("maximum number
+    /// of nodes in its critical basic block").
+    pub fn operation_count(&self) -> usize {
+        self.dag
+            .nodes()
+            .filter(|(_, op)| !op.opcode().is_input())
+            .count()
+    }
+
+    /// Total software latency of one execution of the block, in cycles.
+    pub fn software_latency(&self, model: &LatencyModel) -> u64 {
+        self.dag
+            .nodes()
+            .map(|(_, op)| model.sw_cycles(op.opcode()) as u64)
+            .sum()
+    }
+
+    /// The opcode of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[inline]
+    pub fn opcode(&self, node: NodeId) -> crate::Opcode {
+        self.dag.weight(node).opcode()
+    }
+
+    /// Set of nodes eligible for inclusion in a cut (non-input, non-memory).
+    pub fn eligible_nodes(&self) -> NodeSet {
+        let mut set = NodeSet::new(self.dag.node_count());
+        for (id, op) in self.dag.nodes() {
+            if op.opcode().is_ise_eligible() {
+                set.insert(id);
+            }
+        }
+        set
+    }
+
+    /// Renders the block to Graphviz DOT, highlighting `cut` if given.
+    pub fn to_dot(&self, cut: Option<&NodeSet>) -> String {
+        isegen_graph::dot::to_dot(&self.dag, |id, op| format!("{id} {op}"), cut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BlockBuilder, LatencyModel, Opcode};
+
+    #[test]
+    fn latency_and_counts() {
+        let mut b = BlockBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let m = b.op(Opcode::Mul, &[x, y]).unwrap();
+        let a = b.op(Opcode::Add, &[m, x]).unwrap();
+        let blk = b.build().unwrap();
+        let model = LatencyModel::paper_default();
+        // inputs cost 0; mul 3 + add 1
+        assert_eq!(blk.software_latency(&model), 4);
+        assert_eq!(blk.node_count(), 4);
+        assert_eq!(blk.operation_count(), 2);
+        assert!(blk.is_live_out(a));
+        assert!(!blk.is_live_out(m));
+        let elig = blk.eligible_nodes();
+        assert!(elig.contains(m) && elig.contains(a));
+        assert!(!elig.contains(x));
+    }
+
+    #[test]
+    fn dot_render_mentions_ops() {
+        let mut b = BlockBuilder::new("t");
+        let x = b.input("x");
+        let _ = b.op(Opcode::Not, &[x]).unwrap();
+        let blk = b.build().unwrap();
+        let dot = blk.to_dot(None);
+        assert!(dot.contains("not"));
+        assert!(dot.contains("in:x"));
+    }
+
+    #[test]
+    fn frequency_override() {
+        let mut b = BlockBuilder::new("t");
+        let x = b.input("x");
+        let _ = b.op(Opcode::Not, &[x]).unwrap();
+        let mut blk = b.build().unwrap();
+        assert_eq!(blk.frequency(), 1);
+        blk.set_frequency(500);
+        assert_eq!(blk.frequency(), 500);
+    }
+}

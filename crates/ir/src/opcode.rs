@@ -1,0 +1,283 @@
+use std::fmt;
+
+/// RISC-level operation vocabulary.
+///
+/// The set covers what the paper's benchmark kernels need (EEMBC DSP
+/// kernels, ADPCM, FFT, AES). AES helpers ([`Opcode::SBox`],
+/// [`Opcode::Xtime`], [`Opcode::GfMul`]) are modelled as combinational
+/// operators — the paper excludes memory accesses from AFUs, so table
+/// lookups are represented by their combinational equivalents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// External input value (live-in). Arity 0. Never part of a cut.
+    Input,
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Multiply-accumulate `a*b + c`. The hardware-delay unit of the paper.
+    Mac,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Bitwise complement. Arity 1.
+    Not,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+    /// Rotate left.
+    RotL,
+    /// Equality comparison.
+    Eq,
+    /// Signed less-than comparison.
+    Lt,
+    /// Minimum of two values.
+    Min,
+    /// Maximum of two values.
+    Max,
+    /// Absolute value. Arity 1.
+    Abs,
+    /// Arithmetic negation. Arity 1.
+    Neg,
+    /// Ternary select `cond ? a : b`. Arity 3.
+    Select,
+    /// AES S-box substitution (combinational). Arity 1.
+    SBox,
+    /// GF(2^8) multiplication by `x` (AES `xtime`). Arity 1.
+    Xtime,
+    /// General GF(2^8) multiplication.
+    GfMul,
+    /// Memory load. Arity 1 (address). Barrier: never part of a cut.
+    Load,
+    /// Memory store. Arity 2 (address, value). Barrier: never part of a cut.
+    Store,
+}
+
+impl Opcode {
+    /// Every opcode, in discriminant order. Useful for building tables.
+    pub const ALL: [Opcode; 25] = [
+        Opcode::Input,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Mac,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Not,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Sar,
+        Opcode::RotL,
+        Opcode::Eq,
+        Opcode::Lt,
+        Opcode::Min,
+        Opcode::Max,
+        Opcode::Abs,
+        Opcode::Neg,
+        Opcode::Select,
+        Opcode::SBox,
+        Opcode::Xtime,
+        Opcode::GfMul,
+        Opcode::Load,
+        Opcode::Store,
+    ];
+
+    /// Dense index of this opcode (for table lookups).
+    #[inline]
+    pub fn as_index(self) -> usize {
+        self as usize
+    }
+
+    /// Number of operands this opcode consumes.
+    pub fn arity(self) -> usize {
+        use Opcode::*;
+        match self {
+            Input => 0,
+            Not | Abs | Neg | SBox | Xtime | Load => 1,
+            Select | Mac => 3,
+            Store => 2,
+            _ => 2,
+        }
+    }
+
+    /// Memory operations cannot be mapped onto an AFU (paper §4.2: "we do
+    /// not allow memory access from AFUs").
+    #[inline]
+    pub fn is_memory(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store)
+    }
+
+    /// External-input marker nodes.
+    #[inline]
+    pub fn is_input(self) -> bool {
+        matches!(self, Opcode::Input)
+    }
+
+    /// Whether this operation may be included in an ISE cut.
+    ///
+    /// Inputs and memory operations are excluded; everything else is fair
+    /// game.
+    #[inline]
+    pub fn is_ise_eligible(self) -> bool {
+        !self.is_memory() && !self.is_input()
+    }
+
+    /// Whether this node acts as a *barrier* for cut growth: external
+    /// inputs and memory operations bound the region a cut can cover.
+    #[inline]
+    pub fn is_barrier(self) -> bool {
+        self.is_memory() || self.is_input()
+    }
+
+    /// Short lowercase mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Input => "in",
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Mac => "mac",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Not => "not",
+            Shl => "shl",
+            Shr => "shr",
+            Sar => "sar",
+            RotL => "rotl",
+            Eq => "eq",
+            Lt => "lt",
+            Min => "min",
+            Max => "max",
+            Abs => "abs",
+            Neg => "neg",
+            Select => "sel",
+            SBox => "sbox",
+            Xtime => "xtime",
+            GfMul => "gfmul",
+            Load => "ld",
+            Store => "st",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Payload of a DFG node: the operation it performs plus an optional
+/// debug label (variable name for inputs, etc.).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Operation {
+    opcode: Opcode,
+    label: Option<Box<str>>,
+}
+
+impl Operation {
+    /// Creates an unlabelled operation.
+    pub fn new(opcode: Opcode) -> Self {
+        Operation { opcode, label: None }
+    }
+
+    /// Creates a labelled operation (labels show up in DOT dumps and error
+    /// messages; they carry no semantics).
+    pub fn with_label(opcode: Opcode, label: impl Into<String>) -> Self {
+        Operation {
+            opcode,
+            label: Some(label.into().into_boxed_str()),
+        }
+    }
+
+    /// The operation's opcode.
+    #[inline]
+    pub fn opcode(&self) -> Opcode {
+        self.opcode
+    }
+
+    /// The optional debug label.
+    #[inline]
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.label {
+            Some(l) => write!(f, "{}:{}", self.opcode, l),
+            None => write!(f, "{}", self.opcode),
+        }
+    }
+}
+
+impl From<Opcode> for Operation {
+    fn from(opcode: Opcode) -> Self {
+        Operation::new(opcode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_dense_and_complete() {
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.as_index(), i, "ALL must be in discriminant order");
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Opcode::Load.is_memory());
+        assert!(Opcode::Store.is_memory());
+        assert!(!Opcode::Add.is_memory());
+        assert!(Opcode::Input.is_input());
+        assert!(Opcode::Add.is_ise_eligible());
+        assert!(!Opcode::Load.is_ise_eligible());
+        assert!(!Opcode::Input.is_ise_eligible());
+        assert!(Opcode::Input.is_barrier());
+        assert!(Opcode::Store.is_barrier());
+        assert!(!Opcode::Xor.is_barrier());
+    }
+
+    #[test]
+    fn arities() {
+        assert_eq!(Opcode::Input.arity(), 0);
+        assert_eq!(Opcode::Not.arity(), 1);
+        assert_eq!(Opcode::Add.arity(), 2);
+        assert_eq!(Opcode::Mac.arity(), 3);
+        assert_eq!(Opcode::Select.arity(), 3);
+        assert_eq!(Opcode::Store.arity(), 2);
+        assert_eq!(Opcode::Load.arity(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Opcode::Xor.to_string(), "xor");
+        let op = Operation::with_label(Opcode::Input, "x0");
+        assert_eq!(op.to_string(), "in:x0");
+        assert_eq!(Operation::new(Opcode::Add).to_string(), "add");
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+        }
+    }
+}

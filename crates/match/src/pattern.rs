@@ -1,0 +1,249 @@
+use isegen_graph::{NodeId, NodeSet};
+use isegen_ir::{BasicBlock, Opcode};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The shape of a cut: an induced, labelled subgraph with operand
+/// positions preserved, detached from the block it came from.
+///
+/// Pattern nodes are indexed `0..node_count` in ascending original-id
+/// order. For each node and each operand slot the pattern records whether
+/// the producer is *internal* (another pattern node) or *external* (an
+/// input of the cut).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    opcodes: Vec<Opcode>,
+    /// `operands[i][p]` = `Some(j)` when operand `p` of node `i` is
+    /// produced by pattern node `j`; `None` when it comes from outside.
+    operands: Vec<Vec<Option<u32>>>,
+    /// Matching order: a permutation of `0..node_count` where every
+    /// non-anchor node is adjacent (via an internal edge, either
+    /// direction) to an earlier node of the same component.
+    order: Vec<u32>,
+    /// `order` positions that start a new connected component (anchors).
+    anchors: Vec<usize>,
+}
+
+impl Pattern {
+    /// Extracts the pattern of `cut` from `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut` is empty or its capacity does not match the block.
+    pub fn extract(block: &BasicBlock, cut: &NodeSet) -> Pattern {
+        let dag = block.dag();
+        assert_eq!(
+            cut.capacity(),
+            dag.node_count(),
+            "cut capacity does not match block"
+        );
+        assert!(!cut.is_empty(), "cannot extract a pattern from an empty cut");
+
+        let members: Vec<NodeId> = cut.iter().collect();
+        let mut local = vec![u32::MAX; dag.node_count()];
+        for (i, &v) in members.iter().enumerate() {
+            local[v.index()] = i as u32;
+        }
+        let opcodes: Vec<Opcode> = members.iter().map(|&v| block.opcode(v)).collect();
+        let operands: Vec<Vec<Option<u32>>> = members
+            .iter()
+            .map(|&v| {
+                dag.preds(v)
+                    .iter()
+                    .map(|&p| {
+                        if cut.contains(p) {
+                            Some(local[p.index()])
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Undirected internal adjacency for ordering.
+        let k = members.len();
+        let mut adj = vec![Vec::new(); k];
+        for (i, ops) in operands.iter().enumerate() {
+            for j in ops.iter().flatten() {
+                adj[i].push(*j);
+                adj[*j as usize].push(i as u32);
+            }
+        }
+        let mut order = Vec::with_capacity(k);
+        let mut anchors = Vec::new();
+        let mut seen = vec![false; k];
+        for start in 0..k {
+            if seen[start] {
+                continue;
+            }
+            anchors.push(order.len());
+            seen[start] = true;
+            order.push(start as u32);
+            let mut head = order.len() - 1;
+            while head < order.len() {
+                let v = order[head] as usize;
+                head += 1;
+                for &w in &adj[v] {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        order.push(w);
+                    }
+                }
+            }
+        }
+
+        Pattern {
+            opcodes,
+            operands,
+            order,
+            anchors,
+        }
+    }
+
+    /// Number of pattern nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.opcodes.len()
+    }
+
+    /// Number of connected components.
+    #[inline]
+    pub fn component_count(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// Opcode of pattern node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn opcode(&self, i: usize) -> Opcode {
+        self.opcodes[i]
+    }
+
+    pub(crate) fn operands(&self, i: usize) -> &[Option<u32>] {
+        &self.operands[i]
+    }
+
+    pub(crate) fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Positions in the matching order that start a new connected
+    /// component (one per component; the matcher seeds its search at
+    /// these).
+    pub fn anchors(&self) -> &[usize] {
+        &self.anchors
+    }
+
+    /// A structural signature: equal for isomorphic patterns extracted in
+    /// the same node order, and invariant under translation of the cut to
+    /// a different region of a block (local indices are relative).
+    ///
+    /// Two patterns with equal signatures are equal up to relabelling in
+    /// practice; the signature is used to group recurring cuts (Fig. 7's
+    /// CUT1..CUT4) rather than to prove isomorphism.
+    pub fn signature(&self) -> u64 {
+        // Weisfeiler–Lehman-style refinement: three rounds of hashing each
+        // node with its operand structure, then an order-independent fold.
+        let k = self.node_count();
+        let mut labels: Vec<u64> = (0..k)
+            .map(|i| {
+                let mut h = DefaultHasher::new();
+                self.opcodes[i].hash(&mut h);
+                self.operands[i].len().hash(&mut h);
+                h.finish()
+            })
+            .collect();
+        for _round in 0..3 {
+            let mut next = Vec::with_capacity(k);
+            for i in 0..k {
+                let mut h = DefaultHasher::new();
+                labels[i].hash(&mut h);
+                for (p, op) in self.operands[i].iter().enumerate() {
+                    p.hash(&mut h);
+                    match op {
+                        Some(j) => labels[*j as usize].hash(&mut h),
+                        None => u64::MAX.hash(&mut h),
+                    }
+                }
+                next.push(h.finish());
+            }
+            labels = next;
+        }
+        labels.sort_unstable();
+        let mut h = DefaultHasher::new();
+        labels.hash(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isegen_ir::BlockBuilder;
+
+    fn two_clusters() -> (BasicBlock, Vec<NodeId>) {
+        let mut b = BlockBuilder::new("t");
+        let mut nodes = Vec::new();
+        for k in 0..2 {
+            let x = b.input(format!("x{k}"));
+            let y = b.input(format!("y{k}"));
+            let m = b.op(Opcode::Mul, &[x, y]).unwrap();
+            let s = b.op(Opcode::Add, &[m, x]).unwrap();
+            nodes.push(m);
+            nodes.push(s);
+        }
+        (b.build().unwrap(), nodes)
+    }
+
+    #[test]
+    fn extract_records_structure() {
+        let (block, nodes) = two_clusters();
+        let n = block.dag().node_count();
+        let cut = NodeSet::from_ids(n, [nodes[0], nodes[1]]);
+        let p = Pattern::extract(&block, &cut);
+        assert_eq!(p.node_count(), 2);
+        assert_eq!(p.component_count(), 1);
+        assert_eq!(p.opcode(0), Opcode::Mul);
+        assert_eq!(p.opcode(1), Opcode::Add);
+        // mul has two external operands
+        assert_eq!(p.operands(0), &[None, None]);
+        // add consumes the mul internally and an external value
+        assert_eq!(p.operands(1), &[Some(0), None]);
+    }
+
+    #[test]
+    fn isomorphic_cuts_share_signatures() {
+        let (block, nodes) = two_clusters();
+        let n = block.dag().node_count();
+        let c1 = NodeSet::from_ids(n, [nodes[0], nodes[1]]);
+        let c2 = NodeSet::from_ids(n, [nodes[2], nodes[3]]);
+        let p1 = Pattern::extract(&block, &c1);
+        let p2 = Pattern::extract(&block, &c2);
+        assert_eq!(p1.signature(), p2.signature());
+        // a different shape signs differently
+        let c3 = NodeSet::from_ids(n, [nodes[0]]);
+        assert_ne!(p1.signature(), Pattern::extract(&block, &c3).signature());
+    }
+
+    #[test]
+    fn disconnected_pattern_has_two_anchors() {
+        let (block, nodes) = two_clusters();
+        let n = block.dag().node_count();
+        let cut = NodeSet::from_ids(n, [nodes[0], nodes[2]]);
+        let p = Pattern::extract(&block, &cut);
+        assert_eq!(p.component_count(), 2);
+        assert_eq!(p.anchors(), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cut")]
+    fn empty_cut_rejected() {
+        let (block, _) = two_clusters();
+        let cut = NodeSet::new(block.dag().node_count());
+        let _ = Pattern::extract(&block, &cut);
+    }
+}

@@ -1,0 +1,120 @@
+use crate::Netlist;
+use isegen_ir::Opcode;
+
+/// NAND2-equivalent gate-count estimates per 32-bit operator.
+///
+/// Companion to [`LatencyModel`](isegen_ir::LatencyModel)'s delays: the
+/// paper synthesised its operators on a 130 nm library; these are the
+/// corresponding relative *area* magnitudes (multipliers dominate,
+/// logic is nearly free), used to report AFU cost next to speedup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaModel {
+    gates: [f64; Opcode::ALL.len()],
+}
+
+impl AreaModel {
+    /// The default model with standard relative operator areas.
+    pub fn paper_default() -> Self {
+        use Opcode::*;
+        let mut gates = [0.0f64; Opcode::ALL.len()];
+        let table: &[(Opcode, f64)] = &[
+            (Input, 0.0),
+            (Add, 150.0),
+            (Sub, 160.0),
+            (Mul, 3200.0),
+            (Mac, 3500.0),
+            (And, 32.0),
+            (Or, 32.0),
+            (Xor, 48.0),
+            (Not, 16.0),
+            (Shl, 260.0),  // barrel shifter
+            (Shr, 260.0),
+            (Sar, 280.0),
+            (RotL, 300.0),
+            (Eq, 70.0),
+            (Lt, 90.0),
+            (Min, 220.0),
+            (Max, 220.0),
+            (Abs, 190.0),
+            (Neg, 160.0),
+            (Select, 64.0),
+            (SBox, 320.0), // LUT-mapped case table
+            (Xtime, 10.0),
+            (GfMul, 200.0),
+            (Load, 0.0),
+            (Store, 0.0),
+        ];
+        for &(op, g) in table {
+            gates[op.as_index()] = g;
+        }
+        AreaModel { gates }
+    }
+
+    /// Gate count of one operator instance.
+    #[inline]
+    pub fn gates(&self, op: Opcode) -> f64 {
+        self.gates[op.as_index()]
+    }
+
+    /// Total gate count of a datapath.
+    pub fn netlist_gates(&self, netlist: &Netlist) -> f64 {
+        netlist.cells().iter().map(|c| self.gates(c.opcode)).sum()
+    }
+
+    /// Returns a copy with one operator's area overridden.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gates` is negative or not finite.
+    pub fn with_gates(mut self, op: Opcode, gates: f64) -> Self {
+        assert!(gates.is_finite() && gates >= 0.0, "invalid gate count {gates}");
+        self.gates[op.as_index()] = gates;
+        self
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isegen_graph::NodeSet;
+    use isegen_ir::BlockBuilder;
+
+    #[test]
+    fn relative_magnitudes() {
+        let m = AreaModel::paper_default();
+        assert!(m.gates(Opcode::Mul) > 10.0 * m.gates(Opcode::Add));
+        assert!(m.gates(Opcode::Add) > m.gates(Opcode::Xor));
+        assert_eq!(m.gates(Opcode::Load), 0.0);
+    }
+
+    #[test]
+    fn netlist_sum() {
+        let mut b = BlockBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let p = b.op(Opcode::Mul, &[x, y]).unwrap();
+        let s = b.op(Opcode::Add, &[p, x]).unwrap();
+        let block = b.build().unwrap();
+        let netlist = Netlist::from_cut(&block, &NodeSet::from_ids(4, [p, s])).unwrap();
+        let m = AreaModel::paper_default();
+        assert_eq!(m.netlist_gates(&netlist), 3200.0 + 150.0);
+    }
+
+    #[test]
+    fn overrides() {
+        let m = AreaModel::paper_default().with_gates(Opcode::Add, 99.0);
+        assert_eq!(m.gates(Opcode::Add), 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid gate count")]
+    fn invalid_override_rejected() {
+        let _ = AreaModel::paper_default().with_gates(Opcode::Add, f64::NAN);
+    }
+}

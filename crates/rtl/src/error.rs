@@ -1,0 +1,51 @@
+use isegen_graph::NodeId;
+use isegen_ir::Opcode;
+use std::error::Error;
+use std::fmt;
+
+/// Errors of AFU datapath generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtlError {
+    /// The cut contains no operations.
+    EmptyCut,
+    /// The cut contains a node that cannot be implemented in an AFU
+    /// datapath (memory operations, external-input markers).
+    IneligibleNode {
+        /// The offending node.
+        node: NodeId,
+        /// Its opcode.
+        opcode: Opcode,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::EmptyCut => write!(f, "cannot generate a datapath from an empty cut"),
+            RtlError::IneligibleNode { node, opcode } => {
+                write!(f, "node {node} ({opcode}) cannot be implemented in an AFU")
+            }
+        }
+    }
+}
+
+impl Error for RtlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            RtlError::EmptyCut.to_string(),
+            "cannot generate a datapath from an empty cut"
+        );
+        let e = RtlError::IneligibleNode {
+            node: NodeId::from_index(3),
+            opcode: Opcode::Load,
+        };
+        assert_eq!(e.to_string(), "node n3 (ld) cannot be implemented in an AFU");
+    }
+}

@@ -1,0 +1,301 @@
+use crate::RtlError;
+use isegen_graph::{NodeId, NodeSet, TopoOrder};
+use isegen_ir::interp::eval_opcode;
+use isegen_ir::{BasicBlock, Opcode};
+
+/// A signal inside a [`Netlist`]: either an input port or the output of
+/// an earlier cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// The `i`-th input port.
+    Input(u32),
+    /// The output of cell `i` (cells are in topological order).
+    Cell(u32),
+}
+
+/// One datapath operator instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// The operation this cell implements.
+    pub opcode: Opcode,
+    /// Operand signals, in opcode operand order.
+    pub operands: Vec<Signal>,
+}
+
+/// A structural combinational netlist extracted from a cut: the AFU
+/// datapath of one custom instruction.
+///
+/// Input ports are the cut's distinct outside producers in ascending
+/// original-node-id order; output ports are the cut nodes whose values
+/// escape the cut (or the block), same order. These match the paper's
+/// `IN(C)`/`OUT(C)` counts exactly (tested against
+/// [`isegen_core::Cut`](isegen_core::Cut)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    cells: Vec<Cell>,
+    /// Original DFG node behind each cell (diagnostics).
+    cell_nodes: Vec<NodeId>,
+    /// Original producer node behind each input port.
+    input_nodes: Vec<NodeId>,
+    /// Cell index driving each output port.
+    outputs: Vec<u32>,
+}
+
+impl Netlist {
+    /// Extracts the datapath of `cut` from `block`.
+    ///
+    /// # Errors
+    ///
+    /// * [`RtlError::EmptyCut`] for an empty cut.
+    /// * [`RtlError::IneligibleNode`] when the cut contains memory
+    ///   operations or input markers.
+    pub fn from_cut(block: &BasicBlock, cut: &NodeSet) -> Result<Netlist, RtlError> {
+        if cut.is_empty() {
+            return Err(RtlError::EmptyCut);
+        }
+        let dag = block.dag();
+        for v in cut.iter() {
+            let opcode = block.opcode(v);
+            if !opcode.is_ise_eligible() {
+                return Err(RtlError::IneligibleNode { node: v, opcode });
+            }
+        }
+        // Input ports: distinct outside producers, ascending node id.
+        let mut input_nodes: Vec<NodeId> = Vec::new();
+        {
+            let mut seen = NodeSet::new(dag.node_count());
+            for v in cut.iter() {
+                for &p in dag.preds(v) {
+                    if !cut.contains(p) && seen.insert(p) {
+                        input_nodes.push(p);
+                    }
+                }
+            }
+            input_nodes.sort_unstable();
+        }
+        let mut port_of = vec![u32::MAX; dag.node_count()];
+        for (i, &p) in input_nodes.iter().enumerate() {
+            port_of[p.index()] = i as u32;
+        }
+
+        // Cells in topological order of the original block.
+        let topo = TopoOrder::new(dag);
+        let mut cell_nodes: Vec<NodeId> = cut.iter().collect();
+        cell_nodes.sort_unstable_by_key(|&v| topo.rank(v));
+        let mut cell_of = vec![u32::MAX; dag.node_count()];
+        for (i, &v) in cell_nodes.iter().enumerate() {
+            cell_of[v.index()] = i as u32;
+        }
+        let cells: Vec<Cell> = cell_nodes
+            .iter()
+            .map(|&v| Cell {
+                opcode: block.opcode(v),
+                operands: dag
+                    .preds(v)
+                    .iter()
+                    .map(|&p| {
+                        if cut.contains(p) {
+                            Signal::Cell(cell_of[p.index()])
+                        } else {
+                            Signal::Input(port_of[p.index()])
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        // Output ports: escaping cut nodes, ascending node id.
+        let mut output_nodes: Vec<NodeId> = cut
+            .iter()
+            .filter(|&v| {
+                block.is_live_out(v) || dag.succs(v).iter().any(|s| !cut.contains(*s))
+            })
+            .collect();
+        output_nodes.sort_unstable();
+        let outputs = output_nodes.iter().map(|&v| cell_of[v.index()]).collect();
+
+        Ok(Netlist {
+            cells,
+            cell_nodes,
+            input_nodes,
+            outputs,
+        })
+    }
+
+    /// Number of operator cells.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of input ports (the cut's `IN(C)`).
+    #[inline]
+    pub fn input_count(&self) -> usize {
+        self.input_nodes.len()
+    }
+
+    /// Number of output ports (the cut's `OUT(C)`).
+    #[inline]
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The cells, in topological order.
+    #[inline]
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The original DFG node behind each cell.
+    #[inline]
+    pub fn cell_nodes(&self) -> &[NodeId] {
+        &self.cell_nodes
+    }
+
+    /// The original producer node behind each input port.
+    #[inline]
+    pub fn input_nodes(&self) -> &[NodeId] {
+        &self.input_nodes
+    }
+
+    /// Cell index driving each output port.
+    #[inline]
+    pub fn output_cells(&self) -> &[u32] {
+        &self.outputs
+    }
+
+    /// Whether the netlist instantiates `opcode` at least once.
+    pub fn uses_opcode(&self, opcode: Opcode) -> bool {
+        self.cells.iter().any(|c| c.opcode == opcode)
+    }
+
+    /// Reference simulation: evaluates the datapath on concrete input
+    /// port values and returns the output port values.
+    ///
+    /// This is the golden model the Verilog is compared against and is
+    /// itself cross-checked against the block-level interpreter in
+    /// integration tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.input_count()`.
+    pub fn evaluate(&self, inputs: &[u32]) -> Vec<u32> {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "expected {} input values",
+            self.input_count()
+        );
+        let mut values = Vec::with_capacity(self.cells.len());
+        let mut args: Vec<u32> = Vec::with_capacity(3);
+        for cell in &self.cells {
+            args.clear();
+            args.extend(cell.operands.iter().map(|&s| match s {
+                Signal::Input(i) => inputs[i as usize],
+                Signal::Cell(i) => values[i as usize],
+            }));
+            values.push(eval_opcode(cell.opcode, &args).expect("eligible opcodes only"));
+        }
+        self.outputs.iter().map(|&c| values[c as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isegen_ir::BlockBuilder;
+
+    fn mac_block() -> (BasicBlock, NodeId, NodeId, NodeId, NodeId) {
+        let mut b = BlockBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let m = b.op(Opcode::Mul, &[x, y]).unwrap();
+        let s = b.op(Opcode::Add, &[m, x]).unwrap();
+        (b.build().unwrap(), x, y, m, s)
+    }
+
+    #[test]
+    fn extraction_shape() {
+        let (block, _x, _y, m, s) = mac_block();
+        let cut = NodeSet::from_ids(block.dag().node_count(), [m, s]);
+        let netlist = Netlist::from_cut(&block, &cut).unwrap();
+        assert_eq!(netlist.cell_count(), 2);
+        assert_eq!(netlist.input_count(), 2);
+        assert_eq!(netlist.output_count(), 1);
+        assert_eq!(netlist.cells()[0].opcode, Opcode::Mul);
+        assert_eq!(netlist.cells()[1].opcode, Opcode::Add);
+        // add consumes the mul internally and port 0 (x) externally
+        assert_eq!(
+            netlist.cells()[1].operands,
+            vec![Signal::Cell(0), Signal::Input(0)]
+        );
+        assert!(netlist.uses_opcode(Opcode::Mul));
+        assert!(!netlist.uses_opcode(Opcode::SBox));
+    }
+
+    #[test]
+    fn evaluation_matches_semantics() {
+        let (block, _x, _y, m, s) = mac_block();
+        let cut = NodeSet::from_ids(block.dag().node_count(), [m, s]);
+        let netlist = Netlist::from_cut(&block, &cut).unwrap();
+        // port order = ascending node id = [x, y]
+        assert_eq!(netlist.evaluate(&[6, 7]), vec![48]);
+        assert_eq!(netlist.evaluate(&[0, 0]), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_operand_single_port() {
+        let mut b = BlockBuilder::new("sq");
+        let x = b.input("x");
+        let sq = b.op(Opcode::Mul, &[x, x]).unwrap();
+        let block = b.build().unwrap();
+        let cut = NodeSet::from_ids(2, [sq]);
+        let netlist = Netlist::from_cut(&block, &cut).unwrap();
+        assert_eq!(netlist.input_count(), 1);
+        assert_eq!(netlist.evaluate(&[9]), vec![81]);
+    }
+
+    #[test]
+    fn io_counts_match_cut_evaluation() {
+        use isegen_core::{BlockContext, Cut};
+        use isegen_ir::LatencyModel;
+        let (block, _, _, m, s) = mac_block();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let nodes = NodeSet::from_ids(block.dag().node_count(), [m, s]);
+        let cut = Cut::evaluate(&ctx, nodes.clone());
+        let netlist = Netlist::from_cut(&block, &nodes).unwrap();
+        assert_eq!(netlist.input_count() as u32, cut.input_count());
+        assert_eq!(netlist.output_count() as u32, cut.output_count());
+    }
+
+    #[test]
+    fn rejects_memory_and_empty() {
+        let mut b = BlockBuilder::new("t");
+        let addr = b.input("a");
+        let ld = b.op(Opcode::Load, &[addr]).unwrap();
+        let block = b.build().unwrap();
+        assert!(matches!(
+            Netlist::from_cut(&block, &NodeSet::from_ids(2, [ld])),
+            Err(RtlError::IneligibleNode { .. })
+        ));
+        assert!(matches!(
+            Netlist::from_cut(&block, &NodeSet::new(2)),
+            Err(RtlError::EmptyCut)
+        ));
+    }
+
+    #[test]
+    fn multi_output_order_is_stable() {
+        let mut b = BlockBuilder::new("t");
+        let x = b.input("x");
+        let a = b.op(Opcode::Not, &[x]).unwrap();
+        let c = b.op(Opcode::Neg, &[x]).unwrap();
+        let block = b.build().unwrap();
+        let cut = NodeSet::from_ids(3, [a, c]);
+        let netlist = Netlist::from_cut(&block, &cut).unwrap();
+        assert_eq!(netlist.output_count(), 2);
+        let out = netlist.evaluate(&[5]);
+        assert_eq!(out, vec![!5u32, 5u32.wrapping_neg()]);
+    }
+}

@@ -1,0 +1,143 @@
+//! AES-128 encryption data-flow (byte-sliced), the paper's large
+//! cryptographic workload.
+
+use crate::util::assemble;
+use isegen_graph::NodeId;
+use isegen_ir::{Application, BlockBuilder, Opcode};
+
+/// AddRoundKey: XOR every state byte with a fresh round-key input.
+fn add_round_key(b: &mut BlockBuilder, state: &mut [NodeId; 16], round: usize) {
+    for (i, s) in state.iter_mut().enumerate() {
+        let k = b.input(format!("rk{round}_{i}"));
+        *s = b.op(Opcode::Xor, &[*s, k]).expect("arity");
+    }
+}
+
+/// SubBytes: S-box substitution on every state byte (combinational
+/// [`Opcode::SBox`] — the paper excludes memory from AFUs, so the lookup
+/// is modelled as its combinational equivalent).
+fn sub_bytes(b: &mut BlockBuilder, state: &mut [NodeId; 16]) {
+    for s in state.iter_mut() {
+        *s = b.op(Opcode::SBox, &[*s]).expect("arity");
+    }
+}
+
+/// ShiftRows: pure wiring (row `r` rotates left by `r`); no operations.
+fn shift_rows(state: &mut [NodeId; 16]) {
+    // state[r + 4c] is row r, column c (column-major, FIPS-197 layout)
+    let old = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = old[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+/// MixColumns on one column: the standard xtime formulation,
+/// `out_i = b_i ⊕ t ⊕ xtime(b_i ⊕ b_{i+1})` with `t = b0⊕b1⊕b2⊕b3`.
+/// 19 operations per column — the recurring cluster of the paper's
+/// reusability study.
+fn mix_column(b: &mut BlockBuilder, col: [NodeId; 4]) -> [NodeId; 4] {
+    let t01 = b.op(Opcode::Xor, &[col[0], col[1]]).expect("arity");
+    let t23 = b.op(Opcode::Xor, &[col[2], col[3]]).expect("arity");
+    let t = b.op(Opcode::Xor, &[t01, t23]).expect("arity");
+    let mut out = [col[0]; 4];
+    for i in 0..4 {
+        let u = b.op(Opcode::Xor, &[col[i], col[(i + 1) % 4]]).expect("arity");
+        let x = b.op(Opcode::Xtime, &[u]).expect("arity");
+        let v = b.op(Opcode::Xor, &[t, x]).expect("arity");
+        out[i] = b.op(Opcode::Xor, &[col[i], v]).expect("arity");
+    }
+    out
+}
+
+fn mix_columns(b: &mut BlockBuilder, state: &mut [NodeId; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let out = mix_column(b, col);
+        state[4 * c..4 * c + 4].copy_from_slice(&out);
+    }
+}
+
+/// `aes` — a full AES-128 encryption data-flow: initial AddRoundKey, six
+/// full rounds (SubBytes → ShiftRows → MixColumns → AddRoundKey) and the
+/// final round (SubBytes → ShiftRows → AddRoundKey).
+///
+/// Critical block: **696 operations** (paper §5: "its critical basic
+/// block contains 696 nodes with a symmetric structure"):
+/// `16 + 6·(16+76+16) + (16+16) = 696`. Round keys are live-in inputs
+/// (the key schedule runs outside the block, as it does in unrolled AES
+/// implementations).
+///
+/// The structure is deliberately regular: every round repeats the same
+/// per-column MixColumns network (24 instances overall) and the same
+/// per-byte SubBytes/AddRoundKey lanes — the regularity the paper's
+/// Fig. 7 measures.
+pub fn aes() -> Application {
+    let mut b = BlockBuilder::new("aes_kernel").frequency(20_000);
+    let mut state: [NodeId; 16] = std::array::from_fn(|i| b.input(format!("pt{i}")));
+    add_round_key(&mut b, &mut state, 0);
+    for round in 1..=6 {
+        sub_bytes(&mut b, &mut state);
+        shift_rows(&mut state);
+        mix_columns(&mut b, &mut state);
+        add_round_key(&mut b, &mut state, round);
+    }
+    sub_bytes(&mut b, &mut state);
+    shift_rows(&mut state);
+    add_round_key(&mut b, &mut state, 7);
+    debug_assert_eq!(b.operation_count(), 696);
+    assemble("aes", b.build().expect("non-empty"), 0.80)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isegen_ir::LatencyModel;
+
+    #[test]
+    fn critical_block_is_696_ops() {
+        let app = aes();
+        let kernel = app.critical_block().unwrap();
+        assert_eq!(kernel.operation_count(), 696);
+        assert_eq!(kernel.name(), "aes_kernel");
+    }
+
+    #[test]
+    fn structure_is_all_eligible() {
+        // AES has no memory ops; every operation can join a cut.
+        let app = aes();
+        let kernel = app.critical_block().unwrap();
+        assert_eq!(kernel.eligible_nodes().len(), 696);
+    }
+
+    #[test]
+    fn opcode_mix_matches_aes() {
+        let app = aes();
+        let kernel = app.critical_block().unwrap();
+        let count = |oc: Opcode| {
+            kernel
+                .dag()
+                .nodes()
+                .filter(|(_, op)| op.opcode() == oc)
+                .count()
+        };
+        // 16 sboxes per SubBytes, 7 SubBytes... no: 6 rounds + final = 7
+        assert_eq!(count(Opcode::SBox), 7 * 16);
+        // 24 mix-columns × 4 xtimes
+        assert_eq!(count(Opcode::Xtime), 24 * 4);
+        // the rest are xors
+        assert_eq!(count(Opcode::Xor), 696 - 7 * 16 - 24 * 4);
+    }
+
+    #[test]
+    fn hot_fraction_is_dominant() {
+        let app = aes();
+        let model = LatencyModel::paper_default();
+        let kernel = app.critical_block().unwrap();
+        let hot = kernel.frequency() * kernel.software_latency(&model);
+        let total = app.total_software_latency(&model);
+        let fraction = hot as f64 / total as f64;
+        assert!((fraction - 0.8).abs() < 0.05, "hot fraction {fraction}");
+    }
+}

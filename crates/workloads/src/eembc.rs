@@ -1,0 +1,177 @@
+//! EEMBC-derived kernels: `conven00`, `fbital00`, `viterb00`, `autcor00`,
+//! `fft00`.
+
+use crate::util::assemble;
+use isegen_graph::NodeId;
+use isegen_ir::{Application, BlockBuilder, Opcode};
+
+/// `conven00` — convolutional encoder (EEMBC telecom). Critical block:
+/// **6 operations** (paper Fig. 4): the tap-XOR network producing one
+/// encoded symbol from the shift register.
+pub fn conven00() -> Application {
+    let mut b = BlockBuilder::new("conven00_kernel").frequency(120_000);
+    let sr = b.input("shift_reg");
+    let k1 = b.input("tap1");
+    let k2 = b.input("tap2");
+    let one = b.input("mask1");
+    // g0 = parity of taps {0, k1, k2}
+    let t1 = b.op(Opcode::Shr, &[sr, k1]).expect("arity");
+    let x1 = b.op(Opcode::Xor, &[sr, t1]).expect("arity");
+    let t2 = b.op(Opcode::Shr, &[sr, k2]).expect("arity");
+    let x2 = b.op(Opcode::Xor, &[x1, t2]).expect("arity");
+    let bit = b.op(Opcode::And, &[x2, one]).expect("arity");
+    b.op(Opcode::Shl, &[bit, one]).expect("arity");
+    debug_assert_eq!(b.operation_count(), 6);
+    assemble("conven00", b.build().expect("non-empty"), 0.45)
+}
+
+/// `fbital00` — DSL bit allocation (EEMBC telecom). Critical block:
+/// **20 operations**: four identical water-filling carrier updates of
+/// five operations each — a regular structure with four reusable
+/// instances.
+pub fn fbital00() -> Application {
+    let mut b = BlockBuilder::new("fbital00_kernel").frequency(60_000);
+    let step = b.input("step");
+    let cap_lo = b.input("cap_lo");
+    let cap_hi = b.input("cap_hi");
+    let mut total = b.input("total_in");
+    for k in 0..4 {
+        let gain = b.input(format!("gain{k}"));
+        let noise = b.input(format!("noise{k}"));
+        let margin = b.op(Opcode::Sub, &[gain, noise]).expect("arity");
+        let bits = b.op(Opcode::Sar, &[margin, step]).expect("arity");
+        let lo = b.op(Opcode::Max, &[bits, cap_lo]).expect("arity");
+        let alloc = b.op(Opcode::Min, &[lo, cap_hi]).expect("arity");
+        total = b.op(Opcode::Add, &[total, alloc]).expect("arity");
+    }
+    debug_assert_eq!(b.operation_count(), 20);
+    assemble("fbital00", b.build().expect("non-empty"), 0.40)
+}
+
+/// `viterb00` — Viterbi decoder (EEMBC telecom). Critical block:
+/// **23 operations**: four add-compare-select butterflies plus the path
+/// metric normalisation tail.
+pub fn viterb00() -> Application {
+    let mut b = BlockBuilder::new("viterb00_kernel").frequency(80_000);
+    let mut survivors: Vec<NodeId> = Vec::new();
+    for k in 0..4 {
+        let pm0 = b.input(format!("pm{k}a"));
+        let pm1 = b.input(format!("pm{k}b"));
+        let bm0 = b.input(format!("bm{k}a"));
+        let bm1 = b.input(format!("bm{k}b"));
+        // ACS: two candidate metrics, keep the smaller, remember both.
+        let c0 = b.op(Opcode::Add, &[pm0, bm0]).expect("arity");
+        let c1 = b.op(Opcode::Add, &[pm1, bm1]).expect("arity");
+        let best = b.op(Opcode::Min, &[c0, c1]).expect("arity");
+        let worst = b.op(Opcode::Max, &[c0, c1]).expect("arity");
+        let decision = b.op(Opcode::Sub, &[worst, best]).expect("arity");
+        b.live_out(decision).expect("in-block id");
+        survivors.push(best);
+    }
+    // normalisation floor: running minimum of the four survivors
+    let m01 = b.op(Opcode::Min, &[survivors[0], survivors[1]]).expect("arity");
+    let m23 = b.op(Opcode::Min, &[survivors[2], survivors[3]]).expect("arity");
+    let floor = b.op(Opcode::Min, &[m01, m23]).expect("arity");
+    b.live_out(floor).expect("in-block id");
+    for &s in &survivors {
+        b.live_out(s).expect("in-block id");
+    }
+    debug_assert_eq!(b.operation_count(), 4 * 5 + 3);
+    assemble("viterb00", b.build().expect("non-empty"), 0.55)
+}
+
+/// `autcor00` — fixed-point autocorrelation (EEMBC auto). Critical block:
+/// **25 operations**: two parallel multiply-accumulate chains combined at
+/// the end — the archetypal MAC-rich kernel (and, being two independent
+/// subgraphs, a showcase for disconnected cuts).
+pub fn autcor00() -> Application {
+    let mut b = BlockBuilder::new("autcor00_kernel").frequency(100_000);
+    let zero = b.input("acc_in");
+    let mut chains: Vec<NodeId> = Vec::new();
+    for c in 0..2 {
+        let mut acc = zero;
+        for i in 0..6 {
+            let x = b.input(format!("x{c}_{i}"));
+            let y = b.input(format!("y{c}_{i}"));
+            let p = b.op(Opcode::Mul, &[x, y]).expect("arity");
+            acc = b.op(Opcode::Add, &[acc, p]).expect("arity");
+        }
+        chains.push(acc);
+    }
+    b.op(Opcode::Add, &[chains[0], chains[1]]).expect("arity");
+    debug_assert_eq!(b.operation_count(), 2 * 12 + 1);
+    assemble("autcor00", b.build().expect("non-empty"), 0.85)
+}
+
+/// `fft00` — decimation-in-time FFT (EEMBC auto). Critical block:
+/// **104 operations**: ten radix-2 complex butterflies plus the stage
+/// scaling tail. Ten isomorphic butterflies give the matcher plenty of
+/// regularity.
+pub fn fft00() -> Application {
+    let mut b = BlockBuilder::new("fft00_kernel").frequency(40_000);
+    let mut outs: Vec<NodeId> = Vec::new();
+    for k in 0..10 {
+        let ar = b.input(format!("a{k}_re"));
+        let ai = b.input(format!("a{k}_im"));
+        let br = b.input(format!("b{k}_re"));
+        let bi = b.input(format!("b{k}_im"));
+        let wr = b.input(format!("w{k}_re"));
+        let wi = b.input(format!("w{k}_im"));
+        // complex twiddle multiply: t = w * b
+        let p0 = b.op(Opcode::Mul, &[br, wr]).expect("arity");
+        let p1 = b.op(Opcode::Mul, &[bi, wi]).expect("arity");
+        let p2 = b.op(Opcode::Mul, &[br, wi]).expect("arity");
+        let p3 = b.op(Opcode::Mul, &[bi, wr]).expect("arity");
+        let tr = b.op(Opcode::Sub, &[p0, p1]).expect("arity");
+        let ti = b.op(Opcode::Add, &[p2, p3]).expect("arity");
+        // butterfly outputs
+        let or0 = b.op(Opcode::Add, &[ar, tr]).expect("arity");
+        let oi0 = b.op(Opcode::Add, &[ai, ti]).expect("arity");
+        let or1 = b.op(Opcode::Sub, &[ar, tr]).expect("arity");
+        let oi1 = b.op(Opcode::Sub, &[ai, ti]).expect("arity");
+        outs.extend([or0, oi0, or1, oi1]);
+    }
+    // block-floating-point scaling of the first complex pair
+    let shift = b.input("scale");
+    let s0 = b.op(Opcode::Sar, &[outs[0], shift]).expect("arity");
+    let s1 = b.op(Opcode::Sar, &[outs[1], shift]).expect("arity");
+    let s2 = b.op(Opcode::Sar, &[outs[2], shift]).expect("arity");
+    let s3 = b.op(Opcode::Sar, &[outs[3], shift]).expect("arity");
+    let _ = (s0, s1, s2, s3);
+    debug_assert_eq!(b.operation_count(), 10 * 10 + 4);
+    assemble("fft00", b.build().expect("non-empty"), 0.70)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_block_sizes_match_paper() {
+        for (app, expected) in [
+            (conven00(), 6),
+            (fbital00(), 20),
+            (viterb00(), 23),
+            (autcor00(), 25),
+            (fft00(), 104),
+        ] {
+            let crit = app.critical_block().expect("has blocks");
+            assert_eq!(
+                crit.operation_count(),
+                expected,
+                "{}: wrong critical block size",
+                app.name()
+            );
+            assert!(crit.name().contains("kernel"));
+        }
+    }
+
+    #[test]
+    fn kernels_use_padding_free_structures() {
+        // these five are built to exact counts without pad_to
+        for app in [conven00(), fbital00(), viterb00(), autcor00(), fft00()] {
+            assert_eq!(app.blocks().len(), 2, "{}", app.name());
+            assert!(app.blocks()[1].frequency() >= 1);
+        }
+    }
+}

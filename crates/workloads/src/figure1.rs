@@ -1,0 +1,88 @@
+//! The paper's Figure 1 motivating example.
+
+use isegen_graph::NodeId;
+use isegen_ir::{Application, BlockBuilder, Opcode};
+
+/// Node-level layout of the Figure 1 DFG, for experiments that need the
+/// hand-drawn cuts of the figure.
+#[derive(Debug, Clone)]
+pub struct Figure1Layout {
+    /// The six reusable 4-operation cores (the solid boundary of the
+    /// figure), in construction order.
+    pub cores: Vec<[NodeId; 4]>,
+    /// The three 2-operation tails extending cores 0..3 into the largest
+    /// cluster (the dotted boundary).
+    pub tails: Vec<[NodeId; 2]>,
+}
+
+/// Builds the Figure 1 motivating DFG: six instances of a reusable
+/// 4-operation cluster, three of which carry an extra 2-operation tail
+/// forming the *largest* 6-operation cluster.
+///
+/// A merit-only search (no reuse awareness) picks the largest cluster —
+/// three instances, 18 operations covered. Recognising the smaller
+/// cluster's six instances covers 24 operations with the same single AFU:
+/// "finding three instances of the largest ISE is not as effective as
+/// finding a large ISE with six instances".
+pub fn figure1() -> Application {
+    figure1_annotated().0
+}
+
+/// [`figure1`] plus the node ids of the figure's two cluster shapes.
+pub fn figure1_annotated() -> (Application, Figure1Layout) {
+    let mut b = BlockBuilder::new("figure1_kernel").frequency(1_000);
+    let mut cores: Vec<[NodeId; 4]> = Vec::new();
+    let mut core_outs: Vec<NodeId> = Vec::new();
+    for k in 0..6 {
+        // the reusable 4-op core: (x^y) + z, shifted, re-xored
+        let x = b.input(format!("x{k}"));
+        let y = b.input(format!("y{k}"));
+        let z = b.input(format!("z{k}"));
+        let s = b.input(format!("s{k}"));
+        let t = b.op(Opcode::Xor, &[x, y]).expect("arity");
+        let u = b.op(Opcode::Add, &[t, z]).expect("arity");
+        let v = b.op(Opcode::Shl, &[u, s]).expect("arity");
+        let w = b.op(Opcode::Xor, &[v, t]).expect("arity");
+        cores.push([t, u, v, w]);
+        core_outs.push(w);
+    }
+    // three tails extend cores 0..3 into the largest cluster
+    let mut tails: Vec<[NodeId; 2]> = Vec::new();
+    for k in 0..3 {
+        let c = b.input(format!("c{k}"));
+        let p = b.op(Opcode::Sub, &[core_outs[k], c]).expect("arity");
+        let q = b.op(Opcode::Sar, &[p, c]).expect("arity");
+        tails.push([p, q]);
+    }
+    let mut app = Application::new("figure1");
+    app.push_block(b.build().expect("non-empty"));
+    (app, Figure1Layout { cores, tails })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_thirty_operations() {
+        let app = figure1();
+        let kernel = app.critical_block().unwrap();
+        assert_eq!(kernel.operation_count(), 6 * 4 + 3 * 2);
+    }
+
+    #[test]
+    fn layout_matches_structure() {
+        let (app, layout) = figure1_annotated();
+        let block = &app.blocks()[0];
+        assert_eq!(layout.cores.len(), 6);
+        assert_eq!(layout.tails.len(), 3);
+        for core in &layout.cores {
+            assert_eq!(block.opcode(core[0]), Opcode::Xor);
+            assert_eq!(block.opcode(core[3]), Opcode::Xor);
+        }
+        for tail in &layout.tails {
+            assert_eq!(block.opcode(tail[0]), Opcode::Sub);
+            assert_eq!(block.opcode(tail[1]), Opcode::Sar);
+        }
+    }
+}

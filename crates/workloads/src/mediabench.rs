@@ -1,0 +1,166 @@
+//! MediaBench ADPCM coder/decoder kernels.
+
+use crate::util::{assemble, pad_to};
+use isegen_graph::NodeId;
+use isegen_ir::{Application, BlockBuilder, BuildError, Opcode};
+
+/// The IMA-ADPCM predictor/step update shared by coder and decoder:
+/// `vpdiff` reconstruction from the 3 delta bits, predictor accumulate
+/// and clamp, step-size table advance. Table accesses are genuine `Load`
+/// nodes — memory barriers the cut must grow around, as in the paper.
+///
+/// Returns `(valpred, step)` for chaining.
+fn adpcm_step(
+    b: &mut BlockBuilder,
+    delta: NodeId,
+    valpred_in: NodeId,
+    step: NodeId,
+    tag: &str,
+) -> Result<(NodeId, NodeId), BuildError> {
+    let one = b.input(format!("c1_{tag}"));
+    let two = b.input(format!("c2_{tag}"));
+    let three = b.input(format!("c3_{tag}"));
+    let vmin = b.input(format!("vmin_{tag}"));
+    let vmax = b.input(format!("vmax_{tag}"));
+    let index_table = b.input(format!("indextab_{tag}"));
+    let step_table = b.input(format!("steptab_{tag}"));
+
+    // vpdiff = step>>3, conditionally += step, step>>1, step>>2
+    let mut vpdiff = b.op(Opcode::Shr, &[step, three])?;
+    let b2 = b.op(Opcode::And, &[delta, one])?; // bit 0 (reordered taps)
+    let b1 = b.op(Opcode::Shr, &[delta, one])?;
+    let b1m = b.op(Opcode::And, &[b1, one])?;
+    let b0 = b.op(Opcode::Shr, &[delta, two])?;
+    let b0m = b.op(Opcode::And, &[b0, one])?;
+    let s1 = b.op(Opcode::Shr, &[step, one])?;
+    let s2 = b.op(Opcode::Shr, &[step, two])?;
+    let add_full = b.op(Opcode::Add, &[vpdiff, step])?;
+    vpdiff = b.op(Opcode::Select, &[b0m, add_full, vpdiff])?;
+    let add_half = b.op(Opcode::Add, &[vpdiff, s1])?;
+    vpdiff = b.op(Opcode::Select, &[b1m, add_half, vpdiff])?;
+    let add_quarter = b.op(Opcode::Add, &[vpdiff, s2])?;
+    vpdiff = b.op(Opcode::Select, &[b2, add_quarter, vpdiff])?;
+
+    // sign handling: valpred ± vpdiff
+    let sign = b.op(Opcode::Shr, &[delta, three])?;
+    let signm = b.op(Opcode::And, &[sign, one])?;
+    let vplus = b.op(Opcode::Add, &[valpred_in, vpdiff])?;
+    let vminus = b.op(Opcode::Sub, &[valpred_in, vpdiff])?;
+    let vsel = b.op(Opcode::Select, &[signm, vminus, vplus])?;
+
+    // clamp to 16-bit range
+    let vlo = b.op(Opcode::Max, &[vsel, vmin])?;
+    let valpred = b.op(Opcode::Min, &[vlo, vmax])?;
+
+    // index advance + step table lookup (memory barrier)
+    let idx_addr = b.op(Opcode::Add, &[index_table, delta])?;
+    let idx_delta = b.op(Opcode::Load, &[idx_addr])?;
+    let step_addr = b.op(Opcode::Add, &[step_table, idx_delta])?;
+    let next_step = b.op(Opcode::Load, &[step_addr])?;
+    b.live_out(valpred)?;
+    Ok((valpred, next_step))
+}
+
+/// `adpcm_decoder` (MediaBench). Critical block: **82 operations** —
+/// three unrolled decode steps (the inner loop processes two 4-bit
+/// samples per byte plus the carry step) and the output repack tail.
+pub fn adpcm_decoder() -> Application {
+    let mut b = BlockBuilder::new("adpcm_decoder_kernel").frequency(50_000);
+    let packed = b.input("packed");
+    let four = b.input("c4");
+    let mask = b.input("c0f");
+    let mut valpred = b.input("valpred_in");
+    let mut step = b.input("step_in");
+    // unpack two nibbles
+    let hi = b.op(Opcode::Shr, &[packed, four]).expect("arity");
+    let d0 = b.op(Opcode::And, &[hi, mask]).expect("arity");
+    let d1 = b.op(Opcode::And, &[packed, mask]).expect("arity");
+    for (i, delta) in [d0, d1].into_iter().enumerate() {
+        let (v, s) = adpcm_step(&mut b, delta, valpred, step, &format!("d{i}")).expect("step");
+        valpred = v;
+        step = s;
+    }
+    // output repack
+    let last = b.op(Opcode::Shl, &[valpred, four]).expect("arity");
+    pad_to(&mut b, 82, &[last, valpred, step]);
+    assemble("adpcm_decoder", b.build().expect("non-empty"), 0.50)
+}
+
+/// `adpcm_coder` (MediaBench). Critical block: **96 operations** — the
+/// quantisation search (difference, sign split, three-step successive
+/// approximation) followed by the same predictor update as the decoder.
+pub fn adpcm_coder() -> Application {
+    let mut b = BlockBuilder::new("adpcm_coder_kernel").frequency(50_000);
+    let sample = b.input("sample");
+    let one = b.input("k1");
+    let two = b.input("k2");
+    let three = b.input("k3");
+    let mut valpred = b.input("valpred_in");
+    let mut step = b.input("step_in");
+
+    // diff = sample - valpred; sign = diff < 0; diff = |diff|
+    let diff = b.op(Opcode::Sub, &[sample, valpred]).expect("arity");
+    let zero = b.op(Opcode::Xor, &[diff, diff]).expect("arity");
+    let sign = b.op(Opcode::Lt, &[diff, zero]).expect("arity");
+    let adiff = b.op(Opcode::Abs, &[diff]).expect("arity");
+
+    // successive approximation: three compare/subtract/accumulate steps
+    let mut delta = zero;
+    let mut rem = adiff;
+    let mut stepk = step;
+    for k in 0..3 {
+        let ge = b.op(Opcode::Lt, &[stepk, rem]).expect("arity");
+        let sub = b.op(Opcode::Sub, &[rem, stepk]).expect("arity");
+        rem = b.op(Opcode::Select, &[ge, sub, rem]).expect("arity");
+        let bit = b.op(Opcode::Shl, &[ge, two]).expect("arity");
+        delta = b.op(Opcode::Or, &[delta, bit]).expect("arity");
+        if k < 2 {
+            stepk = b.op(Opcode::Shr, &[stepk, one]).expect("arity");
+        }
+    }
+    // fold the sign bit into the code
+    let signbit = b.op(Opcode::Shl, &[sign, three]).expect("arity");
+    let code = b.op(Opcode::Or, &[delta, signbit]).expect("arity");
+    b.live_out(code).expect("in-block id");
+
+    // two predictor updates (current nibble + pipelined next)
+    for i in 0..2 {
+        let (v, s) = adpcm_step(&mut b, code, valpred, step, &format!("c{i}")).expect("step");
+        valpred = v;
+        step = s;
+    }
+    pad_to(&mut b, 96, &[valpred, step, code]);
+    assemble("adpcm_coder", b.build().expect("non-empty"), 0.55)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_block_sizes_match_paper() {
+        let dec = adpcm_decoder();
+        assert_eq!(dec.critical_block().unwrap().operation_count(), 82);
+        let cod = adpcm_coder();
+        assert_eq!(cod.critical_block().unwrap().operation_count(), 96);
+    }
+
+    #[test]
+    fn kernels_contain_memory_barriers() {
+        for app in [adpcm_decoder(), adpcm_coder()] {
+            let kernel = app.critical_block().unwrap();
+            let loads = kernel
+                .dag()
+                .nodes()
+                .filter(|(_, op)| op.opcode() == Opcode::Load)
+                .count();
+            assert!(loads >= 2, "{}: expected step-table loads", app.name());
+            // loads are not eligible for cuts
+            for (id, op) in kernel.dag().nodes() {
+                if op.opcode().is_memory() {
+                    assert!(!kernel.eligible_nodes().contains(id));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Random operation DFGs for stress tests and scaling benchmarks.
+
+use isegen_graph::NodeId;
+use isegen_ir::{Application, BlockBuilder, Opcode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of [`random_application`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWorkloadConfig {
+    /// RNG seed; equal seeds give identical applications.
+    pub seed: u64,
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Operations per block.
+    pub ops_per_block: usize,
+    /// Probability that an operand comes from a fresh external input
+    /// rather than an earlier operation.
+    pub input_bias: f64,
+    /// Probability of a memory operation (barrier) per op slot.
+    pub memory_fraction: f64,
+}
+
+impl Default for RandomWorkloadConfig {
+    fn default() -> Self {
+        RandomWorkloadConfig {
+            seed: 0xDA67,
+            blocks: 1,
+            ops_per_block: 64,
+            input_bias: 0.2,
+            memory_fraction: 0.05,
+        }
+    }
+}
+
+const UNARY: [Opcode; 5] = [Opcode::Not, Opcode::Abs, Opcode::Neg, Opcode::SBox, Opcode::Xtime];
+const BINARY: [Opcode; 12] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Eq,
+    Opcode::Lt,
+    Opcode::Min,
+    Opcode::Max,
+];
+const TERNARY: [Opcode; 2] = [Opcode::Select, Opcode::Mac];
+
+/// Generates a deterministic random application: each block is a layered
+/// DFG of arithmetic/logic operations with occasional memory barriers,
+/// shaped like compiler-produced straight-line code.
+///
+/// # Panics
+///
+/// Panics if `config.ops_per_block` is zero or probabilities are outside
+/// `0.0..=1.0`.
+pub fn random_application(config: &RandomWorkloadConfig) -> Application {
+    assert!(config.ops_per_block > 0, "blocks must contain operations");
+    assert!((0.0..=1.0).contains(&config.input_bias), "invalid input_bias");
+    assert!(
+        (0.0..=1.0).contains(&config.memory_fraction),
+        "invalid memory_fraction"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut app = Application::new(format!("random_{:#x}", config.seed));
+    for bi in 0..config.blocks {
+        let mut b = BlockBuilder::new(format!("random_b{bi}")).frequency(1_000);
+        let mut values: Vec<NodeId> = vec![b.input("seed0"), b.input("seed1")];
+        let operand = |b: &mut BlockBuilder, rng: &mut StdRng, values: &[NodeId]| -> NodeId {
+            if rng.gen_bool(config.input_bias) {
+                b.input(format!("in{}", values.len()))
+            } else {
+                values[rng.gen_range(0..values.len())]
+            }
+        };
+        for _ in 0..config.ops_per_block {
+            let v = if rng.gen_bool(config.memory_fraction) {
+                let addr = operand(&mut b, &mut rng, &values);
+                b.op(Opcode::Load, &[addr]).expect("arity")
+            } else {
+                match rng.gen_range(0..10) {
+                    0..=1 => {
+                        let a = operand(&mut b, &mut rng, &values);
+                        let oc = UNARY[rng.gen_range(0..UNARY.len())];
+                        b.op(oc, &[a]).expect("arity")
+                    }
+                    2 => {
+                        let a = operand(&mut b, &mut rng, &values);
+                        let c = operand(&mut b, &mut rng, &values);
+                        let d = operand(&mut b, &mut rng, &values);
+                        let oc = TERNARY[rng.gen_range(0..TERNARY.len())];
+                        b.op(oc, &[a, c, d]).expect("arity")
+                    }
+                    _ => {
+                        let a = operand(&mut b, &mut rng, &values);
+                        let c = operand(&mut b, &mut rng, &values);
+                        let oc = BINARY[rng.gen_range(0..BINARY.len())];
+                        b.op(oc, &[a, c]).expect("arity")
+                    }
+                }
+            };
+            values.push(v);
+        }
+        app.push_block(b.build().expect("non-empty"));
+    }
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = RandomWorkloadConfig::default();
+        let a = random_application(&cfg);
+        let b = random_application(&cfg);
+        assert_eq!(a.blocks().len(), b.blocks().len());
+        for (ba, bb) in a.blocks().iter().zip(b.blocks()) {
+            assert_eq!(ba.node_count(), bb.node_count());
+            assert_eq!(
+                ba.dag().edges().collect::<Vec<_>>(),
+                bb.dag().edges().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn respects_sizes() {
+        let cfg = RandomWorkloadConfig {
+            blocks: 3,
+            ops_per_block: 40,
+            ..RandomWorkloadConfig::default()
+        };
+        let app = random_application(&cfg);
+        assert_eq!(app.blocks().len(), 3);
+        for b in app.blocks() {
+            assert_eq!(b.operation_count(), 40);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_application(&RandomWorkloadConfig {
+            seed: 1,
+            ..RandomWorkloadConfig::default()
+        });
+        let b = random_application(&RandomWorkloadConfig {
+            seed: 2,
+            ..RandomWorkloadConfig::default()
+        });
+        let ea: Vec<_> = a.blocks()[0].dag().edges().collect();
+        let eb: Vec<_> = b.blocks()[0].dag().edges().collect();
+        assert_ne!(ea, eb);
+    }
+}

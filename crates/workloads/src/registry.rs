@@ -1,0 +1,113 @@
+use crate::{adpcm_coder, adpcm_decoder, aes, autcor00, conven00, fbital00, fft00, viterb00};
+use isegen_ir::Application;
+
+/// A named benchmark with its paper-reported critical-block size.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Benchmark name, as in the paper's figures.
+    pub name: &'static str,
+    /// Operation count of the critical basic block reported by the paper
+    /// (the parenthesised number in Fig. 4 / Fig. 6).
+    pub paper_nodes: usize,
+    /// Builder.
+    pub build: fn() -> Application,
+}
+
+impl WorkloadSpec {
+    /// Builds the application.
+    pub fn application(&self) -> Application {
+        (self.build)()
+    }
+}
+
+/// Every workload of the paper's evaluation, in Fig. 4 order (ascending
+/// critical-block size) plus AES.
+pub fn all_workloads() -> Vec<WorkloadSpec> {
+    let mut v = mediabench_eembc_suite();
+    v.push(WorkloadSpec {
+        name: "aes",
+        paper_nodes: 696,
+        build: aes,
+    });
+    v
+}
+
+/// The seven MediaBench/EEMBC benchmarks of Fig. 4, in the paper's order.
+pub fn mediabench_eembc_suite() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "conven00",
+            paper_nodes: 6,
+            build: conven00,
+        },
+        WorkloadSpec {
+            name: "fbital00",
+            paper_nodes: 20,
+            build: fbital00,
+        },
+        WorkloadSpec {
+            name: "viterb00",
+            paper_nodes: 23,
+            build: viterb00,
+        },
+        WorkloadSpec {
+            name: "autcor00",
+            paper_nodes: 25,
+            build: autcor00,
+        },
+        WorkloadSpec {
+            name: "adpcm_decoder",
+            paper_nodes: 82,
+            build: adpcm_decoder,
+        },
+        WorkloadSpec {
+            name: "adpcm_coder",
+            paper_nodes: 96,
+            build: adpcm_coder,
+        },
+        WorkloadSpec {
+            name: "fft00",
+            paper_nodes: 104,
+            build: fft00,
+        },
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_matches_its_paper_size() {
+        for spec in all_workloads() {
+            let app = spec.application();
+            let kernel = app.critical_block().expect("has blocks");
+            assert_eq!(
+                kernel.operation_count(),
+                spec.paper_nodes,
+                "{}: critical block size mismatch",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn suite_is_in_ascending_size_order() {
+        let suite = mediabench_eembc_suite();
+        assert_eq!(suite.len(), 7);
+        for w in suite.windows(2) {
+            assert!(w[0].paper_nodes < w[1].paper_nodes);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(workload_by_name("aes").unwrap().paper_nodes, 696);
+        assert!(workload_by_name("nonesuch").is_none());
+    }
+}

@@ -1,0 +1,121 @@
+use isegen_graph::NodeId;
+use isegen_ir::{Application, BasicBlock, BlockBuilder, LatencyModel, Opcode};
+
+/// Extends a builder with a realistic post-processing chain (alternating
+/// scale/blend/shift operations) until the block holds exactly `target`
+/// operations.
+///
+/// Real kernels end in exactly this kind of fix-up code (rounding,
+/// saturation, repacking), so the padded tail keeps the DFG plausible
+/// while pinning the operation count to the paper's reported number.
+///
+/// # Panics
+///
+/// Panics if the builder already has more than `target` operations or if
+/// `seeds` is empty.
+pub(crate) fn pad_to(b: &mut BlockBuilder, target: usize, seeds: &[NodeId]) {
+    assert!(!seeds.is_empty(), "padding needs at least one seed value");
+    assert!(
+        b.operation_count() <= target,
+        "block already has {} ops, target {}",
+        b.operation_count(),
+        target
+    );
+    const CYCLE: [Opcode; 4] = [Opcode::Add, Opcode::Xor, Opcode::Shr, Opcode::Sub];
+    let mut prev = seeds[0];
+    let mut i = 0usize;
+    while b.operation_count() < target {
+        let op = CYCLE[i % CYCLE.len()];
+        let other = seeds[i % seeds.len()];
+        prev = b.op(op, &[prev, other]).expect("padding ops are binary");
+        i += 1;
+    }
+}
+
+/// Builds the memory-bound "rest of the program" block: address
+/// arithmetic, loads and stores with almost no ISE opportunity. Its
+/// frequency is chosen so the kernel block accounts for the fraction
+/// `hot_fraction` of the application's cycles under the default latency
+/// model.
+pub(crate) fn support_block(name: &str, kernel: &BasicBlock, hot_fraction: f64) -> BasicBlock {
+    assert!(
+        (0.05..1.0).contains(&hot_fraction),
+        "hot fraction {hot_fraction} outside (0.05, 1)"
+    );
+    let mut b = BlockBuilder::new(name);
+    let base = b.input("base");
+    let idx = b.input("i");
+    // One load/compute/store strip — the archetypal pointer-chasing glue.
+    // Kept smaller than the smallest kernel (5 ops < conven00's 6) so the
+    // kernel is always the application's critical block.
+    let addr = b.op(Opcode::Add, &[base, idx]).expect("binary");
+    let v = b.op(Opcode::Load, &[addr]).expect("unary load");
+    let acc = b.op(Opcode::Add, &[idx, v]).expect("binary");
+    let t = b.op(Opcode::Shr, &[acc, idx]).expect("binary");
+    b.op(Opcode::Store, &[addr, t]).expect("binary store");
+    let mut block = b.build().expect("non-empty");
+
+    let model = LatencyModel::paper_default();
+    let kernel_cycles = kernel.frequency() as f64 * kernel.software_latency(&model) as f64;
+    let support_latency = block.software_latency(&model) as f64;
+    let support_cycles = kernel_cycles * (1.0 - hot_fraction) / hot_fraction;
+    let freq = (support_cycles / support_latency).round().max(1.0) as u64;
+    block.set_frequency(freq);
+    block
+}
+
+/// Assembles kernel + support into an application where the kernel block
+/// carries `hot_fraction` of the dynamic cycles.
+pub(crate) fn assemble(name: &str, kernel: BasicBlock, hot_fraction: f64) -> Application {
+    let support = support_block(&format!("{name}_rest"), &kernel, hot_fraction);
+    let mut app = Application::new(name);
+    app.push_block(kernel);
+    app.push_block(support);
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_to_hits_exact_count() {
+        let mut b = BlockBuilder::new("t");
+        let x = b.input("x");
+        let y = b.op(Opcode::Add, &[x, x]).unwrap();
+        pad_to(&mut b, 17, &[y, x]);
+        assert_eq!(b.operation_count(), 17);
+        let block = b.build().unwrap();
+        assert_eq!(block.operation_count(), 17);
+    }
+
+    #[test]
+    fn support_block_hits_hot_fraction() {
+        let mut b = BlockBuilder::new("k").frequency(1_000);
+        let x = b.input("x");
+        let m = b.op(Opcode::Mul, &[x, x]).unwrap();
+        b.op(Opcode::Add, &[m, x]).unwrap();
+        let kernel = b.build().unwrap();
+        let model = LatencyModel::paper_default();
+        for f in [0.3, 0.5, 0.8] {
+            let support = support_block("rest", &kernel, f);
+            let hot = kernel.frequency() as f64 * kernel.software_latency(&model) as f64;
+            let cold = support.frequency() as f64 * support.software_latency(&model) as f64;
+            let actual = hot / (hot + cold);
+            assert!(
+                (actual - f).abs() < 0.05,
+                "requested {f}, achieved {actual}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already has")]
+    fn pad_to_rejects_overshoot() {
+        let mut b = BlockBuilder::new("t");
+        let x = b.input("x");
+        let y = b.op(Opcode::Add, &[x, x]).unwrap();
+        let z = b.op(Opcode::Add, &[y, x]).unwrap();
+        pad_to(&mut b, 1, &[z]);
+    }
+}

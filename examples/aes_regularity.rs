@@ -1,0 +1,55 @@
+//! The paper's AES study in miniature: ISEGEN exploits the cipher's
+//! regular structure by matching each generated ISE across the whole
+//! 696-operation round data-flow.
+//!
+//! ```sh
+//! cargo run --release --example aes_regularity
+//! ```
+
+use isegen::prelude::*;
+use isegen::workloads::aes;
+
+fn main() {
+    let model = LatencyModel::paper_default();
+    let app = aes();
+    let kernel = app.critical_block().expect("aes has blocks");
+    println!(
+        "AES critical block: {} operations, {} DFG nodes",
+        kernel.operation_count(),
+        kernel.node_count()
+    );
+
+    for (max_inputs, max_outputs) in IoConstraints::AES_SWEEP {
+        let io = IoConstraints::new(max_inputs, max_outputs);
+        let config = IseConfig {
+            io,
+            max_ises: 4,
+            reuse_matching: true,
+        };
+        let with_reuse = generate(&app, &model, &config, &SearchConfig::default());
+        let without = generate(
+            &app,
+            &model,
+            &IseConfig {
+                reuse_matching: false,
+                ..config
+            },
+            &SearchConfig::default(),
+        );
+        let cuts: Vec<String> = with_reuse
+            .ises
+            .iter()
+            .map(|i| format!("{}x{}op", i.instances.len(), i.cut.nodes().len()))
+            .collect();
+        println!(
+            "io {io}: speedup {:.3} with reuse ({}) vs {:.3} without",
+            with_reuse.speedup(),
+            cuts.join(", "),
+            without.speedup()
+        );
+    }
+    println!();
+    println!("One AFU per recurring cut covers the DFG; without reuse the");
+    println!("same cuts accelerate a single site each — the regularity gap");
+    println!("the paper reports against the genetic formulation.");
+}

@@ -1,0 +1,32 @@
+//! Runs all four algorithms over the MediaBench/EEMBC suite (the Fig. 4
+//! comparison) and prints speedup + runtime per benchmark.
+//!
+//! ```sh
+//! cargo run --release --example mediabench_sweep
+//! ```
+
+use isegen::eval::{run_algorithm, Algorithm, HarnessConfig};
+use isegen::ir::LatencyModel;
+use isegen::workloads::mediabench_eembc_suite;
+
+fn main() {
+    let model = LatencyModel::paper_default();
+    let config = HarnessConfig::paper_default();
+    println!(
+        "{:<18} {:>10} {:>12} {:>12}",
+        "benchmark", "algorithm", "speedup", "runtime_us"
+    );
+    for spec in mediabench_eembc_suite() {
+        let app = spec.application();
+        for alg in Algorithm::ALL {
+            let out = run_algorithm(alg, &app, &model, &config);
+            println!(
+                "{:<18} {:>10} {:>12} {:>12}",
+                format!("{}({})", spec.name, spec.paper_nodes),
+                alg.to_string(),
+                out.speedup_cell(),
+                out.runtime_us()
+            );
+        }
+    }
+}

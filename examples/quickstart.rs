@@ -1,0 +1,60 @@
+//! Quickstart: describe a kernel, run ISEGEN, inspect the generated ISE.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use isegen::prelude::*;
+
+fn main() -> Result<(), isegen::ir::BuildError> {
+    // A small DSP-ish kernel: two multiply-accumulate lanes merged by a
+    // saturating select.
+    let mut b = BlockBuilder::new("kernel").frequency(100_000);
+    let (x0, y0) = (b.input("x0"), b.input("y0"));
+    let (x1, y1) = (b.input("x1"), b.input("y1"));
+    let limit = b.input("limit");
+    let p0 = b.op(Opcode::Mul, &[x0, y0])?;
+    let p1 = b.op(Opcode::Mul, &[x1, y1])?;
+    let sum = b.op(Opcode::Add, &[p0, p1])?;
+    let over = b.op(Opcode::Lt, &[limit, sum])?;
+    let clamped = b.op(Opcode::Select, &[over, limit, sum])?;
+    b.live_out(clamped)?;
+
+    let mut app = Application::new("quickstart");
+    app.push_block(b.build()?);
+
+    let model = LatencyModel::paper_default();
+    let config = IseConfig {
+        io: IoConstraints::new(4, 2),
+        max_ises: 2,
+        reuse_matching: true,
+    };
+    let selection = generate(&app, &model, &config, &SearchConfig::default());
+
+    println!("application: {}", app.name());
+    println!(
+        "total software latency: {} cycles",
+        selection.total_sw_cycles
+    );
+    for (k, ise) in selection.ises.iter().enumerate() {
+        let block = &app.blocks()[ise.block_index];
+        println!(
+            "ISE{}: {} ops, {} inputs, {} outputs, saves {} cycles/exec, {} instance(s)",
+            k + 1,
+            ise.cut.nodes().len(),
+            ise.cut.input_count(),
+            ise.cut.output_count(),
+            ise.saved_per_execution,
+            ise.instances.len(),
+        );
+        let ops: Vec<String> = ise
+            .cut
+            .nodes()
+            .iter()
+            .map(|v| block.opcode(v).to_string())
+            .collect();
+        println!("      operations: {}", ops.join(" "));
+    }
+    println!("speedup: {:.3}x", selection.speedup());
+    Ok(())
+}

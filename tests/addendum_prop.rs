@@ -1,0 +1,57 @@
+//! Property tests of the Fig. 3 addendum table on arbitrary DFGs: the
+//! paper's locality claim ("when a node is toggled, ΔI and ΔO of only
+//! its neighbours get affected") as a machine-checked theorem.
+
+use isegen::core::{AddendumTable, BlockContext, Cut};
+use isegen::graph::NodeId;
+use isegen::ir::LatencyModel;
+use isegen::workloads::{random_application, RandomWorkloadConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn addendums_always_match_scratch_deltas(
+        seed in any::<u64>(),
+        ops in 6usize..40,
+        toggles in proptest::collection::vec(any::<usize>(), 1..40),
+    ) {
+        let app = random_application(&RandomWorkloadConfig {
+            seed,
+            blocks: 1,
+            ops_per_block: ops,
+            ..RandomWorkloadConfig::default()
+        });
+        let model = LatencyModel::paper_default();
+        let block = &app.blocks()[0];
+        let ctx = BlockContext::new(block, &model);
+        let nodes: Vec<NodeId> = block.dag().node_ids().collect();
+        let mut table = AddendumTable::new(&ctx);
+        for &t in &toggles {
+            let v = nodes[t % nodes.len()];
+            table.toggle(&ctx, v);
+            // running I/O counts match a full recount
+            let reference = Cut::evaluate(&ctx, table.cut().clone());
+            prop_assert_eq!(table.inputs(), reference.input_count());
+            prop_assert_eq!(table.outputs(), reference.output_count());
+            // every maintained addendum matches its from-scratch delta —
+            // nodes outside the Fig. 3 neighbourhood included
+            for &u in &nodes {
+                let mut flipped = table.cut().clone();
+                flipped.toggle(u);
+                let f = Cut::evaluate(&ctx, flipped);
+                prop_assert_eq!(
+                    table.delta_i(u),
+                    f.input_count() as i32 - reference.input_count() as i32,
+                    "stale dI at {}", u
+                );
+                prop_assert_eq!(
+                    table.delta_o(u),
+                    f.output_count() as i32 - reference.output_count() as i32,
+                    "stale dO at {}", u
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Cross-algorithm agreement: on blocks small enough for exhaustive
+//! search, the heuristics must track the provable optimum — the paper's
+//! central quality claim ("ISEGEN matches the solution quality of Exact,
+//! Iterative and Genetic").
+
+use isegen::baselines::{
+    exact_single_cut, run_exact, run_iterative, ExactConfig, GeneticConfig, GeneticFinder,
+};
+use isegen::core::CutFinder;
+use isegen::prelude::*;
+use isegen::workloads::{
+    mediabench_eembc_suite, random_application, RandomWorkloadConfig,
+};
+
+fn config(io: IoConstraints, n: usize) -> IseConfig {
+    IseConfig {
+        io,
+        max_ises: n,
+        reuse_matching: false,
+    }
+}
+
+/// ISEGEN's single cut never exceeds the exact optimum (no reuse), and
+/// reaches at least 85% of it on the small EEMBC benchmarks.
+#[test]
+fn isegen_tracks_the_single_cut_optimum() {
+    let model = LatencyModel::paper_default();
+    let io = IoConstraints::new(4, 2);
+    for spec in mediabench_eembc_suite().into_iter().take(4) {
+        let app = spec.application();
+        let block = app.critical_block().expect("has blocks");
+        let ctx = BlockContext::new(block, &model);
+        let optimal = exact_single_cut(&ctx, io, &ExactConfig::default(), None)
+            .expect("small blocks complete");
+        let heuristic = bipartition(&ctx, io, &SearchConfig::default(), None);
+        assert!(
+            heuristic.merit() <= optimal.merit() + 1e-9,
+            "{}: heuristic above optimum?!",
+            spec.name
+        );
+        assert!(
+            heuristic.merit() >= 0.85 * optimal.merit(),
+            "{}: ISEGEN merit {} below 85% of optimum {}",
+            spec.name,
+            heuristic.merit(),
+            optimal.merit()
+        );
+    }
+}
+
+/// The jointly-optimal multi-cut selection dominates the greedy iterative
+/// one, which dominates nothing-found.
+#[test]
+fn exact_dominates_iterative() {
+    let model = LatencyModel::paper_default();
+    let io = IoConstraints::new(4, 2);
+    for spec in mediabench_eembc_suite().into_iter().take(4) {
+        let app = spec.application();
+        let cfg = config(io, 4);
+        let exact_cfg = ExactConfig::default();
+        let joint = run_exact(&app, &model, &cfg, &exact_cfg).expect("small blocks complete");
+        let greedy = run_iterative(&app, &model, &cfg, &exact_cfg).expect("small blocks complete");
+        assert!(
+            joint.saved_cycles >= greedy.saved_cycles,
+            "{}: joint {} < greedy {}",
+            spec.name,
+            joint.saved_cycles,
+            greedy.saved_cycles
+        );
+        let isegen = generate(&app, &model, &cfg, &SearchConfig::default());
+        assert!(
+            isegen.saved_cycles <= joint.saved_cycles,
+            "{}: heuristic beat the joint optimum without reuse",
+            spec.name
+        );
+    }
+}
+
+/// On random DFGs the genetic baseline and ISEGEN both stay legal and
+/// within the optimum.
+#[test]
+fn heuristics_legal_on_random_dfgs() {
+    let model = LatencyModel::paper_default();
+    let io = IoConstraints::new(4, 2);
+    for seed in [3u64, 17, 2024] {
+        let app = random_application(&RandomWorkloadConfig {
+            seed,
+            blocks: 1,
+            ops_per_block: 18,
+            ..RandomWorkloadConfig::default()
+        });
+        let block = &app.blocks()[0];
+        let ctx = BlockContext::new(block, &model);
+        let optimal = exact_single_cut(&ctx, io, &ExactConfig::default(), None)
+            .expect("18-op blocks complete");
+
+        let kl = bipartition(&ctx, io, &SearchConfig::default(), None);
+        if !kl.is_empty() {
+            assert!(ctx.is_convex(kl.nodes()), "seed {seed}: ISEGEN non-convex");
+            assert!(kl.satisfies_io(io), "seed {seed}: ISEGEN violates io");
+        }
+        assert!(kl.merit() <= optimal.merit() + 1e-9);
+
+        let mut ga = GeneticFinder::new(GeneticConfig {
+            population: 32,
+            generations: 60,
+            seed,
+            ..GeneticConfig::default()
+        });
+        let gcut = ga.find_cut(&ctx, io, None);
+        if !gcut.is_empty() {
+            assert!(ctx.is_convex(gcut.nodes()), "seed {seed}: GA non-convex");
+            assert!(gcut.satisfies_io(io), "seed {seed}: GA violates io");
+        }
+        assert!(gcut.merit() <= optimal.merit() + 1e-9);
+    }
+}
+
+/// The exhaustive baselines report failure (rather than wrong answers)
+/// on AES-sized blocks — the paper's "optimal algorithms could not run".
+#[test]
+fn exhaustive_baselines_fail_gracefully_on_aes() {
+    let model = LatencyModel::paper_default();
+    let app = isegen::workloads::aes();
+    let cfg = config(IoConstraints::new(4, 2), 1);
+    let exact_cfg = ExactConfig {
+        max_nodes: 120,
+        ..ExactConfig::default()
+    };
+    assert!(run_exact(&app, &model, &cfg, &exact_cfg).is_err());
+    assert!(run_iterative(&app, &model, &cfg, &exact_cfg).is_err());
+}

@@ -1,0 +1,165 @@
+//! End-to-end invariants of the full pipeline (workload → ISEGEN →
+//! selection) on every benchmark of the paper's suite.
+
+use isegen::prelude::*;
+use isegen::workloads::mediabench_eembc_suite;
+
+fn paper_config() -> IseConfig {
+    IseConfig {
+        io: IoConstraints::new(4, 2),
+        max_ises: 4,
+        reuse_matching: true,
+    }
+}
+
+/// Every generated ISE must be architecturally valid: convex, within the
+/// port budget, disjoint from every other accelerated instance, and
+/// genuinely profitable.
+#[test]
+fn selections_are_architecturally_valid() {
+    let model = LatencyModel::paper_default();
+    for spec in mediabench_eembc_suite() {
+        let app = spec.application();
+        let sel = generate(&app, &model, &paper_config(), &SearchConfig::default());
+        assert!(sel.speedup() >= 1.0, "{}: speedup below 1", spec.name);
+        let contexts: Vec<BlockContext<'_>> = app
+            .blocks()
+            .iter()
+            .map(|b| BlockContext::new(b, &model))
+            .collect();
+        let mut claimed: Vec<isegen::graph::NodeSet> = app
+            .blocks()
+            .iter()
+            .map(|b| isegen::graph::NodeSet::new(b.dag().node_count()))
+            .collect();
+        for ise in &sel.ises {
+            assert!(ise.saved_per_execution > 0, "{}: useless ISE", spec.name);
+            let defining = &contexts[ise.block_index];
+            assert!(
+                defining.is_convex(ise.cut.nodes()),
+                "{}: non-convex cut",
+                spec.name
+            );
+            assert!(
+                ise.cut.satisfies_io(IoConstraints::new(4, 2)),
+                "{}: cut violates (4,2)",
+                spec.name
+            );
+            for inst in &ise.instances {
+                let ctx = &contexts[inst.block_index];
+                assert!(
+                    ctx.is_convex(&inst.nodes),
+                    "{}: non-convex instance",
+                    spec.name
+                );
+                let c = Cut::evaluate(ctx, inst.nodes.clone());
+                assert!(
+                    c.satisfies_io(IoConstraints::new(4, 2)),
+                    "{}: instance violates (4,2)",
+                    spec.name
+                );
+                assert_eq!(
+                    inst.nodes.len(),
+                    ise.cut.nodes().len(),
+                    "{}: instance size differs from its pattern",
+                    spec.name
+                );
+                assert!(
+                    claimed[inst.block_index].is_disjoint(&inst.nodes),
+                    "{}: overlapping instances",
+                    spec.name
+                );
+                claimed[inst.block_index].union_with(&inst.nodes);
+            }
+        }
+    }
+}
+
+/// ISEGEN is deterministic: two runs produce identical selections.
+#[test]
+fn isegen_is_deterministic() {
+    let model = LatencyModel::paper_default();
+    for spec in mediabench_eembc_suite().into_iter().take(4) {
+        let app = spec.application();
+        let a = generate(&app, &model, &paper_config(), &SearchConfig::default());
+        let b = generate(&app, &model, &paper_config(), &SearchConfig::default());
+        assert_eq!(a, b, "{}: nondeterministic result", spec.name);
+    }
+}
+
+/// More AFUs never hurt: speedup is monotone in `N_ISE`.
+#[test]
+fn speedup_monotone_in_afu_budget() {
+    let model = LatencyModel::paper_default();
+    for spec in mediabench_eembc_suite().into_iter().take(5) {
+        let app = spec.application();
+        let mut last = 1.0;
+        for n in 1..=4 {
+            let config = IseConfig {
+                max_ises: n,
+                ..paper_config()
+            };
+            let s = generate(&app, &model, &config, &SearchConfig::default()).speedup();
+            assert!(
+                s >= last - 1e-9,
+                "{}: speedup dropped from {last} to {s} at N_ISE={n}",
+                spec.name
+            );
+            last = s;
+        }
+    }
+}
+
+/// Relaxing the port budget never hurts a single-cut search.
+#[test]
+fn merit_monotone_in_io_budget() {
+    let model = LatencyModel::paper_default();
+    for spec in mediabench_eembc_suite().into_iter().take(5) {
+        let app = spec.application();
+        let block = app.critical_block().expect("has blocks");
+        let ctx = BlockContext::new(block, &model);
+        let mut last = 0.0;
+        for (i, o) in [(2u32, 1u32), (3, 1), (4, 2), (6, 3), (8, 4)] {
+            let cut = bipartition(
+                &ctx,
+                IoConstraints::new(i, o),
+                &SearchConfig::default(),
+                None,
+            );
+            let m = cut.merit().max(0.0);
+            // The K-L heuristic is not globally optimal, so allow a small
+            // tolerance; systematic regressions would trip it.
+            assert!(
+                m >= last * 0.85 - 1e-9,
+                "{}: merit collapsed from {last} to {m} at ({i},{o})",
+                spec.name
+            );
+            if m > last {
+                last = m;
+            }
+        }
+    }
+}
+
+/// Covered nodes of one ISE are never re-used by a later ISE.
+#[test]
+fn successive_cuts_are_disjoint() {
+    let model = LatencyModel::paper_default();
+    let spec = &mediabench_eembc_suite()[4]; // adpcm_decoder: plenty of cuts
+    let app = spec.application();
+    let config = IseConfig {
+        reuse_matching: false,
+        max_ises: 6,
+        ..paper_config()
+    };
+    let sel = generate(&app, &model, &config, &SearchConfig::default());
+    assert!(sel.ises.len() >= 2, "expected several cuts");
+    for i in 0..sel.ises.len() {
+        for j in (i + 1)..sel.ises.len() {
+            let (a, b) = (&sel.ises[i], &sel.ises[j]);
+            if a.block_index == b.block_index {
+                assert!(a.cut.nodes().is_disjoint(b.cut.nodes()));
+            }
+        }
+    }
+}

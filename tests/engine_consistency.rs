@@ -1,0 +1,135 @@
+//! Property tests of the §4.3 toggle-impact machinery at integration
+//! scale: after *any* toggle sequence on *any* DFG, the incremental
+//! engine's counts must equal a from-scratch evaluation. This substitutes
+//! for the rule-table correctness proofs the paper defers to its
+//! technical report.
+
+use isegen::core::{BlockContext, Cut, ToggleEngine};
+use isegen::graph::NodeId;
+use isegen::ir::LatencyModel;
+use isegen::workloads::{random_application, RandomWorkloadConfig};
+use proptest::prelude::*;
+
+fn check_consistency(seed: u64, ops: usize, toggles: &[usize]) {
+    let app = random_application(&RandomWorkloadConfig {
+        seed,
+        blocks: 1,
+        ops_per_block: ops,
+        ..RandomWorkloadConfig::default()
+    });
+    let model = LatencyModel::paper_default();
+    let block = &app.blocks()[0];
+    let ctx = BlockContext::new(block, &model);
+    let eligible: Vec<NodeId> = ctx.eligible().iter().collect();
+    if eligible.is_empty() {
+        return;
+    }
+    let mut engine = ToggleEngine::new(&ctx);
+    for &t in toggles {
+        let v = eligible[t % eligible.len()];
+        engine.toggle(v);
+        let reference = Cut::evaluate(&ctx, engine.cut().clone());
+        assert_eq!(engine.input_count(), reference.input_count(), "inputs");
+        assert_eq!(engine.output_count(), reference.output_count(), "outputs");
+        assert_eq!(
+            engine.software_latency(),
+            reference.software_latency(),
+            "sw latency"
+        );
+        assert!(
+            (engine.hardware_latency() - reference.hardware_latency()).abs() < 1e-9,
+            "hw latency {} vs {}",
+            engine.hardware_latency(),
+            reference.hardware_latency()
+        );
+        assert_eq!(
+            engine.is_convex(),
+            ctx.is_convex(engine.cut()),
+            "convexity"
+        );
+        let snap = engine.snapshot();
+        assert_eq!(snap, reference, "snapshot mismatch");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_engine_matches_scratch(
+        seed in any::<u64>(),
+        ops in 8usize..80,
+        toggles in proptest::collection::vec(any::<usize>(), 1..120),
+    ) {
+        check_consistency(seed, ops, &toggles);
+    }
+
+    #[test]
+    fn probe_matches_commit(
+        seed in any::<u64>(),
+        ops in 8usize..60,
+        toggles in proptest::collection::vec(any::<usize>(), 1..60),
+    ) {
+        let app = random_application(&RandomWorkloadConfig {
+            seed,
+            blocks: 1,
+            ops_per_block: ops,
+            ..RandomWorkloadConfig::default()
+        });
+        let model = LatencyModel::paper_default();
+        let block = &app.blocks()[0];
+        let ctx = BlockContext::new(block, &model);
+        let eligible: Vec<NodeId> = ctx.eligible().iter().collect();
+        prop_assume!(!eligible.is_empty());
+        let mut engine = ToggleEngine::new(&ctx);
+        for &t in &toggles {
+            let v = eligible[t % eligible.len()];
+            let probe = engine.probe(v);
+            let was_convex = engine.is_convex();
+            engine.toggle(v);
+            // I/O predictions are always exact.
+            prop_assert_eq!(probe.inputs, engine.input_count());
+            prop_assert_eq!(probe.outputs, engine.output_count());
+            if probe.entering {
+                // entering predictions are exact for convexity and merit
+                prop_assert_eq!(probe.convex, engine.is_convex());
+                if probe.convex {
+                    prop_assert!((probe.merit - engine.merit()).abs() < 1e-9,
+                        "entering merit {} vs {}", probe.merit, engine.merit());
+                }
+            } else if was_convex {
+                // leaving a convex cut: convexity prediction is exact
+                prop_assert_eq!(probe.convex, engine.is_convex());
+            }
+        }
+    }
+}
+
+/// Exhaustive check on a fixed small graph: every subset reachable by
+/// toggles agrees with scratch evaluation.
+#[test]
+fn exhaustive_small_graph() {
+    let app = random_application(&RandomWorkloadConfig {
+        seed: 99,
+        blocks: 1,
+        ops_per_block: 10,
+        memory_fraction: 0.1,
+        ..RandomWorkloadConfig::default()
+    });
+    let model = LatencyModel::paper_default();
+    let block = &app.blocks()[0];
+    let ctx = BlockContext::new(block, &model);
+    let eligible: Vec<NodeId> = ctx.eligible().iter().collect();
+    let k = eligible.len().min(10);
+    for mask in 0u32..(1 << k) {
+        let mut engine = ToggleEngine::new(&ctx);
+        for (i, &v) in eligible.iter().take(k).enumerate() {
+            if mask & (1 << i) != 0 {
+                engine.toggle(v);
+            }
+        }
+        let reference = Cut::evaluate(&ctx, engine.cut().clone());
+        assert_eq!(engine.snapshot(), reference, "mask {mask:b}");
+        assert_eq!(engine.is_convex(), ctx.is_convex(engine.cut()));
+    }
+}

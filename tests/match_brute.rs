@@ -1,0 +1,153 @@
+//! Cross-checks the VF2-style matcher against brute-force enumeration on
+//! small graphs: every disjoint instance set it returns must be maximal
+//! and correct, and single-instance existence must agree with an
+//! exhaustive subset search.
+
+use isegen::graph::{NodeId, NodeSet};
+use isegen::ir::{BasicBlock, Opcode};
+use isegen::matching::{find_disjoint_instances, Pattern};
+use isegen::workloads::{random_application, RandomWorkloadConfig};
+use proptest::prelude::*;
+
+/// Exhaustively checks whether `candidate` (a node set of the right
+/// size) is an induced, operand-position-preserving embedding of
+/// `pattern`'s source `cut` — by trying every bijection implied by the
+/// matcher's semantics. Small sizes only.
+fn is_embedding_brute(block: &BasicBlock, cut: &[NodeId], candidate: &[NodeId]) -> bool {
+    if cut.len() != candidate.len() {
+        return false;
+    }
+    // try every permutation of candidate against cut order
+    fn permutations(v: &[NodeId]) -> Vec<Vec<NodeId>> {
+        if v.len() <= 1 {
+            return vec![v.to_vec()];
+        }
+        let mut out = Vec::new();
+        for i in 0..v.len() {
+            let mut rest = v.to_vec();
+            let x = rest.remove(i);
+            for mut p in permutations(&rest) {
+                p.insert(0, x);
+                out.push(p);
+            }
+        }
+        out
+    }
+    let dag = block.dag();
+    let in_cut = |set: &[NodeId], x: NodeId| set.iter().position(|&v| v == x);
+    'perm: for perm in permutations(candidate) {
+        for (i, &cv) in cut.iter().enumerate() {
+            let iv = perm[i];
+            if block.opcode(cv) != block.opcode(iv) {
+                continue 'perm;
+            }
+            let cp = dag.preds(cv);
+            let ip = dag.preds(iv);
+            if cp.len() != ip.len() {
+                continue 'perm;
+            }
+            for (k, &p) in cp.iter().enumerate() {
+                match in_cut(cut, p) {
+                    Some(j) => {
+                        // internal edge must map to the paired node
+                        if ip[k] != perm[j] {
+                            continue 'perm;
+                        }
+                    }
+                    None => {
+                        // external operand must stay external
+                        if in_cut(&perm, ip[k]).is_some() {
+                            continue 'perm;
+                        }
+                    }
+                }
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Brute-force search: does ANY embedding of `cut` exist among nodes
+/// disjoint from `excluded`? Enumerates all size-k subsets (k ≤ 3,
+/// blocks ≤ 18 ops keep this tractable).
+fn exists_embedding_brute(block: &BasicBlock, cut: &[NodeId], excluded: &NodeSet) -> bool {
+    let nodes: Vec<NodeId> = block
+        .dag()
+        .node_ids()
+        .filter(|&v| !excluded.contains(v))
+        .collect();
+    let k = cut.len();
+    let mut idx = vec![0usize; k];
+    fn rec(
+        block: &BasicBlock,
+        cut: &[NodeId],
+        nodes: &[NodeId],
+        chosen: &mut Vec<NodeId>,
+        start: usize,
+    ) -> bool {
+        if chosen.len() == cut.len() {
+            return is_embedding_brute(block, cut, chosen);
+        }
+        for i in start..nodes.len() {
+            chosen.push(nodes[i]);
+            if rec(block, cut, nodes, chosen, i + 1) {
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+    let _ = &mut idx;
+    rec(block, cut, &nodes, &mut Vec::new(), 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// After the matcher's greedy disjoint pass, no further embedding
+    /// may remain (maximality), and each returned instance must verify
+    /// under brute force.
+    #[test]
+    fn matcher_is_correct_and_maximal(seed in any::<u64>(), ops in 8usize..18, k in 1usize..4) {
+        let app = random_application(&RandomWorkloadConfig {
+            seed,
+            blocks: 1,
+            ops_per_block: ops,
+            memory_fraction: 0.0,
+            ..RandomWorkloadConfig::default()
+        });
+        let block = &app.blocks()[0];
+        let n = block.dag().node_count();
+        // take a connected-ish cut: an eligible node plus up to k-1
+        // predecessors that are operations
+        let elig: Vec<NodeId> = block.eligible_nodes().iter().collect();
+        prop_assume!(!elig.is_empty());
+        let anchor = elig[seed as usize % elig.len()];
+        let mut cut_nodes = vec![anchor];
+        for &p in block.dag().preds(anchor) {
+            if cut_nodes.len() >= k { break; }
+            if block.opcode(p).is_ise_eligible() && !cut_nodes.contains(&p) {
+                cut_nodes.push(p);
+            }
+        }
+        let cut = NodeSet::from_ids(n, cut_nodes.iter().copied());
+        let pattern = Pattern::extract(block, &cut);
+        let found = find_disjoint_instances(block, &pattern, None);
+
+        // every found instance verifies under brute force
+        let mut used = NodeSet::new(n);
+        for inst in &found {
+            let members: Vec<NodeId> = inst.iter().collect();
+            prop_assert!(is_embedding_brute(block, &cut_nodes, &members),
+                "matcher returned a non-embedding");
+            prop_assert!(used.is_disjoint(inst), "instances overlap");
+            used.union_with(inst);
+        }
+        // the original cut is always found (nothing excluded)
+        prop_assert!(found.iter().any(|f| *f == cut));
+        // maximality: no embedding exists among the leftover nodes
+        prop_assert!(!exists_embedding_brute(block, &cut_nodes, &used),
+            "matcher missed an embedding");
+    }
+}

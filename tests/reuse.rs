@@ -1,0 +1,106 @@
+//! Integration tests of the recurrence machinery on the structured
+//! workloads: matched instances are disjoint, isomorphic and valid.
+
+use isegen::matching::{find_disjoint_instances, Pattern};
+use isegen::prelude::*;
+use isegen::workloads::{aes, autcor00, fbital00, fft00};
+
+/// fbital00 is four identical carrier updates: the `sub → sar → max`
+/// water-filling prefix of one carrier recurs in all four.
+#[test]
+fn fbital_carrier_clusters_recur_four_times() {
+    use isegen::graph::NodeSet;
+    let app = fbital00();
+    let block = app.critical_block().expect("has blocks");
+    // pick the first carrier's sub/sar/max chain by opcode
+    let dag = block.dag();
+    let sub = dag
+        .node_ids()
+        .find(|&v| block.opcode(v) == Opcode::Sub)
+        .expect("carrier sub exists");
+    let sar = dag.succs(sub)[0];
+    assert_eq!(block.opcode(sar), Opcode::Sar);
+    let max = dag.succs(sar)[0];
+    assert_eq!(block.opcode(max), Opcode::Max);
+    let cut = NodeSet::from_ids(dag.node_count(), [sub, sar, max]);
+    let pattern = Pattern::extract(block, &cut);
+    let instances = find_disjoint_instances(block, &pattern, None);
+    assert_eq!(
+        instances.len(),
+        4,
+        "expected the 4 carrier clusters, found {}",
+        instances.len()
+    );
+}
+
+/// fft00 has ten isomorphic butterflies.
+#[test]
+fn fft_butterflies_recur_ten_times() {
+    let model = LatencyModel::paper_default();
+    let app = fft00();
+    let block = app.critical_block().expect("has blocks");
+    let ctx = BlockContext::new(block, &model);
+    // one complex-multiply fragment under (4,2)
+    let cut = bipartition(&ctx, IoConstraints::new(4, 2), &SearchConfig::default(), None);
+    assert!(!cut.is_empty());
+    let pattern = Pattern::extract(block, cut.nodes());
+    let instances = find_disjoint_instances(block, &pattern, None);
+    assert!(
+        instances.len() >= 10,
+        "expected >= 10 butterfly fragments, found {}",
+        instances.len()
+    );
+    for i in 0..instances.len() {
+        assert!(ctx.is_convex(&instances[i]), "instance {i} non-convex");
+        for j in (i + 1)..instances.len() {
+            assert!(instances[i].is_disjoint(&instances[j]));
+        }
+    }
+}
+
+/// autcor00's two MAC chains admit a disconnected cut whose halves the
+/// matcher can still pair up elsewhere.
+#[test]
+fn autcor_disconnected_cut_supported() {
+    let model = LatencyModel::paper_default();
+    let app = autcor00();
+    let block = app.critical_block().expect("has blocks");
+    let ctx = BlockContext::new(block, &model);
+    // (8,4) is loose enough for a two-chain (disconnected) cut
+    let cut = bipartition(&ctx, IoConstraints::new(8, 4), &SearchConfig::default(), None);
+    assert!(!cut.is_empty());
+    assert!(ctx.is_convex(cut.nodes()));
+    // whatever the shape, pattern extraction + self-match must find it
+    let pattern = Pattern::extract(block, cut.nodes());
+    let instances = find_disjoint_instances(block, &pattern, None);
+    assert!(!instances.is_empty());
+    assert!(instances.iter().any(|i| i == cut.nodes()));
+}
+
+/// AES end-to-end: with one AFU and reuse, ISEGEN must cover dozens of
+/// sites; the signature of every instance equals the pattern's.
+#[test]
+fn aes_single_afu_covers_many_sites() {
+    let model = LatencyModel::paper_default();
+    let app = aes();
+    let config = IseConfig {
+        io: IoConstraints::new(4, 2),
+        max_ises: 1,
+        reuse_matching: true,
+    };
+    let sel = generate(&app, &model, &config, &SearchConfig::default());
+    assert_eq!(sel.ises.len(), 1);
+    let ise = &sel.ises[0];
+    assert!(
+        ise.instances.len() >= 8,
+        "AES regularity should yield many instances, got {}",
+        ise.instances.len()
+    );
+    let block = &app.blocks()[ise.block_index];
+    let reference = Pattern::extract(block, ise.cut.nodes()).signature();
+    for inst in &ise.instances {
+        let sig = Pattern::extract(&app.blocks()[inst.block_index], &inst.nodes).signature();
+        assert_eq!(sig, reference, "instance is not isomorphic to its ISE");
+    }
+    assert!(sel.speedup() > 1.2, "speedup {}", sel.speedup());
+}
