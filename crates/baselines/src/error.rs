@@ -33,7 +33,10 @@ impl fmt::Display for BaselineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BaselineError::TooLarge { nodes, limit } => {
-                write!(f, "block has {nodes} searchable nodes, exact limit is {limit}")
+                write!(
+                    f,
+                    "block has {nodes} searchable nodes, exact limit is {limit}"
+                )
             }
             BaselineError::BudgetExhausted { steps } => {
                 write!(f, "exhaustive search exceeded its budget of {steps} steps")
@@ -53,8 +56,14 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = BaselineError::TooLarge { nodes: 696, limit: 40 };
-        assert_eq!(e.to_string(), "block has 696 searchable nodes, exact limit is 40");
+        let e = BaselineError::TooLarge {
+            nodes: 696,
+            limit: 40,
+        };
+        assert_eq!(
+            e.to_string(),
+            "block has 696 searchable nodes, exact limit is 40"
+        );
         let e = BaselineError::BudgetExhausted { steps: 10 };
         assert!(e.to_string().contains("10 steps"));
         let e = BaselineError::TooManyCuts { limit: 5 };

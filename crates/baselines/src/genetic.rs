@@ -142,7 +142,7 @@ impl CutFinder for GeneticFinder {
         let mut best_legal: Option<(f64, NodeSet)> = None;
         let consider = |legal: Option<f64>, nodes: &NodeSet, best: &mut Option<(f64, NodeSet)>| {
             if let Some(m) = legal {
-                let better = best.as_ref().map_or(true, |(bm, _)| m > *bm);
+                let better = best.as_ref().is_none_or(|(bm, _)| m > *bm);
                 if better {
                     *best = Some((m, nodes.clone()));
                 }
@@ -188,7 +188,11 @@ impl CutFinder for GeneticFinder {
                         })
                         .collect()
                 } else {
-                    let fitter = if pop[pa].fitness >= pop[pb].fitness { pa } else { pb };
+                    let fitter = if pop[pa].fitness >= pop[pb].fitness {
+                        pa
+                    } else {
+                        pb
+                    };
                     pop[fitter].genes.clone()
                 };
                 let p_flip = (cfg.mutation_bits / len as f64).min(1.0);

@@ -40,7 +40,7 @@ pub fn run_exact(
         }
     }
     // Highest saving first: good incumbents early, tight bounds.
-    pool.sort_by(|a, b| b.2.cmp(&a.2));
+    pool.sort_by_key(|entry| std::cmp::Reverse(entry.2));
     // Suffix table of the best possible remaining savings (ignoring
     // disjointness) for the bound.
     let mut suffix_best: Vec<u64> = vec![0; pool.len() + 1];
@@ -189,10 +189,7 @@ mod tests {
         for i in 0..sel.ises.len() {
             for j in (i + 1)..sel.ises.len() {
                 if sel.ises[i].block_index == sel.ises[j].block_index {
-                    assert!(sel.ises[i]
-                        .cut
-                        .nodes()
-                        .is_disjoint(sel.ises[j].cut.nodes()));
+                    assert!(sel.ises[i].cut.nodes().is_disjoint(sel.ises[j].cut.nodes()));
                 }
             }
         }

@@ -26,7 +26,14 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(generate(&app, &model, &config, &SearchConfig::default())))
         });
         group.bench_function(format!("iterative/{name}"), |b| {
-            b.iter(|| black_box(run_iterative(&app, &model, &config, &ExactConfig::default())))
+            b.iter(|| {
+                black_box(run_iterative(
+                    &app,
+                    &model,
+                    &config,
+                    &ExactConfig::default(),
+                ))
+            })
         });
     }
     // the genetic baseline is slow; bench it on the smallest kernel only

@@ -279,16 +279,8 @@ mod tests {
                 let mut flipped = table.cut().clone();
                 flipped.toggle(v);
                 let (fi, fo) = scratch_io(&ctx, &flipped);
-                assert_eq!(
-                    table.delta_i(v),
-                    fi as i32 - bi as i32,
-                    "stale ΔI at {v}"
-                );
-                assert_eq!(
-                    table.delta_o(v),
-                    fo as i32 - bo as i32,
-                    "stale ΔO at {v}"
-                );
+                assert_eq!(table.delta_i(v), fi as i32 - bi as i32, "stale ΔI at {v}");
+                assert_eq!(table.delta_o(v), fo as i32 - bo as i32, "stale ΔO at {v}");
             }
         }
     }

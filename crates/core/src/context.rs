@@ -26,8 +26,14 @@ impl<'a> BlockContext<'a> {
         let n = dag.node_count();
         let topo = TopoOrder::new(dag);
         let reach = Reachability::new(dag, &topo);
-        let sw: Vec<u32> = dag.nodes().map(|(_, op)| model.sw_cycles(op.opcode())).collect();
-        let hw: Vec<f64> = dag.nodes().map(|(_, op)| model.hw_delay(op.opcode())).collect();
+        let sw: Vec<u32> = dag
+            .nodes()
+            .map(|(_, op)| model.sw_cycles(op.opcode()))
+            .collect();
+        let hw: Vec<f64> = dag
+            .nodes()
+            .map(|(_, op)| model.hw_delay(op.opcode()))
+            .collect();
         let eligible = block.eligible_nodes();
 
         // Barrier distances (paper §4.2 "Large Cut"): external inputs and
@@ -150,7 +156,7 @@ impl<'a> BlockContext<'a> {
     pub fn potential(&self, forbidden: Option<&NodeSet>) -> u64 {
         self.eligible
             .iter()
-            .filter(|&v| forbidden.map_or(true, |f| !f.contains(v)))
+            .filter(|&v| forbidden.is_none_or(|f| !f.contains(v)))
             .map(|v| self.sw[v.index()] as u64)
             .sum()
     }

@@ -50,15 +50,14 @@ impl Cut {
                     feeds_cut.insert(p);
                 }
             }
-            let escapes = dag.succs(v).iter().any(|s| !nodes.contains(*s))
-                || ctx.block().is_live_out(v);
+            let escapes =
+                dag.succs(v).iter().any(|s| !nodes.contains(*s)) || ctx.block().is_live_out(v);
             if escapes {
                 outputs += 1;
             }
         }
         inputs += feeds_cut.len() as u32;
-        let hw_latency =
-            path::critical_path_within(dag, ctx.topo(), &nodes, |v| ctx.hw_delay(v));
+        let hw_latency = path::critical_path_within(dag, ctx.topo(), &nodes, |v| ctx.hw_delay(v));
         Cut {
             nodes,
             inputs,
@@ -217,7 +216,11 @@ mod tests {
         let model = LatencyModel::paper_default();
         let ctx = BlockContext::new(&block, &model);
         let cut = Cut::evaluate(&ctx, NodeSet::from_ids(2, [sq]));
-        assert_eq!(cut.input_count(), 1, "x feeds both operands but is one value");
+        assert_eq!(
+            cut.input_count(),
+            1,
+            "x feeds both operands but is one value"
+        );
     }
 
     #[test]

@@ -261,7 +261,10 @@ mod tests {
         let two = generate(
             &app,
             &model,
-            &IseConfig { max_ises: 2, ..base },
+            &IseConfig {
+                max_ises: 2,
+                ..base
+            },
             &SearchConfig::default(),
         );
         assert_eq!(one.instance_count(), 1);

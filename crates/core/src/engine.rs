@@ -484,7 +484,11 @@ mod tests {
         let reference = Cut::evaluate(ctx, engine.cut().clone());
         assert_eq!(engine.input_count(), reference.input_count(), "inputs");
         assert_eq!(engine.output_count(), reference.output_count(), "outputs");
-        assert_eq!(engine.software_latency(), reference.software_latency(), "sw");
+        assert_eq!(
+            engine.software_latency(),
+            reference.software_latency(),
+            "sw"
+        );
         assert!(
             (engine.hardware_latency() - reference.hardware_latency()).abs() < 1e-9,
             "hw: {} vs {}",
@@ -572,7 +576,10 @@ mod tests {
         let ctx = BlockContext::new(&block, &model);
         let mut engine = ToggleEngine::new(&ctx);
         let ids: Vec<NodeId> = block.dag().node_ids().collect();
-        assert!(!engine.is_legal(IoConstraints::new(4, 2)), "empty cut is not legal");
+        assert!(
+            !engine.is_legal(IoConstraints::new(4, 2)),
+            "empty cut is not legal"
+        );
         engine.toggle(ids[4]);
         engine.toggle(ids[5]);
         engine.toggle(ids[6]);

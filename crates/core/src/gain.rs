@@ -75,7 +75,10 @@ impl GainWeights {
         } else {
             probe.other_components_hw
         };
-        self.merit * f1 + self.io_penalty * f2 + self.affinity * f3 + self.growth * f4
+        self.merit * f1
+            + self.io_penalty * f2
+            + self.affinity * f3
+            + self.growth * f4
             + self.independence * f5
     }
 }
@@ -148,7 +151,10 @@ mod tests {
         let io = IoConstraints::new(4, 2);
         let gc = weights.combine(&ctx, io, c, &pc);
         let gl = weights.combine(&ctx, io, lone, &pl);
-        assert!(gc > gl, "neighbour of the cut should score higher: {gc} vs {gl}");
+        assert!(
+            gc > gl,
+            "neighbour of the cut should score higher: {gc} vs {gl}"
+        );
     }
 
     #[test]

@@ -265,7 +265,12 @@ mod tests {
         let block = dotprod();
         let model = LatencyModel::paper_default();
         let ctx = BlockContext::new(&block, &model);
-        let cut = bipartition(&ctx, IoConstraints::new(4, 2), &SearchConfig::default(), None);
+        let cut = bipartition(
+            &ctx,
+            IoConstraints::new(4, 2),
+            &SearchConfig::default(),
+            None,
+        );
         assert_eq!(cut.nodes().len(), 3);
         assert_eq!(cut.input_count(), 4);
         assert_eq!(cut.output_count(), 1);
@@ -328,8 +333,18 @@ mod tests {
         let block = dotprod();
         let model = LatencyModel::paper_default();
         let ctx = BlockContext::new(&block, &model);
-        let a = bipartition(&ctx, IoConstraints::new(4, 2), &SearchConfig::default(), None);
-        let b = bipartition(&ctx, IoConstraints::new(4, 2), &SearchConfig::default(), None);
+        let a = bipartition(
+            &ctx,
+            IoConstraints::new(4, 2),
+            &SearchConfig::default(),
+            None,
+        );
+        let b = bipartition(
+            &ctx,
+            IoConstraints::new(4, 2),
+            &SearchConfig::default(),
+            None,
+        );
         assert_eq!(a, b);
     }
 

@@ -26,7 +26,10 @@ fn main() {
         fig6.mean_isegen_advantage()
     );
 
-    println!("{}\n", experiments::fig7::run(&SearchConfig::default()).render());
+    println!(
+        "{}\n",
+        experiments::fig7::run(&SearchConfig::default()).render()
+    );
 
     let conv = experiments::convergence::run(8);
     println!("{}", conv.render());

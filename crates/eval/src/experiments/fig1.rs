@@ -10,10 +10,10 @@
 
 use crate::Table;
 use isegen_core::{application_speedup, BlockContext, Cut};
+use isegen_graph::NodeSet;
 use isegen_ir::LatencyModel;
 use isegen_match::{find_disjoint_instances, Pattern};
 use isegen_workloads::figure1_annotated;
-use isegen_graph::NodeSet;
 
 /// One candidate ISE of the demonstration.
 #[derive(Debug, Clone)]
@@ -74,7 +74,10 @@ pub fn run() -> Fig1Result {
     // dotted boundary: core 0 plus its tail — the largest cluster
     let largest_nodes = NodeSet::from_ids(
         n,
-        layout.cores[0].iter().chain(layout.tails[0].iter()).copied(),
+        layout.cores[0]
+            .iter()
+            .chain(layout.tails[0].iter())
+            .copied(),
     );
     // solid boundary: the bare core — the reusable cluster
     let reusable_nodes = NodeSet::from_ids(n, layout.cores[0]);

@@ -70,7 +70,11 @@ impl Fig6Result {
     fn render_one(cells: &[Fig6Cell], n_ise: usize) -> Table {
         let mut t = Table::new(["io", "Genetic", "ISEGEN"]);
         for c in cells {
-            t.row([c.io.to_string(), format!("{:.3}", c.genetic), format!("{:.3}", c.isegen)]);
+            t.row([
+                c.io.to_string(),
+                format!("{:.3}", c.genetic),
+                format!("{:.3}", c.isegen),
+            ]);
         }
         let _ = n_ise;
         t

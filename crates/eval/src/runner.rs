@@ -1,6 +1,4 @@
-use isegen_baselines::{
-    run_exact, run_genetic, run_iterative, ExactConfig, GeneticConfig,
-};
+use isegen_baselines::{run_exact, run_genetic, run_iterative, ExactConfig, GeneticConfig};
 use isegen_core::{generate, IoConstraints, IseConfig, IseSelection, SearchConfig};
 use isegen_ir::{Application, LatencyModel};
 use std::fmt;
@@ -131,12 +129,10 @@ pub fn run_algorithm(
             Ok(sel) => (Some(sel), None),
             Err(e) => (None, Some(e.to_string())),
         },
-        Algorithm::Iterative => {
-            match run_iterative(app, model, &ise_config, &config.exact) {
-                Ok(sel) => (Some(sel), None),
-                Err(e) => (None, Some(e.to_string())),
-            }
-        }
+        Algorithm::Iterative => match run_iterative(app, model, &ise_config, &config.exact) {
+            Ok(sel) => (Some(sel), None),
+            Err(e) => (None, Some(e.to_string())),
+        },
         Algorithm::Genetic => (
             Some(run_genetic(app, model, &ise_config, &config.genetic)),
             None,

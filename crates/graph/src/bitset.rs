@@ -207,7 +207,10 @@ impl NodeSet {
     /// Panics if the capacities differ.
     pub fn is_subset(&self, other: &NodeSet) -> bool {
         self.check_same(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Number of nodes in `self ∩ other` without materialising the result.
@@ -228,7 +231,9 @@ impl NodeSet {
     pub fn first(&self) -> Option<NodeId> {
         for (wi, &w) in self.words.iter().enumerate() {
             if w != 0 {
-                return Some(NodeId::from_index(wi * WORD_BITS + w.trailing_zeros() as usize));
+                return Some(NodeId::from_index(
+                    wi * WORD_BITS + w.trailing_zeros() as usize,
+                ));
             }
         }
         None

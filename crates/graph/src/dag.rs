@@ -247,12 +247,16 @@ impl<N> Dag<N> {
 
     /// Nodes with no predecessors.
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&v| self.in_degree(v) == 0).collect()
+        self.node_ids()
+            .filter(|&v| self.in_degree(v) == 0)
+            .collect()
     }
 
     /// Nodes with no successors.
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&v| self.out_degree(v) == 0).collect()
+        self.node_ids()
+            .filter(|&v| self.out_degree(v) == 0)
+            .collect()
     }
 }
 
@@ -264,7 +268,12 @@ impl<N> Default for Dag<N> {
 
 impl<N: fmt::Debug> fmt::Debug for Dag<N> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Dag {{ nodes: {}, edges: {} }}", self.node_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "Dag {{ nodes: {}, edges: {} }}",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for (id, w) in self.nodes() {
             writeln!(f, "  {id}: {w:?} -> {:?}", self.succs(id))?;
         }
@@ -305,7 +314,10 @@ mod tests {
     #[test]
     fn cycle_rejected() {
         let (mut d, [a, _, _, e]) = diamond();
-        assert_eq!(d.add_edge(e, a), Err(GraphError::WouldCycle { src: e, dst: a }));
+        assert_eq!(
+            d.add_edge(e, a),
+            Err(GraphError::WouldCycle { src: e, dst: a })
+        );
         // graph unchanged after rejection
         assert_eq!(d.edge_count(), 4);
     }

@@ -44,7 +44,10 @@ impl fmt::Display for GraphError {
                 write!(f, "edge {src} -> {dst} would create a cycle")
             }
             GraphError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "node {node} out of bounds for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of bounds for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} is not allowed in a dag")
@@ -71,12 +74,18 @@ mod tests {
             node: NodeId::from_index(9),
             node_count: 3,
         };
-        assert_eq!(e.to_string(), "node n9 out of bounds for graph with 3 nodes");
+        assert_eq!(
+            e.to_string(),
+            "node n9 out of bounds for graph with 3 nodes"
+        );
 
         let e = GraphError::SelfLoop {
             node: NodeId::from_index(0),
         };
-        assert_eq!(e.to_string(), "self-loop on node n0 is not allowed in a dag");
+        assert_eq!(
+            e.to_string(),
+            "self-loop on node n0 is not allowed in a dag"
+        );
     }
 
     #[test]

@@ -79,6 +79,77 @@ pub fn random_dag(rng: &mut impl Rng, config: &RandomDagConfig) -> Dag<()> {
     dag
 }
 
+/// Number of structural choices node `i` (0-indexed, in topological
+/// order) has in the [`enumerate_dags`] scheme: be a source, take one
+/// predecessor among the `i` earlier nodes, or take an unordered pair of
+/// earlier nodes *with repetition* (a node may consume the same value
+/// twice, matching the DAG's parallel-edge support).
+fn node_choices(i: u64) -> u64 {
+    1 + i + i * (i + 1) / 2
+}
+
+/// Number of DAGs [`enumerate_dags`] yields for `n` nodes.
+///
+/// The enumeration covers every DAG on `n` topologically ordered nodes
+/// with in-degree ≤ 2 (the shape of binary-operator data-flow graphs);
+/// each node independently picks one of [`node_choices`] predecessor
+/// sets, so the count is the product over nodes.
+pub fn enumeration_count(n: usize) -> u64 {
+    (0..n as u64).map(node_choices).product()
+}
+
+/// Builds the DAG at `index` in the deterministic enumeration order of
+/// [`enumerate_dags`]; `index` is interpreted in the mixed-radix system
+/// whose digit `i` has base [`node_choices`]`(i)`.
+///
+/// # Panics
+///
+/// Panics if `index >= enumeration_count(n)`.
+pub fn nth_dag(n: usize, index: u64) -> Dag<()> {
+    assert!(
+        index < enumeration_count(n),
+        "index {index} out of range for {n}-node enumeration"
+    );
+    let mut rest = index;
+    let mut dag = Dag::with_capacity(n);
+    for i in 0..n as u64 {
+        let v = dag.add_node(());
+        let digit = rest % node_choices(i);
+        rest /= node_choices(i);
+        if digit == 0 {
+            continue; // source node
+        }
+        if digit <= i {
+            // one predecessor: node digit-1
+            dag.add_edge_assume_acyclic(NodeId::from_index((digit - 1) as usize), v);
+            continue;
+        }
+        // pair index in 0..i*(i+1)/2 over (j, k) with j <= k < i
+        let mut p = digit - 1 - i;
+        let mut j = 0u64;
+        while p >= i - j {
+            p -= i - j;
+            j += 1;
+        }
+        let k = j + p;
+        dag.add_edge_assume_acyclic(NodeId::from_index(j as usize), v);
+        dag.add_edge_assume_acyclic(NodeId::from_index(k as usize), v);
+    }
+    dag
+}
+
+/// Enumerates every DAG on `n` topologically ordered nodes with
+/// in-degree ≤ 2, in a deterministic order.
+///
+/// Intended for exhaustive oracle tests at small `n`: the count grows as
+/// roughly `(n²/2)!^(1/n)` per node (1, 3, 18, 180, 2 700, 56 700,
+/// 1 587 600 for n = 1..=7), so callers wanting `n ≥ 6` coverage should
+/// stride-sample indices via [`nth_dag`] instead of draining the
+/// iterator.
+pub fn enumerate_dags(n: usize) -> impl Iterator<Item = Dag<()>> {
+    (0..enumeration_count(n)).map(move |i| nth_dag(n, i))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +195,42 @@ mod tests {
             let d = dag.in_degree(v);
             assert!((2..=3).contains(&d), "node {v} has fanin {d}");
         }
+    }
+
+    #[test]
+    fn enumeration_counts_match_formula() {
+        for (n, expected) in [(0, 1), (1, 1), (2, 3), (3, 18), (4, 180), (5, 2700)] {
+            assert_eq!(enumeration_count(n), expected, "n = {n}");
+        }
+        assert_eq!(enumeration_count(6), 56_700);
+        assert_eq!(enumeration_count(7), 1_587_600);
+    }
+
+    #[test]
+    fn enumerated_dags_are_distinct_acyclic_and_bounded() {
+        for n in 1..=4 {
+            let mut seen = std::collections::HashSet::new();
+            let mut count = 0u64;
+            for dag in enumerate_dags(n) {
+                assert_eq!(dag.node_count(), n);
+                let topo = TopoOrder::new(&dag); // completes <=> acyclic
+                assert_eq!(topo.len(), n);
+                for v in dag.node_ids() {
+                    assert!(dag.in_degree(v) <= 2, "in-degree above 2 at {v}");
+                }
+                let key: Vec<(usize, usize)> =
+                    dag.edges().map(|(a, b)| (a.index(), b.index())).collect();
+                assert!(seen.insert(key), "duplicate structure in enumeration");
+                count += 1;
+            }
+            assert_eq!(count, enumeration_count(n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nth_dag_rejects_out_of_range_index() {
+        let _ = nth_dag(3, enumeration_count(3));
     }
 
     #[test]

@@ -32,7 +32,9 @@ impl TopoOrder {
     /// [`Dag::add_edge_assume_acyclic`] misuse).
     pub fn new<N>(dag: &Dag<N>) -> Self {
         let n = dag.node_count();
-        let mut indeg: Vec<usize> = (0..n).map(|i| dag.in_degree(NodeId::from_index(i))).collect();
+        let mut indeg: Vec<usize> = (0..n)
+            .map(|i| dag.in_degree(NodeId::from_index(i)))
+            .collect();
         // BinaryHeap would give smallest-index-first; a simple bucket queue
         // scanning forward is O(V+E) because ids only ever decrease locally.
         let mut ready: Vec<NodeId> = (0..n)

@@ -139,7 +139,7 @@ proptest! {
     fn barrier_distances_are_consistent(dag in arb_dag()) {
         let topo = TopoOrder::new(&dag);
         // every 5th node is a barrier
-        let barrier = |v: NodeId| v.index() % 5 == 0;
+        let barrier = |v: NodeId| v.index().is_multiple_of(5);
         let up = path::barrier_distance_up(&dag, &topo, barrier);
         for v in dag.node_ids() {
             if barrier(v) {

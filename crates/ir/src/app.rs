@@ -111,6 +111,9 @@ mod tests {
     fn empty_application() {
         let app = Application::new("empty");
         assert!(app.critical_block().is_none());
-        assert_eq!(app.total_software_latency(&LatencyModel::paper_default()), 0);
+        assert_eq!(
+            app.total_software_latency(&LatencyModel::paper_default()),
+            0
+        );
     }
 }

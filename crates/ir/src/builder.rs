@@ -54,7 +54,8 @@ impl BlockBuilder {
 
     /// Adds an external-input marker node labelled `label`.
     pub fn input(&mut self, label: impl Into<String>) -> NodeId {
-        self.dag.add_node(Operation::with_label(Opcode::Input, label))
+        self.dag
+            .add_node(Operation::with_label(Opcode::Input, label))
     }
 
     /// Adds an operation consuming `operands`, in order.
@@ -158,7 +159,11 @@ mod tests {
         let x = b.input("x");
         assert!(matches!(
             b.op(Opcode::Add, &[x]),
-            Err(BuildError::Arity { expected: 2, got: 1, .. })
+            Err(BuildError::Arity {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
         assert!(b.op(Opcode::Not, &[x]).is_ok());
     }

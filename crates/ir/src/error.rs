@@ -30,7 +30,11 @@ pub enum BuildError {
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildError::Arity { opcode, expected, got } => {
+            BuildError::Arity {
+                opcode,
+                expected,
+                got,
+            } => {
                 write!(f, "opcode {opcode} takes {expected} operands, got {got}")
             }
             BuildError::Graph(e) => write!(f, "graph error: {e}"),
@@ -69,7 +73,10 @@ mod tests {
             got: 3,
         };
         assert_eq!(e.to_string(), "opcode add takes 2 operands, got 3");
-        assert_eq!(BuildError::EmptyBlock.to_string(), "basic block contains no operations");
+        assert_eq!(
+            BuildError::EmptyBlock.to_string(),
+            "basic block contains no operations"
+        );
     }
 
     #[test]

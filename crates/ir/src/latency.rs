@@ -96,7 +96,10 @@ impl LatencyModel {
     ///
     /// Panics if `delay` is negative or not finite.
     pub fn with_hw_delay(mut self, op: Opcode, delay: f64) -> Self {
-        assert!(delay.is_finite() && delay >= 0.0, "invalid hw delay {delay}");
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "invalid hw delay {delay}"
+        );
         self.hw[op.as_index()] = delay;
         self
     }

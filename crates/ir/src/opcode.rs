@@ -189,7 +189,10 @@ pub struct Operation {
 impl Operation {
     /// Creates an unlabelled operation.
     pub fn new(opcode: Opcode) -> Self {
-        Operation { opcode, label: None }
+        Operation {
+            opcode,
+            label: None,
+        }
     }
 
     /// Creates a labelled operation (labels show up in DOT dumps and error
@@ -277,7 +280,11 @@ mod tests {
     fn mnemonics_unique() {
         let mut seen = std::collections::HashSet::new();
         for op in Opcode::ALL {
-            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+            assert!(
+                seen.insert(op.mnemonic()),
+                "duplicate mnemonic {}",
+                op.mnemonic()
+            );
         }
     }
 }

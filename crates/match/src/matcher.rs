@@ -16,7 +16,9 @@ pub struct MatchBudget {
 
 impl Default for MatchBudget {
     fn default() -> Self {
-        MatchBudget { max_steps: 2_000_000 }
+        MatchBudget {
+            max_steps: 2_000_000,
+        }
     }
 }
 
@@ -335,7 +337,7 @@ mod tests {
             }
         }
         // the original cut is among them
-        assert!(found.iter().any(|f| *f == cut));
+        assert!(found.contains(&cut));
     }
 
     #[test]

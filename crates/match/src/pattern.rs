@@ -37,7 +37,10 @@ impl Pattern {
             dag.node_count(),
             "cut capacity does not match block"
         );
-        assert!(!cut.is_empty(), "cannot extract a pattern from an empty cut");
+        assert!(
+            !cut.is_empty(),
+            "cannot extract a pattern from an empty cut"
+        );
 
         let members: Vec<NodeId> = cut.iter().collect();
         let mut local = vec![u32::MAX; dag.node_count()];

@@ -27,7 +27,7 @@ impl AreaModel {
             (Or, 32.0),
             (Xor, 48.0),
             (Not, 16.0),
-            (Shl, 260.0),  // barrel shifter
+            (Shl, 260.0), // barrel shifter
             (Shr, 260.0),
             (Sar, 280.0),
             (RotL, 300.0),
@@ -67,7 +67,10 @@ impl AreaModel {
     ///
     /// Panics if `gates` is negative or not finite.
     pub fn with_gates(mut self, op: Opcode, gates: f64) -> Self {
-        assert!(gates.is_finite() && gates >= 0.0, "invalid gate count {gates}");
+        assert!(
+            gates.is_finite() && gates >= 0.0,
+            "invalid gate count {gates}"
+        );
         self.gates[op.as_index()] = gates;
         self
     }

@@ -46,6 +46,9 @@ mod tests {
             node: NodeId::from_index(3),
             opcode: Opcode::Load,
         };
-        assert_eq!(e.to_string(), "node n3 (ld) cannot be implemented in an AFU");
+        assert_eq!(
+            e.to_string(),
+            "node n3 (ld) cannot be implemented in an AFU"
+        );
     }
 }

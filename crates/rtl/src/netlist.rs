@@ -107,9 +107,7 @@ impl Netlist {
         // Output ports: escaping cut nodes, ascending node id.
         let mut output_nodes: Vec<NodeId> = cut
             .iter()
-            .filter(|&v| {
-                block.is_live_out(v) || dag.succs(v).iter().any(|s| !cut.contains(*s))
-            })
+            .filter(|&v| block.is_live_out(v) || dag.succs(v).iter().any(|s| !cut.contains(*s)))
             .collect();
         output_nodes.sort_unstable();
         let outputs = output_nodes.iter().map(|&v| cell_of[v.index()]).collect();

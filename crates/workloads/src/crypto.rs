@@ -43,7 +43,9 @@ fn mix_column(b: &mut BlockBuilder, col: [NodeId; 4]) -> [NodeId; 4] {
     let t = b.op(Opcode::Xor, &[t01, t23]).expect("arity");
     let mut out = [col[0]; 4];
     for i in 0..4 {
-        let u = b.op(Opcode::Xor, &[col[i], col[(i + 1) % 4]]).expect("arity");
+        let u = b
+            .op(Opcode::Xor, &[col[i], col[(i + 1) % 4]])
+            .expect("arity");
         let x = b.op(Opcode::Xtime, &[u]).expect("arity");
         let v = b.op(Opcode::Xor, &[t, x]).expect("arity");
         out[i] = b.op(Opcode::Xor, &[col[i], v]).expect("arity");
@@ -53,7 +55,12 @@ fn mix_column(b: &mut BlockBuilder, col: [NodeId; 4]) -> [NodeId; 4] {
 
 fn mix_columns(b: &mut BlockBuilder, state: &mut [NodeId; 16]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         let out = mix_column(b, col);
         state[4 * c..4 * c + 4].copy_from_slice(&out);
     }

@@ -69,8 +69,12 @@ pub fn viterb00() -> Application {
         survivors.push(best);
     }
     // normalisation floor: running minimum of the four survivors
-    let m01 = b.op(Opcode::Min, &[survivors[0], survivors[1]]).expect("arity");
-    let m23 = b.op(Opcode::Min, &[survivors[2], survivors[3]]).expect("arity");
+    let m01 = b
+        .op(Opcode::Min, &[survivors[0], survivors[1]])
+        .expect("arity");
+    let m23 = b
+        .op(Opcode::Min, &[survivors[2], survivors[3]])
+        .expect("arity");
     let floor = b.op(Opcode::Min, &[m01, m23]).expect("arity");
     b.live_out(floor).expect("in-block id");
     for &s in &survivors {

@@ -48,9 +48,9 @@ pub fn figure1_annotated() -> (Application, Figure1Layout) {
     }
     // three tails extend cores 0..3 into the largest cluster
     let mut tails: Vec<[NodeId; 2]> = Vec::new();
-    for k in 0..3 {
+    for (k, &core_out) in core_outs.iter().enumerate().take(3) {
         let c = b.input(format!("c{k}"));
-        let p = b.op(Opcode::Sub, &[core_outs[k], c]).expect("arity");
+        let p = b.op(Opcode::Sub, &[core_out, c]).expect("arity");
         let q = b.op(Opcode::Sar, &[p, c]).expect("arity");
         tails.push([p, q]);
     }

@@ -33,7 +33,13 @@ impl Default for RandomWorkloadConfig {
     }
 }
 
-const UNARY: [Opcode; 5] = [Opcode::Not, Opcode::Abs, Opcode::Neg, Opcode::SBox, Opcode::Xtime];
+const UNARY: [Opcode; 5] = [
+    Opcode::Not,
+    Opcode::Abs,
+    Opcode::Neg,
+    Opcode::SBox,
+    Opcode::Xtime,
+];
 const BINARY: [Opcode; 12] = [
     Opcode::Add,
     Opcode::Sub,
@@ -60,7 +66,10 @@ const TERNARY: [Opcode; 2] = [Opcode::Select, Opcode::Mac];
 /// `0.0..=1.0`.
 pub fn random_application(config: &RandomWorkloadConfig) -> Application {
     assert!(config.ops_per_block > 0, "blocks must contain operations");
-    assert!((0.0..=1.0).contains(&config.input_bias), "invalid input_bias");
+    assert!(
+        (0.0..=1.0).contains(&config.input_bias),
+        "invalid input_bias"
+    );
     assert!(
         (0.0..=1.0).contains(&config.memory_fraction),
         "invalid memory_fraction"

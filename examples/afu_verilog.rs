@@ -12,7 +12,9 @@ use isegen::workloads::workload_by_name;
 use std::collections::BTreeMap;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "fft00".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fft00".to_string());
     let Some(spec) = workload_by_name(&name) else {
         eprintln!("unknown workload {name}; try fft00, autcor00, aes, ...");
         std::process::exit(1);
@@ -39,8 +41,8 @@ fn main() {
             }
         }
         let mut memory = BTreeMap::new();
-        let values = isegen::ir::interp::execute(block, &inputs, &mut memory)
-            .expect("all inputs bound");
+        let values =
+            isegen::ir::interp::execute(block, &inputs, &mut memory).expect("all inputs bound");
         let ports: Vec<u32> = netlist
             .input_nodes()
             .iter()

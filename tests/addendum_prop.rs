@@ -8,8 +8,64 @@ use isegen::ir::LatencyModel;
 use isegen::workloads::{random_application, RandomWorkloadConfig};
 use proptest::prelude::*;
 
+/// Runs the full scratch-delta agreement check: after every toggle the
+/// table's running I/O counts and every per-node ΔI/ΔO addendum must
+/// match a from-scratch recomputation.
+fn check_addendums(app: &isegen::ir::Application, toggles: &[usize]) -> Result<(), TestCaseError> {
+    let model = LatencyModel::paper_default();
+    let block = &app.blocks()[0];
+    let ctx = BlockContext::new(block, &model);
+    let nodes: Vec<NodeId> = block.dag().node_ids().collect();
+    let mut table = AddendumTable::new(&ctx);
+    for &t in toggles {
+        let v = nodes[t % nodes.len()];
+        table.toggle(&ctx, v);
+        let reference = Cut::evaluate(&ctx, table.cut().clone());
+        prop_assert_eq!(table.inputs(), reference.input_count());
+        prop_assert_eq!(table.outputs(), reference.output_count());
+        for &u in &nodes {
+            let mut flipped = table.cut().clone();
+            flipped.toggle(u);
+            let f = Cut::evaluate(&ctx, flipped);
+            prop_assert_eq!(
+                table.delta_i(u),
+                f.input_count() as i32 - reference.input_count() as i32,
+                "stale dI at {}",
+                u
+            );
+            prop_assert_eq!(
+                table.delta_o(u),
+                f.output_count() as i32 - reference.output_count() as i32,
+                "stale dO at {}",
+                u
+            );
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Barrier-heavy sweep: memory operations (which can never join a
+    /// cut, yet sit inside the neighbourhoods the Fig. 3 rules walk)
+    /// must not desynchronise any addendum.
+    #[test]
+    fn addendums_match_scratch_under_memory_barriers(
+        seed in any::<u64>(),
+        ops in 6usize..50,
+        memory_fraction in 0.0f64..0.5,
+        toggles in proptest::collection::vec(any::<usize>(), 1..30),
+    ) {
+        let app = random_application(&RandomWorkloadConfig {
+            seed,
+            blocks: 1,
+            ops_per_block: ops,
+            memory_fraction,
+            ..RandomWorkloadConfig::default()
+        });
+        check_addendums(&app, &toggles)?;
+    }
 
     #[test]
     fn addendums_always_match_scratch_deltas(
@@ -23,35 +79,6 @@ proptest! {
             ops_per_block: ops,
             ..RandomWorkloadConfig::default()
         });
-        let model = LatencyModel::paper_default();
-        let block = &app.blocks()[0];
-        let ctx = BlockContext::new(block, &model);
-        let nodes: Vec<NodeId> = block.dag().node_ids().collect();
-        let mut table = AddendumTable::new(&ctx);
-        for &t in &toggles {
-            let v = nodes[t % nodes.len()];
-            table.toggle(&ctx, v);
-            // running I/O counts match a full recount
-            let reference = Cut::evaluate(&ctx, table.cut().clone());
-            prop_assert_eq!(table.inputs(), reference.input_count());
-            prop_assert_eq!(table.outputs(), reference.output_count());
-            // every maintained addendum matches its from-scratch delta —
-            // nodes outside the Fig. 3 neighbourhood included
-            for &u in &nodes {
-                let mut flipped = table.cut().clone();
-                flipped.toggle(u);
-                let f = Cut::evaluate(&ctx, flipped);
-                prop_assert_eq!(
-                    table.delta_i(u),
-                    f.input_count() as i32 - reference.input_count() as i32,
-                    "stale dI at {}", u
-                );
-                prop_assert_eq!(
-                    table.delta_o(u),
-                    f.output_count() as i32 - reference.output_count() as i32,
-                    "stale dO at {}", u
-                );
-            }
-        }
+        check_addendums(&app, &toggles)?;
     }
 }

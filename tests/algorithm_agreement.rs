@@ -8,9 +8,7 @@ use isegen::baselines::{
 };
 use isegen::core::CutFinder;
 use isegen::prelude::*;
-use isegen::workloads::{
-    mediabench_eembc_suite, random_application, RandomWorkloadConfig,
-};
+use isegen::workloads::{mediabench_eembc_suite, random_application, RandomWorkloadConfig};
 
 fn config(io: IoConstraints, n: usize) -> IseConfig {
     IseConfig {

@@ -42,11 +42,7 @@ fn check_consistency(seed: u64, ops: usize, toggles: &[usize]) {
             engine.hardware_latency(),
             reference.hardware_latency()
         );
-        assert_eq!(
-            engine.is_convex(),
-            ctx.is_convex(engine.cut()),
-            "convexity"
-        );
+        assert_eq!(engine.is_convex(), ctx.is_convex(engine.cut()), "convexity");
         let snap = engine.snapshot();
         assert_eq!(snap, reference, "snapshot mismatch");
     }
@@ -102,6 +98,80 @@ proptest! {
                 prop_assert_eq!(probe.convex, engine.is_convex());
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The §4.3 invariant must survive *barrier-heavy* blocks too:
+    /// sweeping the memory-operation fraction exercises the eligibility
+    /// boundary (loads/stores can never join the cut) that the plain
+    /// sweep above rarely hits.
+    #[test]
+    fn incremental_engine_matches_scratch_with_barriers(
+        seed in any::<u64>(),
+        ops in 8usize..60,
+        memory_fraction in 0.0f64..0.6,
+        toggles in proptest::collection::vec(any::<usize>(), 1..80),
+    ) {
+        let app = random_application(&RandomWorkloadConfig {
+            seed,
+            blocks: 1,
+            ops_per_block: ops,
+            memory_fraction,
+            ..RandomWorkloadConfig::default()
+        });
+        let model = LatencyModel::paper_default();
+        let block = &app.blocks()[0];
+        let ctx = BlockContext::new(block, &model);
+        let eligible: Vec<NodeId> = ctx.eligible().iter().collect();
+        prop_assume!(!eligible.is_empty());
+        let mut engine = ToggleEngine::new(&ctx);
+        for &t in &toggles {
+            let v = eligible[t % eligible.len()];
+            engine.toggle(v);
+            let reference = Cut::evaluate(&ctx, engine.cut().clone());
+            prop_assert_eq!(engine.snapshot(), reference);
+            prop_assert_eq!(engine.is_convex(), ctx.is_convex(engine.cut()));
+        }
+    }
+
+    /// Toggling every cut member back out must return the engine to the
+    /// pristine empty-cut state — incremental bookkeeping may not leak
+    /// residue across a full round trip.
+    #[test]
+    fn toggle_round_trip_restores_empty_state(
+        seed in any::<u64>(),
+        ops in 8usize..60,
+        toggles in proptest::collection::vec(any::<usize>(), 1..60),
+    ) {
+        let app = random_application(&RandomWorkloadConfig {
+            seed,
+            blocks: 1,
+            ops_per_block: ops,
+            ..RandomWorkloadConfig::default()
+        });
+        let model = LatencyModel::paper_default();
+        let block = &app.blocks()[0];
+        let ctx = BlockContext::new(block, &model);
+        let eligible: Vec<NodeId> = ctx.eligible().iter().collect();
+        prop_assume!(!eligible.is_empty());
+        let mut engine = ToggleEngine::new(&ctx);
+        for &t in &toggles {
+            engine.toggle(eligible[t % eligible.len()]);
+        }
+        let members: Vec<NodeId> = engine.cut().iter().collect();
+        for v in members {
+            engine.toggle(v);
+        }
+        prop_assert!(engine.cut().is_empty());
+        let empty = Cut::evaluate(&ctx, engine.cut().clone());
+        prop_assert_eq!(engine.snapshot(), empty);
+        prop_assert_eq!(engine.input_count(), 0);
+        prop_assert_eq!(engine.output_count(), 0);
+        prop_assert!(engine.is_convex());
+        prop_assert!(engine.hardware_latency().abs() < 1e-12);
     }
 }
 

@@ -1,0 +1,121 @@
+//! Oracle agreement at small n: over the full enumeration of small DAGs
+//! (`isegen_graph::gen::enumerate_dags`), the K-L heuristic must never
+//! violate the Problem-1 constraints (I/O budget, convexity) and must
+//! never report a merit above the provably optimal single cut of
+//! `baselines::exact` — on *every* structure, not just sampled ones.
+//!
+//! Node counts 1..=5 are drained exhaustively (2 902 structures). At 6
+//! and 7 nodes the enumeration grows to 56 700 / 1 587 600 structures, so
+//! those sizes are covered by a deterministic coprime-stride walk of the
+//! index space via `nth_dag` — evenly spread, reproducible, no RNG.
+
+use isegen::baselines::{exact_single_cut, ExactConfig};
+use isegen::graph::gen::{enumerate_dags, enumeration_count, nth_dag};
+use isegen::graph::{Dag, NodeId};
+use isegen::ir::{BasicBlock, BlockBuilder, Opcode};
+use isegen::prelude::*;
+
+/// Lifts an enumerated in-degree-≤2 DAG to a basic block: sources become
+/// external inputs, unary nodes `Not`, binary nodes `Add`. Returns `None`
+/// for the all-sources structure (a block must contain an operation).
+fn block_from_dag(dag: &Dag<()>) -> Option<BasicBlock> {
+    let mut b = BlockBuilder::new("enumerated").frequency(100);
+    let mut ids: Vec<NodeId> = Vec::with_capacity(dag.node_count());
+    let mut has_op = false;
+    for v in dag.node_ids() {
+        let preds = dag.preds(v);
+        let id = match *preds {
+            [] => b.input(format!("x{}", v.index())),
+            [p] => {
+                has_op = true;
+                b.op(Opcode::Not, &[ids[p.index()]]).expect("arity 1")
+            }
+            [p, q] => {
+                has_op = true;
+                b.op(Opcode::Add, &[ids[p.index()], ids[q.index()]])
+                    .expect("arity 2")
+            }
+            _ => unreachable!("enumeration emits in-degree <= 2"),
+        };
+        ids.push(id);
+    }
+    has_op.then(|| b.build().expect("has an operation"))
+}
+
+/// The oracle check for one structure under one port budget.
+fn check_against_oracle(block: &BasicBlock, model: &LatencyModel, io: IoConstraints, tag: &str) {
+    let ctx = BlockContext::new(block, model);
+    let heuristic = bipartition(&ctx, io, &SearchConfig::default(), None);
+    if !heuristic.is_empty() {
+        assert!(
+            ctx.is_convex(heuristic.nodes()),
+            "{tag}: heuristic cut is non-convex"
+        );
+        assert!(
+            heuristic.satisfies_io(io),
+            "{tag}: heuristic cut violates {io:?}"
+        );
+    }
+    let optimal = exact_single_cut(&ctx, io, &ExactConfig::default(), None)
+        .expect("tiny blocks are within the exact budget");
+    if !optimal.is_empty() {
+        assert!(
+            ctx.is_convex(optimal.nodes()),
+            "{tag}: exact cut is non-convex"
+        );
+        assert!(optimal.satisfies_io(io), "{tag}: exact cut violates {io:?}");
+    }
+    assert!(
+        heuristic.merit() <= optimal.merit() + 1e-9,
+        "{tag}: heuristic merit {} beats the exact optimum {}",
+        heuristic.merit(),
+        optimal.merit()
+    );
+}
+
+fn budgets() -> [IoConstraints; 2] {
+    [IoConstraints::new(2, 1), IoConstraints::new(4, 2)]
+}
+
+#[test]
+fn all_dags_up_to_five_nodes_agree_with_the_oracle() {
+    let model = LatencyModel::paper_default();
+    let mut checked = 0u64;
+    for n in 1..=5 {
+        for (index, dag) in enumerate_dags(n).enumerate() {
+            let Some(block) = block_from_dag(&dag) else {
+                continue;
+            };
+            for io in budgets() {
+                check_against_oracle(&block, &model, io, &format!("n={n} index={index}"));
+            }
+            checked += 1;
+        }
+    }
+    // Every structure with at least one operation: total minus the
+    // single all-sources structure per n.
+    let expected: u64 = (1..=5).map(|n| enumeration_count(n) - 1).sum();
+    assert_eq!(checked, expected, "enumeration skipped structures");
+}
+
+#[test]
+fn strided_dags_at_six_and_seven_nodes_agree_with_the_oracle() {
+    // 1_000_003 is prime and divides neither 56 700 nor 1 587 600, so the
+    // walk visits `SAMPLES` distinct indices spread across the space.
+    const STRIDE: u64 = 1_000_003;
+    const SAMPLES: u64 = 1_500;
+    let model = LatencyModel::paper_default();
+    for n in 6..=7 {
+        let total = enumeration_count(n);
+        assert!(!total.is_multiple_of(STRIDE), "stride must stay coprime");
+        for s in 0..SAMPLES {
+            let index = (s * STRIDE) % total;
+            let Some(block) = block_from_dag(&nth_dag(n, index)) else {
+                continue;
+            };
+            for io in budgets() {
+                check_against_oracle(&block, &model, io, &format!("n={n} index={index}"));
+            }
+        }
+    }
+}

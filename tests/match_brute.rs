@@ -4,7 +4,7 @@
 //! exhaustive subset search.
 
 use isegen::graph::{NodeId, NodeSet};
-use isegen::ir::{BasicBlock, Opcode};
+use isegen::ir::BasicBlock;
 use isegen::matching::{find_disjoint_instances, Pattern};
 use isegen::workloads::{random_application, RandomWorkloadConfig};
 use proptest::prelude::*;
@@ -145,7 +145,7 @@ proptest! {
             used.union_with(inst);
         }
         // the original cut is always found (nothing excluded)
-        prop_assert!(found.iter().any(|f| *f == cut));
+        prop_assert!(found.contains(&cut));
         // maximality: no embedding exists among the leftover nodes
         prop_assert!(!exists_embedding_brute(block, &cut_nodes, &used),
             "matcher missed an embedding");

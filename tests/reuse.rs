@@ -41,7 +41,12 @@ fn fft_butterflies_recur_ten_times() {
     let block = app.critical_block().expect("has blocks");
     let ctx = BlockContext::new(block, &model);
     // one complex-multiply fragment under (4,2)
-    let cut = bipartition(&ctx, IoConstraints::new(4, 2), &SearchConfig::default(), None);
+    let cut = bipartition(
+        &ctx,
+        IoConstraints::new(4, 2),
+        &SearchConfig::default(),
+        None,
+    );
     assert!(!cut.is_empty());
     let pattern = Pattern::extract(block, cut.nodes());
     let instances = find_disjoint_instances(block, &pattern, None);
@@ -67,7 +72,12 @@ fn autcor_disconnected_cut_supported() {
     let block = app.critical_block().expect("has blocks");
     let ctx = BlockContext::new(block, &model);
     // (8,4) is loose enough for a two-chain (disconnected) cut
-    let cut = bipartition(&ctx, IoConstraints::new(8, 4), &SearchConfig::default(), None);
+    let cut = bipartition(
+        &ctx,
+        IoConstraints::new(8, 4),
+        &SearchConfig::default(),
+        None,
+    );
     assert!(!cut.is_empty());
     assert!(ctx.is_convex(cut.nodes()));
     // whatever the shape, pattern extraction + self-match must find it

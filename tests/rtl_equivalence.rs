@@ -10,9 +10,7 @@ use isegen::core::{bipartition, BlockContext, IoConstraints, SearchConfig};
 use isegen::graph::NodeId;
 use isegen::ir::{interp, LatencyModel, Opcode};
 use isegen::rtl::Netlist;
-use isegen::workloads::{
-    aes, autcor00, fft00, random_application, viterb00, RandomWorkloadConfig,
-};
+use isegen::workloads::{aes, autcor00, fft00, random_application, viterb00, RandomWorkloadConfig};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 

@@ -1,0 +1,149 @@
+//! Offline vendored shim for the subset of the `proptest` API used by this
+//! workspace.
+//!
+//! The build container has no crates.io access, so the real `proptest`
+//! cannot be fetched. This shim keeps the call-site surface the tests use —
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, [`arbitrary::any`], [`strategy::Just`], integer-range
+//! and tuple strategies, [`collection::vec`], `prop_assert*!` and
+//! [`prop_assume!`] — backed by a deterministic seeded generator.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its case seed; re-running is
+//!   fully deterministic, so the failure reproduces exactly.
+//! * **Deterministic seeds.** Case `i` of test `t` always uses the same
+//!   seed (FNV-1a of the test name mixed with `i`), so CI results are
+//!   reproducible without a persistence file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body over `cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_proptest(
+                stringify!($name),
+                &($cfg),
+                |__proptest_rng| {
+                    let ($($pat),+) =
+                        $crate::strategy::Strategy::generate(&($($strat),+), __proptest_rng);
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case (without panicking the generator loop directly)
+/// when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// [`prop_assert!`] for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__pa_lhs, __pa_rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__pa_lhs == *__pa_rhs,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __pa_lhs,
+            __pa_rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__pa_lhs, __pa_rhs) = (&$lhs, &$rhs);
+        let __pa_msg = format!($($fmt)+);
+        $crate::prop_assert!(
+            *__pa_lhs == *__pa_rhs,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            __pa_lhs,
+            __pa_rhs,
+            __pa_msg
+        );
+    }};
+}
+
+/// [`prop_assert!`] for inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__pa_lhs, __pa_rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__pa_lhs != *__pa_rhs,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __pa_lhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__pa_lhs, __pa_rhs) = (&$lhs, &$rhs);
+        let __pa_msg = format!($($fmt)+);
+        $crate::prop_assert!(
+            *__pa_lhs != *__pa_rhs,
+            "assertion failed: `left != right`\n  both: `{:?}`\n{}",
+            __pa_lhs,
+            __pa_msg
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,106 @@
+//! Case execution: configuration, the per-case RNG and the runner loop.
+
+use rand::{RngCore, SeedableRng, StdRng};
+
+/// Runner configuration. Only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; it is not counted.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one property test: generates cases until `cfg.cases` pass,
+/// panicking on the first failure with a reproducible case seed.
+pub fn run_proptest<F>(name: &str, cfg: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let base = fnv1a(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let mut attempt: u64 = 0;
+    while passed < cfg.cases {
+        let seed = base ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        attempt += 1;
+        let mut rng = TestRng::seed(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                let cap = u64::from(cfg.cases) * 256 + 1024;
+                assert!(
+                    rejected <= cap,
+                    "proptest `{name}`: too many prop_assume! rejections ({rejected}) \
+                     for {} target cases",
+                    cfg.cases
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case {passed} (case seed {seed:#x}):\n{msg}")
+            }
+        }
+    }
+}

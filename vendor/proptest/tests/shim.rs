@@ -1,0 +1,88 @@
+//! Self-tests of the proptest shim: the macro surface compiles, values
+//! respect their strategies, rejection works, and — critically — failing
+//! properties actually fail (no vacuous green).
+
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::test_runner::{run_proptest, ProptestConfig, TestCaseError};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ranges_stay_in_bounds(a in 3usize..9, b in 10u64..=20) {
+        prop_assert!((3..9).contains(&a));
+        prop_assert!((10..=20).contains(&b));
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range(v in collection::vec(any::<bool>(), 2..7)) {
+        prop_assert!((2..7).contains(&v.len()));
+    }
+
+    #[test]
+    fn flat_map_sees_inner_value((n, v) in (1usize..5).prop_flat_map(|n| {
+        (Just(n), collection::vec(any::<u64>(), n))
+    })) {
+        prop_assert_eq!(v.len(), n);
+    }
+
+    #[test]
+    fn prop_map_applies(doubled in (0usize..50).prop_map(|x| x * 2)) {
+        prop_assert!(doubled % 2 == 0);
+        prop_assert!(doubled < 100);
+        prop_assert_ne!(doubled, 99);
+    }
+
+    #[test]
+    fn assume_rejects_without_failing(n in 0usize..100) {
+        prop_assume!(n % 2 == 0);
+        prop_assert!(n % 2 == 0);
+    }
+}
+
+#[test]
+fn failing_property_panics_with_seed() {
+    let result = std::panic::catch_unwind(|| {
+        run_proptest(
+            "always_fails",
+            &ProptestConfig::with_cases(8),
+            |_rng| -> Result<(), TestCaseError> { Err(TestCaseError::fail("intentional failure")) },
+        );
+    });
+    let err = result.expect_err("failing property must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .expect("panic payload is a String");
+    assert!(msg.contains("intentional failure"), "lost message: {msg}");
+    assert!(msg.contains("case seed"), "lost repro seed: {msg}");
+}
+
+#[test]
+fn over_rejection_panics() {
+    let result = std::panic::catch_unwind(|| {
+        run_proptest(
+            "always_rejects",
+            &ProptestConfig::with_cases(4),
+            |_rng| -> Result<(), TestCaseError> { Err(TestCaseError::reject("never holds")) },
+        );
+    });
+    assert!(result.is_err(), "unbounded rejection must abort");
+}
+
+#[test]
+fn cases_are_deterministic_across_runs() {
+    let collect = || {
+        let mut seen = Vec::new();
+        run_proptest(
+            "determinism_probe",
+            &ProptestConfig::with_cases(16),
+            |rng| {
+                seen.push(Strategy::generate(&(0u64..1_000_000), rng));
+                Ok(())
+            },
+        );
+        seen
+    };
+    assert_eq!(collect(), collect());
+}
