@@ -3,7 +3,7 @@
 //! paper's ΔI/ΔO addendum scheme.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use isegen_core::{BlockContext, Cut, ToggleEngine};
+use isegen_core::{BlockContext, Cut, GainCache, ToggleEngine};
 use isegen_graph::NodeId;
 use isegen_ir::LatencyModel;
 use isegen_workloads::{random_application, RandomWorkloadConfig};
@@ -62,6 +62,40 @@ fn bench(c: &mut Criterion) {
                 black_box(acc)
             })
         });
+        // the real K-L inner loop: a full gain sweep between commits —
+        // first with fresh probes every sweep …
+        group.bench_with_input(BenchmarkId::new("probe_sweep", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut engine = ToggleEngine::new(&ctx);
+                let mut acc = 0.0;
+                for &v in seq.iter().take(16) {
+                    for &u in &eligible {
+                        acc += engine.probe(u).merit;
+                    }
+                    engine.toggle(v);
+                }
+                black_box(acc)
+            })
+        });
+        // … then through the dirty-set gain cache (what bipartition runs)
+        group.bench_with_input(
+            BenchmarkId::new("probe_sweep_cached", nodes),
+            &nodes,
+            |b, _| {
+                b.iter(|| {
+                    let mut engine = ToggleEngine::new(&ctx);
+                    let mut cache = GainCache::new(ctx.node_count());
+                    let mut acc = 0.0;
+                    for &v in seq.iter().take(16) {
+                        for &u in &eligible {
+                            acc += cache.probe(&engine, u).merit;
+                        }
+                        cache.commit(&mut engine, v);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
     }
     group.finish();
 }

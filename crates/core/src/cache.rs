@@ -1,0 +1,261 @@
+//! Gain/probe cache with dirty-set invalidation — the piece that turns
+//! the K-L inner loop from "re-probe every free node after every commit"
+//! into "re-probe only the nodes whose probe inputs actually changed".
+//!
+//! A [`crate::ToggleEngine::probe`] result mixes *local* terms (ΔI/ΔO,
+//! neighbours in the cut, the longest path through the candidate) with
+//! *global* terms (the cut's current operand counts, software latency,
+//! critical path, component table). The cache stores the local terms per
+//! node and recombines them with the engine's current global terms in
+//! O(1); after a committed toggle only the nodes named by
+//! [`crate::ToggleEngine::toggle_and_mark`] — the toggled node's
+//! reachability cones, consumers sharing a producer, and the cut — are
+//! re-probed for real. `tests/gain_cache_prop.rs` proves the recombined
+//! probes identical to fresh ones after arbitrary toggle sequences.
+
+use crate::engine::{Probe, ToggleEngine};
+use crate::{GainWeights, IoConstraints};
+use isegen_graph::{NodeId, NodeSet};
+
+/// Per-node cached probe pieces. Only terms that are invariant under
+/// *other* nodes' toggles (outside the dirty set) are stored; everything
+/// global is re-read from the engine at materialisation time.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Would the node enter the cut (it is currently software)?
+    entering: bool,
+    /// ΔI: input count after the toggle minus the current input count.
+    di: i32,
+    /// ΔO: likewise for outputs.
+    dout: i32,
+    /// Distinct neighbours currently in the cut (`N(v, C)`).
+    neighbors_in_cut: u32,
+    /// Convexity of the cut after the toggle.
+    convex: bool,
+    /// Entering only: longest hardware path through the candidate
+    /// (`max up(preds∩C) + delay + max down(succs∩C)`).
+    through: f64,
+}
+
+const CLEAN_SLATE: Entry = Entry {
+    entering: true,
+    di: 0,
+    dout: 0,
+    neighbors_in_cut: 0,
+    convex: false,
+    through: 0.0,
+};
+
+/// Probe-count statistics of a [`GainCache`] (and, summed, of a whole
+/// K-L search): how many probes hit the cache vs. ran fresh.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes answered by recombining cached local terms (O(1)).
+    pub cached_probes: u64,
+    /// Probes that ran the full O(deg + n/64) engine evaluation.
+    pub fresh_probes: u64,
+    /// Committed toggles routed through the cache.
+    pub commits: u64,
+    /// Commits that forced a full cache invalidation (violator-set or
+    /// component-structure change).
+    pub full_invalidations: u64,
+}
+
+impl CacheStats {
+    /// Fraction of probes avoided (answered from cache), in `[0, 1]`.
+    pub fn avoided_fraction(&self) -> f64 {
+        let total = self.cached_probes + self.fresh_probes;
+        if total == 0 {
+            0.0
+        } else {
+            self.cached_probes as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another stats block into this one.
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.cached_probes += other.cached_probes;
+        self.fresh_probes += other.fresh_probes;
+        self.commits += other.commits;
+        self.full_invalidations += other.full_invalidations;
+    }
+}
+
+/// The dirty-set gain cache. One instance serves one [`ToggleEngine`]
+/// trajectory; route every committed toggle through
+/// [`GainCache::commit`] so invalidation stays in sync.
+#[derive(Debug)]
+pub struct GainCache {
+    entries: Vec<Entry>,
+    dirty: NodeSet,
+    stats: CacheStats,
+}
+
+impl GainCache {
+    /// Creates a cache for blocks of `n` nodes, with every node dirty.
+    pub fn new(n: usize) -> Self {
+        GainCache {
+            entries: vec![CLEAN_SLATE; n],
+            dirty: NodeSet::full(n),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Marks every node dirty (e.g. when the engine was toggled behind
+    /// the cache's back).
+    pub fn invalidate_all(&mut self) {
+        self.dirty.insert_all();
+    }
+
+    /// Commits a toggle through the engine and invalidates exactly the
+    /// cached probes the commit may have changed. Returns `true` when
+    /// the node entered the cut.
+    pub fn commit(&mut self, engine: &mut ToggleEngine<'_, '_>, v: NodeId) -> bool {
+        self.stats.commits += 1;
+        let full = engine.toggle_and_mark(v, &mut self.dirty);
+        let entering = engine.cut().contains(v);
+        if full {
+            self.stats.full_invalidations += 1;
+            self.invalidate_all();
+        }
+        entering
+    }
+
+    /// The probe of `v` against the engine's current cut: recombined
+    /// from cached local terms when clean, freshly evaluated (and
+    /// re-cached) when dirty. Always equal to `engine.probe(v)`.
+    pub fn probe(&mut self, engine: &ToggleEngine<'_, '_>, v: NodeId) -> Probe {
+        let vi = v.index();
+        if self.dirty.contains(v) {
+            let probe = engine.probe(v);
+            self.entries[vi] = Entry {
+                entering: probe.entering,
+                di: probe.inputs as i32 - engine.input_count() as i32,
+                dout: probe.outputs as i32 - engine.output_count() as i32,
+                neighbors_in_cut: probe.neighbors_in_cut,
+                convex: probe.convex,
+                through: if probe.entering {
+                    engine.entering_through(v)
+                } else {
+                    0.0
+                },
+            };
+            self.dirty.remove(v);
+            self.stats.fresh_probes += 1;
+            return probe;
+        }
+        self.stats.cached_probes += 1;
+        let e = self.entries[vi];
+        let ctx = engine.ctx();
+        let inputs = engine.input_count() as i32 + e.di;
+        let outputs = engine.output_count() as i32 + e.dout;
+        debug_assert!(inputs >= 0 && outputs >= 0, "cached io went negative");
+        let sw = ctx.sw_cycles(v) as u64;
+        let (merit, other_components_hw) = if e.entering {
+            let merit = if e.convex {
+                let sw2 = engine.software_latency() + sw;
+                let hw2 = engine.hardware_latency().max(e.through);
+                sw2 as f64 - hw2
+            } else {
+                0.0
+            };
+            (merit, 0.0)
+        } else {
+            let merit = if e.convex {
+                let sw2 = engine.software_latency() - sw;
+                sw2 as f64 - engine.hardware_latency()
+            } else {
+                0.0
+            };
+            (merit, engine.other_components_hw(v))
+        };
+        Probe {
+            entering: e.entering,
+            inputs: inputs as u32,
+            outputs: outputs as u32,
+            convex: e.convex,
+            merit,
+            neighbors_in_cut: e.neighbors_in_cut,
+            other_components_hw,
+        }
+    }
+
+    /// The gain of toggling `v`, from the cached-or-fresh probe.
+    pub fn gain(
+        &mut self,
+        engine: &ToggleEngine<'_, '_>,
+        weights: &GainWeights,
+        io: IoConstraints,
+        v: NodeId,
+    ) -> f64 {
+        let probe = self.probe(engine, v);
+        weights.combine(engine.ctx(), io, v, &probe)
+    }
+
+    /// Probe-count statistics accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BlockContext;
+    use isegen_ir::{BlockBuilder, LatencyModel, Opcode};
+
+    #[test]
+    fn cached_probes_match_fresh_on_dotprod() {
+        let mut b = BlockBuilder::new("dot");
+        let (a, b_, c, d) = (b.input("a"), b.input("b"), b.input("c"), b.input("d"));
+        let m1 = b.op(Opcode::Mul, &[a, b_]).unwrap();
+        let m2 = b.op(Opcode::Mul, &[c, d]).unwrap();
+        let add = b.op(Opcode::Add, &[m1, m2]).unwrap();
+        let block = b.build().unwrap();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let n = ctx.node_count();
+        let nodes: Vec<_> = block.dag().node_ids().collect();
+
+        let mut engine = ToggleEngine::new(&ctx);
+        let mut cache = GainCache::new(n);
+        for &v in &[m1, add, m2, m1, m2] {
+            // Warm the cache, commit, then require cached ≡ fresh.
+            for &u in &nodes {
+                let _ = cache.probe(&engine, u);
+            }
+            cache.commit(&mut engine, v);
+            for &u in &nodes {
+                let cached = cache.probe(&engine, u);
+                let fresh = engine.probe(u);
+                assert_eq!(cached, fresh, "probe mismatch at {u} after toggling {v}");
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.cached_probes > 0, "cache never hit: {stats:?}");
+        assert_eq!(stats.commits, 5);
+    }
+
+    #[test]
+    fn stats_absorb_and_fraction() {
+        let mut a = CacheStats {
+            cached_probes: 3,
+            fresh_probes: 1,
+            commits: 2,
+            full_invalidations: 0,
+        };
+        let b = CacheStats {
+            cached_probes: 1,
+            fresh_probes: 3,
+            commits: 1,
+            full_invalidations: 1,
+        };
+        a.absorb(b);
+        assert_eq!(a.cached_probes, 4);
+        assert_eq!(a.fresh_probes, 4);
+        assert_eq!(a.commits, 3);
+        assert_eq!(a.full_invalidations, 1);
+        assert!((a.avoided_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().avoided_fraction(), 0.0);
+    }
+}

@@ -142,11 +142,10 @@ pub fn generate_with<F: CutFinder + ?Sized>(
 
     for _ in 0..config.max_ises {
         // Rank blocks by remaining speedup potential.
-        let mut order: Vec<usize> = (0..blocks.len()).collect();
+        let order = rank_blocks(blocks, &contexts, &covered);
         let potential = |bi: usize| -> u64 {
             blocks[bi].frequency() * contexts[bi].potential(Some(&covered[bi]))
         };
-        order.sort_by_key(|&bi| std::cmp::Reverse(potential(bi)));
 
         let mut found: Option<(usize, Cut)> = None;
         for &bi in &order {
@@ -161,41 +160,16 @@ pub fn generate_with<F: CutFinder + ?Sized>(
         }
         let Some((bi, cut)) = found else { break };
 
-        let saved_per_execution = cut.saved_cycles();
-        covered[bi].union_with(cut.nodes());
-        let mut instances = vec![IseInstance {
-            block_index: bi,
-            nodes: cut.nodes().clone(),
-        }];
-
-        if config.reuse_matching {
-            let pattern = Pattern::extract(&blocks[bi], cut.nodes());
-            for (bj, block) in blocks.iter().enumerate() {
-                for candidate in find_disjoint_instances(block, &pattern, Some(&covered[bj])) {
-                    // An instance is only usable where it is itself a legal
-                    // ISE occurrence: convex and within the port budget in
-                    // its own context.
-                    let instance_cut = Cut::evaluate(&contexts[bj], candidate.clone());
-                    if contexts[bj].is_convex(&candidate) && instance_cut.satisfies_io(config.io) {
-                        covered[bj].union_with(&candidate);
-                        instances.push(IseInstance {
-                            block_index: bj,
-                            nodes: candidate,
-                        });
-                    }
-                }
-            }
-        }
-
-        for inst in &instances {
-            saved_cycles += blocks[inst.block_index].frequency() * saved_per_execution;
-        }
-        ises.push(Ise {
-            block_index: bi,
+        deploy_cut(
+            blocks,
+            &contexts,
+            config,
+            &mut covered,
+            &mut ises,
+            &mut saved_cycles,
+            bi,
             cut,
-            instances,
-            saved_per_execution,
-        });
+        );
     }
 
     IseSelection {
@@ -203,6 +177,245 @@ pub fn generate_with<F: CutFinder + ?Sized>(
         total_sw_cycles,
         saved_cycles,
     }
+}
+
+/// Runs the Problem-2 driver with block searches fanned out over
+/// `threads` hand-rolled scoped threads — the ROADMAP's *batched
+/// multi-block driver*.
+///
+/// Two mechanisms stack on top of the sequential [`generate_with`]:
+///
+/// * **Cut memoisation.** A cut found for block `b` stays valid until an
+///   accepted ISE claims nodes in `b`, so blocks the sequential driver
+///   re-searches every iteration (high-potential blocks that keep
+///   failing, or blocks searched past on the way to a success) are
+///   searched once. Even at `threads = 1` the batched driver therefore
+///   performs a subset of the sequential driver's searches.
+/// * **Speculative waves.** When the next ranked block has no memoised
+///   cut, the driver searches it *and* the following un-memoised
+///   promising blocks concurrently, `threads` at a time. Speculation is
+///   never wasted: every wave result is memoised and consumed by a later
+///   iteration unless coverage invalidates it first.
+///
+/// Results are consumed strictly in rank order and waves merge by block
+/// index, so the output is deterministic and **byte-identical to the
+/// sequential driver** for any finder whose `find_cut` is a pure
+/// function of `(ctx, io, forbidden)` — true of every finder in this
+/// workspace. The finder is cloned per search, so hidden per-call state
+/// would be the only source of divergence.
+pub fn generate_batched_with<F>(
+    finder: &F,
+    app: &Application,
+    model: &LatencyModel,
+    config: &IseConfig,
+    threads: usize,
+) -> IseSelection
+where
+    F: CutFinder + Clone + Send + Sync,
+{
+    let blocks = app.blocks();
+    let contexts: Vec<BlockContext<'_>> =
+        blocks.iter().map(|b| BlockContext::new(b, model)).collect();
+    let mut covered: Vec<NodeSet> = blocks
+        .iter()
+        .map(|b| NodeSet::new(b.dag().node_count()))
+        .collect();
+    let total_sw_cycles = app.total_software_latency(model);
+    let mut saved_cycles = 0u64;
+    let mut ises = Vec::new();
+    // Cut found for block `bi` against the *current* covered[bi]; carried
+    // across iterations until covered[bi] changes.
+    let mut cut_cache: Vec<Option<Cut>> = vec![None; blocks.len()];
+
+    for _ in 0..config.max_ises {
+        let order = rank_blocks(blocks, &contexts, &covered);
+        let potential = |bi: usize| -> u64 {
+            blocks[bi].frequency() * contexts[bi].potential(Some(&covered[bi]))
+        };
+        let viable: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&bi| potential(bi) > 0)
+            .collect();
+
+        // Walk the ranking; search in speculative waves where memoised
+        // cuts are missing; accept the first profitable cut — the
+        // sequential driver's exact choice.
+        let mut found: Option<(usize, Cut)> = None;
+        for (idx, &bi) in viable.iter().enumerate() {
+            if cut_cache[bi].is_none() {
+                let wave: Vec<usize> = viable[idx..]
+                    .iter()
+                    .copied()
+                    .filter(|&bj| cut_cache[bj].is_none())
+                    .take(threads.max(1))
+                    .collect();
+                for (bj, cut) in
+                    search_blocks(finder, &contexts, &covered, config.io, &wave, threads)
+                {
+                    cut_cache[bj] = Some(cut);
+                }
+            }
+            let cut = cut_cache[bi].as_ref().expect("searched above");
+            if !cut.is_empty() && cut.saved_cycles() > 0 {
+                found = Some((bi, cut.clone()));
+                break;
+            }
+        }
+        let Some((bi, cut)) = found else { break };
+
+        let touched = deploy_cut(
+            blocks,
+            &contexts,
+            config,
+            &mut covered,
+            &mut ises,
+            &mut saved_cycles,
+            bi,
+            cut,
+        );
+        for bj in touched {
+            cut_cache[bj] = None;
+        }
+    }
+
+    IseSelection {
+        ises,
+        total_sw_cycles,
+        saved_cycles,
+    }
+}
+
+/// [`generate_batched_with`] running ISEGEN (the batched counterpart of
+/// [`generate`]).
+pub fn generate_batched(
+    app: &Application,
+    model: &LatencyModel,
+    config: &IseConfig,
+    search: &SearchConfig,
+    threads: usize,
+) -> IseSelection {
+    let finder = IsegenFinder::new(search.clone());
+    generate_batched_with(&finder, app, model, config, threads)
+}
+
+/// Block indices sorted by descending remaining speedup potential
+/// (stable: ties keep index order, as in the paper's ranking).
+fn rank_blocks(
+    blocks: &[isegen_ir::BasicBlock],
+    contexts: &[BlockContext<'_>],
+    covered: &[NodeSet],
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..blocks.len()).collect();
+    order.sort_by_key(|&bi| {
+        std::cmp::Reverse(blocks[bi].frequency() * contexts[bi].potential(Some(&covered[bi])))
+    });
+    order
+}
+
+/// Searches `pending` blocks concurrently on up to `threads` scoped
+/// threads (an atomic cursor deals work; results merge by block index,
+/// so the outcome is independent of scheduling). The finder is cloned
+/// per search.
+fn search_blocks<F>(
+    finder: &F,
+    contexts: &[BlockContext<'_>],
+    covered: &[NodeSet],
+    io: IoConstraints,
+    pending: &[usize],
+    threads: usize,
+) -> Vec<(usize, Cut)>
+where
+    F: CutFinder + Clone + Send + Sync,
+{
+    let workers = threads.max(1).min(pending.len());
+    if workers <= 1 {
+        return pending
+            .iter()
+            .map(|&bi| {
+                let mut f = finder.clone();
+                (bi, f.find_cut(&contexts[bi], io, Some(&covered[bi])))
+            })
+            .collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Cut)>> = Mutex::new(Vec::with_capacity(pending.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&bi) = pending.get(i) else { break };
+                let mut f = finder.clone();
+                let cut = f.find_cut(&contexts[bi], io, Some(&covered[bi]));
+                results
+                    .lock()
+                    .expect("search worker panicked")
+                    .push((bi, cut));
+            });
+        }
+    });
+    let mut out = results.into_inner().expect("search worker panicked");
+    out.sort_unstable_by_key(|&(bi, _)| bi);
+    out
+}
+
+/// Accepts `cut` in block `bi`: locks its nodes, deploys reuse instances
+/// when configured, accumulates savings and appends the [`Ise`]. Returns
+/// the indices of every block whose covered set changed (for cut-cache
+/// invalidation in the batched driver).
+#[allow(clippy::too_many_arguments)]
+fn deploy_cut(
+    blocks: &[isegen_ir::BasicBlock],
+    contexts: &[BlockContext<'_>],
+    config: &IseConfig,
+    covered: &mut [NodeSet],
+    ises: &mut Vec<Ise>,
+    saved_cycles: &mut u64,
+    bi: usize,
+    cut: Cut,
+) -> Vec<usize> {
+    let saved_per_execution = cut.saved_cycles();
+    covered[bi].union_with(cut.nodes());
+    let mut touched = vec![bi];
+    let mut instances = vec![IseInstance {
+        block_index: bi,
+        nodes: cut.nodes().clone(),
+    }];
+
+    if config.reuse_matching {
+        let pattern = Pattern::extract(&blocks[bi], cut.nodes());
+        for (bj, block) in blocks.iter().enumerate() {
+            for candidate in find_disjoint_instances(block, &pattern, Some(&covered[bj])) {
+                // An instance is only usable where it is itself a legal
+                // ISE occurrence: convex and within the port budget in
+                // its own context.
+                let instance_cut = Cut::evaluate(&contexts[bj], candidate.clone());
+                if contexts[bj].is_convex(&candidate) && instance_cut.satisfies_io(config.io) {
+                    covered[bj].union_with(&candidate);
+                    if touched.last() != Some(&bj) {
+                        touched.push(bj);
+                    }
+                    instances.push(IseInstance {
+                        block_index: bj,
+                        nodes: candidate,
+                    });
+                }
+            }
+        }
+    }
+
+    for inst in &instances {
+        *saved_cycles += blocks[inst.block_index].frequency() * saved_per_execution;
+    }
+    ises.push(Ise {
+        block_index: bi,
+        cut,
+        instances,
+        saved_per_execution,
+    });
+    touched
 }
 
 #[cfg(test)]
@@ -322,6 +535,42 @@ mod tests {
         );
         assert!(sel.ises.is_empty());
         assert_eq!(sel.speedup(), 1.0);
+    }
+
+    #[test]
+    fn batched_driver_matches_sequential() {
+        let mut app = Application::new("many");
+        for f in [7u64, 100, 3, 1_000, 55, 21] {
+            app.push_block(twin_block(f));
+        }
+        let model = LatencyModel::paper_default();
+        for reuse in [false, true] {
+            let config = IseConfig {
+                io: IoConstraints::new(4, 2),
+                max_ises: 5,
+                reuse_matching: reuse,
+            };
+            let sequential = generate(&app, &model, &config, &SearchConfig::default());
+            for threads in [1usize, 2, 4, 8] {
+                let batched =
+                    generate_batched(&app, &model, &config, &SearchConfig::default(), threads);
+                assert_eq!(
+                    batched, sequential,
+                    "batched ({threads} threads, reuse={reuse}) diverged from sequential"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_driver_single_block() {
+        let mut app = Application::new("one");
+        app.push_block(twin_block(10));
+        let model = LatencyModel::paper_default();
+        let config = IseConfig::paper_default();
+        let sequential = generate(&app, &model, &config, &SearchConfig::default());
+        let batched = generate_batched(&app, &model, &config, &SearchConfig::default(), 4);
+        assert_eq!(batched, sequential);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::{BlockContext, Cut, IoConstraints};
-use isegen_graph::components::{Components, OUTSIDE};
-use isegen_graph::{path, NodeId, NodeSet};
+use isegen_graph::components::OUTSIDE;
+use isegen_graph::{NodeId, NodeSet};
 
 /// Incremental hardware/software partition state — the paper's §4.3
 /// toggle-impact machinery.
@@ -21,9 +21,12 @@ use isegen_graph::{path, NodeId, NodeSet};
 /// (`tests/engine_prop.rs`), substituting for the rule-table proofs the
 /// paper defers to its technical report.
 ///
-/// After every *committed* toggle the engine refreshes its heavier state
-/// (longest-path arrays, convexity masks, connected components) in
-/// O(n + e + |C|·n/64); per-*candidate* probes then cost O(deg + n/64).
+/// Commits refresh the heavier derived state *incrementally*: an entering
+/// toggle extends the reachability masks by one word-level union and
+/// recomputes longest-path values only for cut nodes downstream/upstream
+/// of the toggled node; a leaving toggle rebuilds cut-local state in
+/// O(|C|·(deg + n/64)). Neither path walks the whole graph or allocates.
+/// Per-*candidate* probes cost O(deg + n/64) with no scratch-set writes.
 #[derive(Debug)]
 pub struct ToggleEngine<'c, 'a> {
     ctx: &'c BlockContext<'a>,
@@ -35,14 +38,28 @@ pub struct ToggleEngine<'c, 'a> {
     up: Vec<f64>,
     down: Vec<f64>,
     critical: f64,
+    /// Union of `descendants(w)` over cut nodes `w`.
     below: NodeSet,
+    /// Union of `ancestors(w)` over cut nodes `w`.
     above: NodeSet,
+    /// `below \ cut` — hull floor outside the cut; entering-convexity
+    /// probes test membership against it word-parallel.
+    below_ext: NodeSet,
+    /// `above \ cut` — hull ceiling outside the cut.
+    above_ext: NodeSet,
+    /// `below ∩ above \ cut` — the convexity violators of the *current*
+    /// cut (empty iff the cut is convex).
+    violators: NodeSet,
     convex_now: bool,
     comp_label: Vec<u32>,
+    comp_count: usize,
     comp_cp: Vec<f64>,
     comp_cp_total: f64,
-    scratch_a: NodeSet,
-    scratch_b: NodeSet,
+    // Reusable buffers: committed toggles never allocate.
+    order_scratch: Vec<NodeId>,
+    order_scratch_b: Vec<NodeId>,
+    queue_scratch: Vec<NodeId>,
+    violators_prev: NodeSet,
 }
 
 /// The predicted effect of toggling one node, produced by
@@ -108,16 +125,28 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
             critical: 0.0,
             below: NodeSet::new(n),
             above: NodeSet::new(n),
+            below_ext: NodeSet::new(n),
+            above_ext: NodeSet::new(n),
+            violators: NodeSet::new(n),
             convex_now: true,
             comp_label: vec![OUTSIDE; n],
+            comp_count: 0,
             comp_cp: Vec::new(),
             comp_cp_total: 0.0,
-            scratch_a: NodeSet::new(n),
-            scratch_b: NodeSet::new(n),
+            order_scratch: Vec::new(),
+            order_scratch_b: Vec::new(),
+            queue_scratch: Vec::new(),
+            violators_prev: NodeSet::new(n),
         };
         engine.recount_io();
-        engine.refresh();
+        engine.refresh_full();
         engine
+    }
+
+    /// The block context this engine searches.
+    #[inline]
+    pub fn ctx(&self) -> &'c BlockContext<'a> {
+        self.ctx
     }
 
     /// The current cut.
@@ -181,8 +210,8 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
 
     /// Predicts the effect of toggling `v` without committing it.
     ///
-    /// O(deg(v) + n/64).
-    pub fn probe(&mut self, v: NodeId) -> Probe {
+    /// O(deg(v) + n/64), allocation-free and read-only.
+    pub fn probe(&self, v: NodeId) -> Probe {
         let entering = !self.cut.contains(v);
         let (inputs, outputs) = self.io_after(v, entering);
         let convex = self.convex_after(v, entering);
@@ -201,9 +230,7 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
         let other_components_hw = if entering {
             0.0
         } else {
-            let label = self.comp_label[v.index()];
-            debug_assert_ne!(label, OUTSIDE, "leaving node must be labelled");
-            self.comp_cp_total - self.comp_cp[label as usize]
+            self.other_components_hw(v)
         };
         Probe {
             entering,
@@ -238,8 +265,46 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
         }
         self.input_count = inputs;
         self.output_count = outputs;
-        self.refresh();
+        if entering {
+            self.refresh_entering(v);
+        } else {
+            self.refresh_leaving(v);
+        }
         entering
+    }
+
+    /// Toggles `v` and accumulates into `dirty` every node whose
+    /// [`ToggleEngine::probe`] result may differ from before the commit —
+    /// the invalidation set of the K-L gain cache ([`crate::GainCache`]).
+    ///
+    /// The set is conservative but cheap: `{v} ∪ anc(v) ∪ desc(v)` (the
+    /// reachability cones cover every node whose longest-path or
+    /// convexity-hull terms can move), consumers sharing a producer with
+    /// `v` (their ΔI terms read the producer's fan-out counter), and the
+    /// current cut members (leaving probes read global component state).
+    ///
+    /// Returns `true` when the caller must instead invalidate *all*
+    /// cached probes: the convexity-violator set changed (entering
+    /// probes everywhere test against it) or a leaving commit split a
+    /// component.
+    pub fn toggle_and_mark(&mut self, v: NodeId, dirty: &mut NodeSet) -> bool {
+        self.violators_prev.clone_from(&self.violators);
+        let comp_before = self.comp_count;
+        let entering = self.toggle(v);
+
+        let reach = self.ctx.reach();
+        dirty.insert(v);
+        dirty.union_with(reach.ancestors(v));
+        dirty.union_with(reach.descendants(v));
+        let dag = self.ctx.block().dag();
+        for &p in dag.preds(v) {
+            for &u in dag.succs(p) {
+                dirty.insert(u);
+            }
+        }
+        dirty.union_with(&self.cut);
+
+        self.violators != self.violators_prev || (!entering && self.comp_count > comp_before)
     }
 
     // ----- incremental pieces ------------------------------------------
@@ -316,62 +381,76 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
     /// masks extend monotonically); exact for leaving a convex cut (the
     /// only possible new violation passes through `v`); pessimistic
     /// `false` when leaving a non-convex cut.
-    fn convex_after(&mut self, v: NodeId, entering: bool) -> bool {
+    ///
+    /// The entering test is the fused word-level form of
+    /// `((below ∪ desc(v)) ∩ (above ∪ anc(v))) \ cut \ {v} = ∅`:
+    /// distributing the intersection and dropping the empty
+    /// `desc(v) ∩ anc(v)` term leaves exactly the three maintained-set
+    /// conditions below — no scratch sets are materialised.
+    fn convex_after(&self, v: NodeId, entering: bool) -> bool {
         let reach = self.ctx.reach();
         if entering {
-            self.scratch_a.clone_from(&self.below);
-            self.scratch_a.union_with(reach.descendants(v));
-            self.scratch_b.clone_from(&self.above);
-            self.scratch_b.union_with(reach.ancestors(v));
-            self.scratch_a.intersect_with(&self.scratch_b);
-            self.scratch_a.subtract(&self.cut);
-            self.scratch_a.remove(v);
-            self.scratch_a.is_empty()
+            // below ∩ above \ cut must already be ⊆ {v} …
+            match self.violators.len() {
+                0 => {}
+                1 if self.violators.contains(v) => {}
+                _ => return false,
+            }
+            // … and v's cones must not touch the hull outside the cut.
+            !reach.ancestors(v).intersects(&self.below_ext)
+                && !reach.descendants(v).intersects(&self.above_ext)
         } else if self.convex_now {
             if self.cut.len() <= 1 {
                 return true;
             }
-            let has_cut_anc = reach.ancestors(v).intersection_len(&self.cut) > 0;
-            let has_cut_desc = reach.descendants(v).intersection_len(&self.cut) > 0;
+            let has_cut_anc = reach.ancestors(v).intersects(&self.cut);
+            let has_cut_desc = reach.descendants(v).intersects(&self.cut);
             !(has_cut_anc && has_cut_desc)
         } else {
             false
         }
     }
 
+    /// Longest hardware path that would pass *through* `v` if it entered
+    /// the cut: `max(up over cut preds) + delay(v) + max(down over cut
+    /// succs)`. The gain cache stores this per candidate; it only changes
+    /// when a neighbouring cut node's longest-path value moves.
+    pub(crate) fn entering_through(&self, v: NodeId) -> f64 {
+        let dag = self.ctx.block().dag();
+        let mut up_in = 0.0f64;
+        for &p in dag.preds(v) {
+            if self.cut.contains(p) && self.up[p.index()] > up_in {
+                up_in = self.up[p.index()];
+            }
+        }
+        let mut down_in = 0.0f64;
+        for &s in dag.succs(v) {
+            if self.cut.contains(s) && self.down[s.index()] > down_in {
+                down_in = self.down[s.index()];
+            }
+        }
+        up_in + self.ctx.hw_delay(v) + down_in
+    }
+
     /// Hardware critical path after toggling `v`. Exact for entering
     /// moves (any new longest path must pass through `v`, and `up`/`down`
     /// are exact within the current cut); for leaving moves it returns
-    /// the current critical path when `v` lies on it (an upper bound) and
-    /// the exact value otherwise.
+    /// the current critical path (an upper bound when `v` lies on it,
+    /// exact otherwise).
     fn critical_after(&self, v: NodeId, entering: bool) -> f64 {
-        let dag = self.ctx.block().dag();
-        let vi = v.index();
-        let dv = self.ctx.hw_delay(v);
         if entering {
-            let mut up_in = 0.0f64;
-            for &p in dag.preds(v) {
-                if self.cut.contains(p) && self.up[p.index()] > up_in {
-                    up_in = self.up[p.index()];
-                }
-            }
-            let mut down_in = 0.0f64;
-            for &s in dag.succs(v) {
-                if self.cut.contains(s) && self.down[s.index()] > down_in {
-                    down_in = self.down[s.index()];
-                }
-            }
-            self.critical.max(up_in + dv + down_in)
+            self.critical.max(self.entering_through(v))
         } else {
-            let through_v = self.up[vi] + self.down[vi] - dv;
-            if through_v + 1e-12 < self.critical {
-                self.critical
-            } else {
-                // v is on a critical path; removal may shorten the cut's
-                // delay, but by at most dv. Use the conservative bound.
-                self.critical
-            }
+            self.critical
         }
+    }
+
+    /// Summed critical paths of the components of the cut *other* than
+    /// the one containing cut member `v`. O(1).
+    pub(crate) fn other_components_hw(&self, v: NodeId) -> f64 {
+        let label = self.comp_label[v.index()];
+        debug_assert_ne!(label, OUTSIDE, "leaving node must be labelled");
+        self.comp_cp_total - self.comp_cp[label as usize]
     }
 
     fn distinct_neighbors_in_cut(&self, v: NodeId) -> u32 {
@@ -417,16 +496,107 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
         self.sw_sum = sw;
     }
 
-    /// Refreshes the heavier derived state after a committed toggle:
-    /// longest-path arrays, convexity masks and component labelling.
-    /// O(n + e + |C|·n/64).
-    fn refresh(&mut self) {
-        let dag = self.ctx.block().dag();
-        let ud = path::up_down_within(dag, self.ctx.topo(), &self.cut, |v| self.ctx.hw_delay(v));
-        self.up = ud.up;
-        self.down = ud.down;
-        self.critical = ud.critical;
+    // ----- committed-toggle refresh ------------------------------------
 
+    /// Refresh after `v` *entered* the cut. The reachability masks grow
+    /// by one word-level union each; longest-path values are recomputed
+    /// only for cut nodes in `desc(v)` / `anc(v)`; components merge by
+    /// label. No full-graph walk, no allocation (buffers are reused).
+    fn refresh_entering(&mut self, v: NodeId) {
+        let ctx = self.ctx;
+        let reach = ctx.reach();
+        self.below.union_with(reach.descendants(v));
+        self.above.union_with(reach.ancestors(v));
+
+        // Longest paths: `up` changes only for v and cut ∩ desc(v)
+        // (processed in topological order, v strictly first), `down` only
+        // for v and cut ∩ anc(v) (reverse order, v first).
+        self.collect_cut_members_by_rank(reach.descendants(v), true);
+        self.recompute_up(v);
+        let affected_up = std::mem::take(&mut self.order_scratch);
+        for &w in &affected_up {
+            self.recompute_up(w);
+        }
+        self.order_scratch = affected_up;
+
+        self.collect_cut_members_by_rank(reach.ancestors(v), false);
+        self.recompute_down(v);
+        let affected_down = std::mem::take(&mut self.order_scratch);
+        for &w in &affected_down {
+            self.recompute_down(w);
+        }
+        self.order_scratch = affected_down;
+
+        // Components: v attaches to the components of its cut neighbours.
+        let dag = ctx.block().dag();
+        let mut first_label = OUTSIDE;
+        let mut merges = false;
+        for &w in dag.preds(v).iter().chain(dag.succs(v)) {
+            let l = self.comp_label[w.index()];
+            if l == OUTSIDE {
+                continue;
+            }
+            if first_label == OUTSIDE {
+                first_label = l;
+            } else if l != first_label {
+                merges = true;
+                break;
+            }
+        }
+        if merges {
+            self.rebuild_components();
+        } else if first_label == OUTSIDE {
+            self.comp_label[v.index()] = self.comp_count as u32;
+            self.comp_count += 1;
+        } else {
+            self.comp_label[v.index()] = first_label;
+        }
+
+        self.rebuild_comp_cp();
+        self.refresh_derived_masks();
+    }
+
+    /// Refresh after `v` *left* the cut: cut-local rebuild of the masks
+    /// and components (removal can shrink hulls and split components),
+    /// partial longest-path recompute as for entering. O(|C|·(deg+n/64)),
+    /// allocation-free.
+    fn refresh_leaving(&mut self, v: NodeId) {
+        let ctx = self.ctx;
+        let vi = v.index();
+        self.up[vi] = 0.0;
+        self.down[vi] = 0.0;
+        self.comp_label[vi] = OUTSIDE;
+
+        let reach = ctx.reach();
+        self.below.clear();
+        self.above.clear();
+        for w in self.cut.iter() {
+            self.below.union_with(reach.descendants(w));
+            self.above.union_with(reach.ancestors(w));
+        }
+
+        self.collect_cut_members_by_rank(reach.descendants(v), true);
+        let affected_up = std::mem::take(&mut self.order_scratch);
+        for &w in &affected_up {
+            self.recompute_up(w);
+        }
+        self.order_scratch = affected_up;
+
+        self.collect_cut_members_by_rank(reach.ancestors(v), false);
+        let affected_down = std::mem::take(&mut self.order_scratch);
+        for &w in &affected_down {
+            self.recompute_down(w);
+        }
+        self.order_scratch = affected_down;
+
+        self.rebuild_components();
+        self.rebuild_comp_cp();
+        self.refresh_derived_masks();
+    }
+
+    /// Full derived-state rebuild, used at construction time only (the
+    /// commit paths above maintain everything incrementally).
+    fn refresh_full(&mut self) {
         let reach = self.ctx.reach();
         self.below.clear();
         self.above.clear();
@@ -434,35 +604,144 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
             self.below.union_with(reach.descendants(v));
             self.above.union_with(reach.ancestors(v));
         }
-        self.scratch_a.clone_from(&self.below);
-        self.scratch_a.intersect_with(&self.above);
-        self.scratch_a.subtract(&self.cut);
-        self.convex_now = self.scratch_a.is_empty();
+        let topo = self.ctx.topo();
+        self.order_scratch.clear();
+        self.order_scratch.extend(self.cut.iter());
+        self.order_scratch.sort_unstable_by_key(|&w| topo.rank(w));
+        let members = std::mem::take(&mut self.order_scratch);
+        for &w in &members {
+            self.recompute_up(w);
+        }
+        for &w in members.iter().rev() {
+            self.recompute_down(w);
+        }
+        self.order_scratch = members;
+        self.rebuild_components();
+        self.rebuild_comp_cp();
+        self.refresh_derived_masks();
+    }
 
-        let comps = Components::within(dag, &self.cut);
-        let count = comps.count();
+    /// Fills `order_scratch` with `cut ∩ within`, sorted by topological
+    /// rank (ascending or descending).
+    fn collect_cut_members_by_rank(&mut self, within: &NodeSet, ascending: bool) {
+        let topo = self.ctx.topo();
+        self.order_scratch.clear();
+        {
+            // Word-zip of the two bitsets: touch only words where both
+            // the cone and the cut have bits.
+            let cut = &self.cut;
+            let scratch = &mut self.order_scratch;
+            within.for_each_word(|wi, w| {
+                let mut m = w & cut.word(wi);
+                while m != 0 {
+                    let b = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    scratch.push(NodeId::from_index(wi * 64 + b));
+                }
+            });
+        }
+        if ascending {
+            self.order_scratch.sort_unstable_by_key(|&w| topo.rank(w));
+        } else {
+            self.order_scratch
+                .sort_unstable_by_key(|&w| std::cmp::Reverse(topo.rank(w)));
+        }
+    }
+
+    /// Recomputes `up[w]` from `w`'s in-cut predecessors (which must
+    /// already be current).
+    fn recompute_up(&mut self, w: NodeId) {
+        let dag = self.ctx.block().dag();
+        let mut best = 0.0f64;
+        for &p in dag.preds(w) {
+            if self.cut.contains(p) && self.up[p.index()] > best {
+                best = self.up[p.index()];
+            }
+        }
+        self.up[w.index()] = best + self.ctx.hw_delay(w);
+    }
+
+    /// Recomputes `down[w]` from `w`'s in-cut successors (which must
+    /// already be current).
+    fn recompute_down(&mut self, w: NodeId) {
+        let dag = self.ctx.block().dag();
+        let mut best = 0.0f64;
+        for &s in dag.succs(w) {
+            if self.cut.contains(s) && self.down[s.index()] > best {
+                best = self.down[s.index()];
+            }
+        }
+        self.down[w.index()] = best + self.ctx.hw_delay(w);
+    }
+
+    /// Relabels the connected components of the cut by BFS over cut
+    /// members only (undirected, as in the paper's "independently
+    /// connected subgraphs"). O(|C|·deg), reusing the queue buffer.
+    fn rebuild_components(&mut self) {
+        let dag = self.ctx.block().dag();
+        // Reset labels of cut members; non-members hold OUTSIDE already.
+        self.order_scratch_b.clear();
+        self.order_scratch_b.extend(self.cut.iter());
+        let members = std::mem::take(&mut self.order_scratch_b);
+        for &w in &members {
+            self.comp_label[w.index()] = OUTSIDE;
+        }
+        let mut count = 0usize;
+        for &start in &members {
+            if self.comp_label[start.index()] != OUTSIDE {
+                continue;
+            }
+            let comp = count as u32;
+            count += 1;
+            self.comp_label[start.index()] = comp;
+            self.queue_scratch.clear();
+            self.queue_scratch.push(start);
+            while let Some(v) = self.queue_scratch.pop() {
+                for &w in dag.preds(v).iter().chain(dag.succs(v)) {
+                    if self.cut.contains(w) && self.comp_label[w.index()] == OUTSIDE {
+                        self.comp_label[w.index()] = comp;
+                        self.queue_scratch.push(w);
+                    }
+                }
+            }
+        }
+        self.order_scratch_b = members;
+        self.comp_count = count;
+    }
+
+    /// Recomputes per-component critical paths, their sum, and the cut's
+    /// overall critical path from the (current) `up`/`down` arrays and
+    /// component labels. O(|C|).
+    fn rebuild_comp_cp(&mut self) {
         self.comp_cp.clear();
-        self.comp_cp.resize(count, 0.0);
+        self.comp_cp.resize(self.comp_count, 0.0);
         for v in self.cut.iter() {
             let vi = v.index();
-            self.comp_label[vi] = comps.component_of(v);
             let through = self.up[vi] + self.down[vi] - self.ctx.hw_delay(v);
             let slot = &mut self.comp_cp[self.comp_label[vi] as usize];
             if through > *slot {
                 *slot = through;
             }
         }
-        for v in dag.node_ids() {
-            if !self.cut.contains(v) {
-                self.comp_label[v.index()] = OUTSIDE;
-            }
-        }
         self.comp_cp_total = self.comp_cp.iter().sum();
+        self.critical = self.comp_cp.iter().fold(0.0f64, |a, &b| a.max(b));
+    }
+
+    /// Recomputes `below_ext`, `above_ext` and the violator set from the
+    /// hull masks and the cut. O(n/64).
+    fn refresh_derived_masks(&mut self) {
+        self.below_ext.clone_from(&self.below);
+        self.below_ext.subtract(&self.cut);
+        self.above_ext.clone_from(&self.above);
+        self.above_ext.subtract(&self.cut);
+        self.violators.clone_from(&self.below_ext);
+        self.violators.intersect_with(&self.above_ext);
+        self.convex_now = self.violators.is_empty();
     }
 
     /// Number of connected components of the current cut.
     pub fn component_count(&self) -> usize {
-        self.comp_cp.len()
+        self.comp_count
     }
 }
 
@@ -623,5 +902,42 @@ mod tests {
         // filling the hole restores convexity
         engine.toggle(b);
         assert!(engine.is_convex());
+    }
+
+    #[test]
+    fn toggle_and_mark_covers_probe_changes() {
+        // Exhaustive check on the dot-product block: after each commit,
+        // every node whose probe changed must be in the dirty set (or a
+        // full invalidation must be signalled).
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let ids: Vec<NodeId> = block.dag().node_ids().collect();
+        let n = ctx.node_count();
+        for seq in &[vec![4, 5, 6, 5], vec![6, 5, 4], vec![4, 6, 4, 6, 5]] {
+            let mut engine = ToggleEngine::new(&ctx);
+            for &i in seq {
+                let before: Vec<Probe> = ids.iter().map(|&u| engine.probe(u)).collect();
+                let mut dirty = NodeSet::new(n);
+                let full = engine.toggle_and_mark(ids[i], &mut dirty);
+                if full {
+                    continue;
+                }
+                for (u, old) in ids.iter().zip(&before) {
+                    if dirty.contains(*u) {
+                        continue;
+                    }
+                    let new = engine.probe(*u);
+                    // Clean nodes may still see the global counters move;
+                    // the *local* probe pieces must be unchanged.
+                    assert_eq!(new.entering, old.entering, "entering changed for {u}");
+                    assert_eq!(new.convex, old.convex, "convexity changed for {u}");
+                    assert_eq!(
+                        new.neighbors_in_cut, old.neighbors_in_cut,
+                        "neighbours changed for {u}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -85,7 +85,7 @@ impl GainWeights {
 
 /// Evaluates the gain of toggling `v` against the engine's current cut.
 pub(crate) fn gain_of(
-    engine: &mut ToggleEngine<'_, '_>,
+    engine: &ToggleEngine<'_, '_>,
     ctx: &BlockContext<'_>,
     weights: &GainWeights,
     io: IoConstraints,
@@ -121,7 +121,7 @@ mod tests {
         // cut {a1, a2} has 4 inputs, 2 outputs: violations. Adding the root
         // keeps 4 inputs but drops outputs to 1; gain should exceed that of
         // re-removing a1 ... all the structural terms should favour root.
-        let g_root = gain_of(&mut engine, &ctx, &weights, io, root);
+        let g_root = gain_of(&engine, &ctx, &weights, io, root);
         let probe_root = engine.probe(root);
         assert!(probe_root.entering);
         assert_eq!(probe_root.inputs, 4);

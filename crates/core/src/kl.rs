@@ -1,3 +1,4 @@
+use crate::cache::{CacheStats, GainCache};
 use crate::driver::CutFinder;
 use crate::gain::gain_of;
 use crate::{BlockContext, Cut, GainWeights, IoConstraints, ToggleEngine};
@@ -56,14 +57,27 @@ pub fn bipartition(
     config: &SearchConfig,
     forbidden: Option<&NodeSet>,
 ) -> Cut {
+    bipartition_with_stats(ctx, io, config, forbidden).0
+}
+
+/// [`bipartition`], additionally returning the gain-cache probe
+/// statistics of the whole search (all weight flavours and restarts) —
+/// the "probes avoided" number of the perf trajectory.
+pub fn bipartition_with_stats(
+    ctx: &BlockContext<'_>,
+    io: IoConstraints,
+    config: &SearchConfig,
+    forbidden: Option<&NodeSet>,
+) -> (Cut, CacheStats) {
     let n = ctx.node_count();
+    let mut stats = CacheStats::default();
     // Nodes the search may toggle: eligible and not forbidden.
     let mut free = ctx.eligible().clone();
     if let Some(f) = forbidden {
         free.subtract(f);
     }
     if free.is_empty() {
-        return Cut::empty(n);
+        return (Cut::empty(n), stats);
     }
     let free_nodes: Vec<NodeId> = free.iter().collect();
 
@@ -82,28 +96,36 @@ pub fn bipartition(
     };
     let mut best_cut = Cut::empty(n);
     for cfg in [config, &cohesive] {
-        let candidate = kl_trajectories(ctx, io, cfg, &free_nodes, None);
+        let candidate = kl_trajectories(ctx, io, cfg, &free_nodes, None, &mut stats);
         if candidate.merit() > best_cut.merit() {
             best_cut = candidate;
         }
         for seed in restart_seeds(ctx, io, cfg, &free_nodes) {
-            let candidate = kl_trajectories(ctx, io, cfg, &free_nodes, Some(seed));
+            let candidate = kl_trajectories(ctx, io, cfg, &free_nodes, Some(seed), &mut stats);
             if candidate.merit() > best_cut.merit() {
                 best_cut = candidate;
             }
         }
     }
-    best_cut
+    (best_cut, stats)
 }
 
 /// Runs the Fig. 2 pass loop once, optionally forcing the very first
 /// toggle onto `seed` (restart diversification).
+///
+/// The sweep is served by a [`GainCache`]: after each committed toggle
+/// only the nodes in the engine's dirty set are re-probed; every other
+/// gain is recombined from cached local terms in O(1). The cached gains
+/// are bit-identical to fresh probes (`tests/gain_cache_prop.rs`), so
+/// the trajectory — and therefore the returned cut — is exactly the one
+/// the uncached loop would take.
 fn kl_trajectories(
     ctx: &BlockContext<'_>,
     io: IoConstraints,
     config: &SearchConfig,
     free_nodes: &[NodeId],
     seed: Option<NodeId>,
+    stats: &mut CacheStats,
 ) -> Cut {
     let n = ctx.node_count();
     let mut best_cut = Cut::empty(n);
@@ -111,6 +133,7 @@ fn kl_trajectories(
 
     for pass in 0..config.max_passes {
         let mut engine = ToggleEngine::from_cut(ctx, best_cut.nodes().clone());
+        let mut cache = GainCache::new(n);
         let mut marked = NodeSet::new(n);
         let mut pass_best: Option<Cut> = None;
         let mut pass_best_merit = best_merit;
@@ -127,7 +150,7 @@ fn kl_trajectories(
                         if marked.contains(v) {
                             continue;
                         }
-                        let g = gain_of(&mut engine, ctx, &config.weights, io, v);
+                        let g = cache.gain(&engine, &config.weights, io, v);
                         let better = match chosen {
                             None => true,
                             Some((bg, _)) => g > bg,
@@ -140,7 +163,7 @@ fn kl_trajectories(
                 }
             };
             let Some(v) = chosen else { break };
-            engine.toggle(v);
+            cache.commit(&mut engine, v);
             marked.insert(v);
             if engine.is_legal(io) {
                 let m = engine.merit();
@@ -151,6 +174,7 @@ fn kl_trajectories(
             }
         }
 
+        stats.absorb(cache.stats());
         match pass_best {
             Some(cut) => {
                 best_merit = pass_best_merit;
@@ -175,10 +199,10 @@ fn restart_seeds(
         return Vec::new();
     }
     let n = ctx.node_count();
-    let mut engine = ToggleEngine::new(ctx);
+    let engine = ToggleEngine::new(ctx);
     let mut scored: Vec<(f64, NodeId)> = free_nodes
         .iter()
-        .map(|&v| (gain_of(&mut engine, ctx, &config.weights, io, v), v))
+        .map(|&v| (gain_of(&engine, ctx, &config.weights, io, v), v))
         .collect();
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
 

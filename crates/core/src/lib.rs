@@ -22,11 +22,17 @@
 //! * [`GainWeights`] / the gain function — the five weighted control
 //!   parameters of §4.2 (merit, I/O penalty, convexity affinity,
 //!   directional growth, independent cuts).
-//! * [`bipartition`] — the modified Kernighan–Lin pass structure of Fig. 2.
+//! * [`bipartition`] — the modified Kernighan–Lin pass structure of Fig. 2,
+//!   served by [`GainCache`]: a dirty-set probe cache that re-evaluates
+//!   only the candidates a committed toggle could have changed
+//!   ([`bipartition_with_stats`] exposes the probes-avoided counters).
 //! * [`generate`] / [`generate_with`] — the whole-application driver
 //!   (Problem 2): block ranking by speedup potential, up to `N_ISE`
 //!   successive bi-partitions, optional reuse of each ISE across all its
 //!   isomorphic instances (the AES regularity play of §5).
+//! * [`generate_batched`] / [`generate_batched_with`] — the same driver
+//!   with block searches fanned out over scoped threads and memoised
+//!   across rounds; output byte-identical to the sequential driver.
 //!
 //! # Quickstart
 //!
@@ -56,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod addendum;
+mod cache;
 mod constraints;
 mod context;
 mod cut;
@@ -66,11 +73,15 @@ mod kl;
 mod speedup;
 
 pub use addendum::AddendumTable;
+pub use cache::{CacheStats, GainCache};
 pub use constraints::IoConstraints;
 pub use context::BlockContext;
 pub use cut::Cut;
-pub use driver::{generate, generate_with, CutFinder, Ise, IseConfig, IseInstance, IseSelection};
-pub use engine::ToggleEngine;
+pub use driver::{
+    generate, generate_batched, generate_batched_with, generate_with, CutFinder, Ise, IseConfig,
+    IseInstance, IseSelection,
+};
+pub use engine::{Probe, ToggleEngine};
 pub use gain::GainWeights;
-pub use kl::{bipartition, IsegenFinder, SearchConfig};
+pub use kl::{bipartition, bipartition_with_stats, IsegenFinder, SearchConfig};
 pub use speedup::application_speedup;

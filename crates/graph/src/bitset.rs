@@ -151,6 +151,16 @@ impl NodeSet {
         self.len = 0;
     }
 
+    /// Inserts every node index in `0..capacity` — the in-place
+    /// counterpart of [`NodeSet::full`].
+    pub fn insert_all(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        self.mask_tail();
+        self.len = self.capacity;
+    }
+
     /// In-place union: `self ← self ∪ other`.
     ///
     /// # Panics
@@ -200,6 +210,20 @@ impl NodeSet {
         self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
+    /// Returns `true` when the two sets share at least one node.
+    ///
+    /// Word-parallel with early exit — the fast path for "does this
+    /// candidate's hull touch the cut" style queries, which would
+    /// otherwise materialise an intersection or count every word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    #[inline]
+    pub fn intersects(&self, other: &NodeSet) -> bool {
+        !self.is_disjoint(other)
+    }
+
     /// Returns `true` when every node of `self` is also in `other`.
     ///
     /// # Panics
@@ -229,14 +253,50 @@ impl NodeSet {
 
     /// The smallest node id in the set, if any.
     pub fn first(&self) -> Option<NodeId> {
+        self.first_set().map(NodeId::from_index)
+    }
+
+    /// The smallest set *index* in the set, if any: the word-level
+    /// primitive behind [`NodeSet::first`].
+    pub fn first_set(&self) -> Option<usize> {
         for (wi, &w) in self.words.iter().enumerate() {
             if w != 0 {
-                return Some(NodeId::from_index(
-                    wi * WORD_BITS + w.trailing_zeros() as usize,
-                ));
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
             }
         }
         None
+    }
+
+    /// The `i`-th 64-bit word of the backing storage (bit `b` of word `i`
+    /// is node index `64·i + b`). Low-level companion of
+    /// [`NodeSet::for_each_word`] for zipping two sets word by word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+
+    /// Number of 64-bit words in the backing storage.
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Calls `f(word_index, word)` for every **non-zero** word of the set,
+    /// in increasing word order. This is the allocation-free way to walk a
+    /// set (or an intersection, by masking with [`NodeSet::word`] of a
+    /// second set) without paying per-bit iterator overhead on sparse
+    /// sets.
+    #[inline]
+    pub fn for_each_word(&self, mut f: impl FnMut(usize, u64)) {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                f(wi, w);
+            }
+        }
     }
 
     /// Iterates the node ids in the set in increasing order.
@@ -435,5 +495,64 @@ mod tests {
         let mut s = NodeSet::new(10);
         s.extend([id(1), id(2)]);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn intersects_agrees_with_is_disjoint() {
+        let a = NodeSet::from_ids(200, [id(0), id(100)]);
+        let b = NodeSet::from_ids(200, [id(1), id(199)]);
+        let c = NodeSet::from_ids(200, [id(100), id(150)]);
+        assert!(!a.intersects(&b));
+        assert!(a.intersects(&c));
+        assert!(c.intersects(&a));
+        let empty = NodeSet::new(200);
+        assert!(!a.intersects(&empty));
+        assert!(!empty.intersects(&empty));
+        // exhaustive agreement on a few random-ish patterns
+        for shift in 0..8usize {
+            let x = NodeSet::from_ids(130, (0..130).step_by(3 + shift).map(id));
+            let y = NodeSet::from_ids(130, (1..130).step_by(5).map(id));
+            assert_eq!(x.intersects(&y), !x.is_disjoint(&y));
+        }
+    }
+
+    #[test]
+    fn first_set_matches_first() {
+        let mut s = NodeSet::new(200);
+        assert_eq!(s.first_set(), None);
+        s.insert(id(150));
+        assert_eq!(s.first_set(), Some(150));
+        s.insert(id(64));
+        assert_eq!(s.first_set(), Some(64));
+        assert_eq!(s.first(), Some(id(64)));
+        s.insert(id(0));
+        assert_eq!(s.first_set(), Some(0));
+    }
+
+    #[test]
+    fn for_each_word_walks_nonzero_words_in_order() {
+        let s = NodeSet::from_ids(260, [id(3), id(65), id(66), id(256)]);
+        let mut seen = Vec::new();
+        s.for_each_word(|wi, w| seen.push((wi, w)));
+        assert_eq!(seen, vec![(0, 1u64 << 3), (1, (1 << 1) | (1 << 2)), (4, 1)]);
+        // rebuilding the set from the word walk round-trips
+        let mut rebuilt = NodeSet::new(260);
+        s.for_each_word(|wi, mut w| {
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                rebuilt.insert(id(wi * 64 + b));
+            }
+        });
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn word_accessors() {
+        let s = NodeSet::from_ids(130, [id(0), id(64), id(129)]);
+        assert_eq!(s.word_count(), 3);
+        assert_eq!(s.word(0), 1);
+        assert_eq!(s.word(1), 1);
+        assert_eq!(s.word(2), 2);
     }
 }

@@ -1,0 +1,54 @@
+//! The batched multi-block driver must be **byte-identical** to the
+//! sequential Problem-2 driver on real workloads, at every thread
+//! count — parallelism is a wall-clock optimisation, never a result
+//! change.
+
+use isegen::core::{
+    generate, generate_batched, generate_batched_with, generate_with, IseConfig, IsegenFinder,
+    SearchConfig,
+};
+use isegen::ir::LatencyModel;
+use isegen::workloads::{aes, random_application, RandomWorkloadConfig};
+
+#[test]
+fn batched_equals_sequential_on_aes() {
+    let app = aes();
+    let model = LatencyModel::paper_default();
+    let config = IseConfig::paper_default();
+    let search = SearchConfig::default();
+    let sequential = generate(&app, &model, &config, &search);
+    for threads in [1usize, 2, 4] {
+        let batched = generate_batched(&app, &model, &config, &search, threads);
+        assert_eq!(
+            batched, sequential,
+            "AES selection diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn batched_equals_sequential_on_random_multiblock() {
+    let model = LatencyModel::paper_default();
+    let search = SearchConfig::default();
+    for seed in [1u64, 42, 2026] {
+        let app = random_application(&RandomWorkloadConfig {
+            seed,
+            blocks: 8,
+            ops_per_block: 60,
+            ..RandomWorkloadConfig::default()
+        });
+        for reuse in [false, true] {
+            let config = IseConfig {
+                reuse_matching: reuse,
+                ..IseConfig::paper_default()
+            };
+            let mut finder = IsegenFinder::new(search.clone());
+            let sequential = generate_with(&mut finder, &app, &model, &config);
+            let batched = generate_batched_with(&finder, &app, &model, &config, 4);
+            assert_eq!(
+                batched, sequential,
+                "seed {seed} reuse {reuse}: batched diverged"
+            );
+        }
+    }
+}
