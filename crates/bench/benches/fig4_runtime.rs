@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
     for spec in mediabench_eembc_suite() {
         let app = spec.application();
         let block = app.critical_block().expect("has blocks").clone();
-        let nodes = spec.paper_nodes;
+        let nodes = spec.kernel_ops;
         let ctx = BlockContext::new(&block, &model);
 
         group.bench_with_input(BenchmarkId::new("isegen", nodes), &nodes, |b, _| {

@@ -22,7 +22,9 @@ use isegen_core::{
 };
 use isegen_graph::{NodeId, NodeSet};
 use isegen_ir::{Application, BasicBlock, LatencyModel};
-use isegen_workloads::{aes, random_application, RandomWorkloadConfig};
+use isegen_workloads::{
+    random_application, workload_by_name, workloads_in, Category, RandomWorkloadConfig,
+};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -229,7 +231,6 @@ fn main() {
     }
 
     let model = LatencyModel::paper_default();
-    let aes_app = aes();
     let sizes: &[usize] = if full {
         &[200, 400, 800, 1600]
     } else {
@@ -250,9 +251,18 @@ fn main() {
         ));
         kl_rows.push(bench_kl(&name, &app.blocks()[0], &model));
     }
-    let aes_block = largest_block(&aes_app);
-    toggle_rows.push(bench_toggles("aes", aes_block, &model, toggle_rounds));
-    kl_rows.push(bench_kl("aes", aes_block, &model));
+    // Real kernels come from the registry: the crypto suite up to
+    // full-round AES-128 in quick mode, the whole crypto tier in full.
+    let crypto_cap = if full { usize::MAX } else { 1100 };
+    for spec in workloads_in(Category::Crypto) {
+        if spec.kernel_ops > crypto_cap {
+            continue;
+        }
+        let app = spec.application();
+        let block = largest_block(&app);
+        toggle_rows.push(bench_toggles(spec.name, block, &model, toggle_rounds));
+        kl_rows.push(bench_kl(spec.name, block, &model));
+    }
 
     let mut driver_rows = Vec::new();
     // Small blocks + a deep budget reach coverage exhaustion, the phase
@@ -276,7 +286,18 @@ fn main() {
             threads,
         ));
     }
-    driver_rows.push(bench_driver("aes", &aes_app, &model, threads));
+    // Registry workloads for the driver comparison: the paper's AES in
+    // quick mode, plus full-round AES-128 in full mode.
+    let driver_names: &[&str] = if full { &["aes", "aes128"] } else { &["aes"] };
+    for name in driver_names {
+        let spec = workload_by_name(name).expect("registry entry");
+        driver_rows.push(bench_driver(
+            spec.name,
+            &spec.application(),
+            &model,
+            threads,
+        ));
+    }
 
     // ---- render ---------------------------------------------------------
 

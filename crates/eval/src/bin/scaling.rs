@@ -1,0 +1,165 @@
+//! Workload-corpus scaling gate: runs the sequential and batched
+//! Problem-2 drivers over every registry workload in the selected size
+//! tiers and writes per-workload rows (ops, ISEs found, speedup
+//! estimate, wall time) as JSON.
+//!
+//! This is the CI gate behind the corpus: the binary **panics** if any
+//! workload fails to search or if the batched driver's output diverges
+//! from the sequential driver's, so a malformed kernel or a parallelism
+//! regression fails the workflow rather than hiding in a benchmark.
+//!
+//! ```sh
+//! scaling                               # small + medium tiers, scaling-report.json
+//! scaling -- --tier all                 # the whole corpus, crypto included
+//! scaling -- --tier large,huge --threads 8 --out /tmp/report.json
+//! ```
+
+use isegen_core::{
+    generate_batched_with, generate_with, IseConfig, IseSelection, IsegenFinder, SearchConfig,
+};
+use isegen_ir::LatencyModel;
+use isegen_workloads::{workloads_in_tiers, SizeTier, WorkloadSpec};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    category: &'static str,
+    tier: &'static str,
+    ops: usize,
+    blocks: usize,
+    ises: usize,
+    instances: usize,
+    speedup: f64,
+    sequential_ms: f64,
+    batched_ms: f64,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn run_workload(spec: &WorkloadSpec, threads: usize) -> Row {
+    let app = spec.application();
+    let model = LatencyModel::paper_default();
+    let config = IseConfig::paper_default();
+    let search = SearchConfig::default();
+
+    let mut finder = IsegenFinder::new(search.clone());
+    let start = Instant::now();
+    let sequential: IseSelection = generate_with(&mut finder, &app, &model, &config);
+    let sequential_ms = ms(start);
+
+    let finder = IsegenFinder::new(search);
+    let start = Instant::now();
+    let batched = generate_batched_with(&finder, &app, &model, &config, threads);
+    let batched_ms = ms(start);
+
+    // The gate itself: a divergent batched result aborts the whole run
+    // (and the CI job) rather than being recorded in a row.
+    assert!(
+        sequential == batched,
+        "{}: batched driver diverged from sequential at {threads} threads",
+        spec.name
+    );
+    Row {
+        name: spec.name,
+        category: spec.category.name(),
+        tier: spec.tier().name(),
+        ops: spec.kernel_ops,
+        blocks: app.blocks().len(),
+        ises: sequential.ises.len(),
+        instances: sequential.instance_count(),
+        speedup: sequential.speedup(),
+        sequential_ms,
+        batched_ms,
+    }
+}
+
+fn parse_tiers(arg: &str) -> Vec<SizeTier> {
+    if arg == "all" {
+        return SizeTier::ALL.to_vec();
+    }
+    arg.split(',')
+        .map(|t| {
+            SizeTier::parse(t.trim()).unwrap_or_else(|| {
+                panic!("unknown tier {t:?} (use small/medium/large/huge or all)")
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let mut tiers = vec![SizeTier::Small, SizeTier::Medium];
+    let mut out_path = "scaling-report.json".to_string();
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tier" => tiers = parse_tiers(&args.next().expect("--tier needs a list")),
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("--threads needs a number")
+            }
+            other => panic!("unknown argument {other:?} (use --tier / --out / --threads)"),
+        }
+    }
+
+    let specs = workloads_in_tiers(&tiers);
+    assert!(!specs.is_empty(), "no workloads in the selected tiers");
+    let tier_names: Vec<&str> = tiers.iter().map(|t| t.name()).collect();
+    println!(
+        "scaling gate: {} workloads (tiers: {}), {threads} threads",
+        specs.len(),
+        tier_names.join(",")
+    );
+
+    let mut rows = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let row = run_workload(spec, threads);
+        println!(
+            "  {:>14} [{:>10}/{:<6}] n={:<5} ises={} instances={:<3} speedup={:<5.2} seq {:>9.2} ms  batched {:>9.2} ms",
+            row.name,
+            row.category,
+            row.tier,
+            row.ops,
+            row.ises,
+            row.instances,
+            row.speedup,
+            row.sequential_ms,
+            row.batched_ms
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"report\": \"isegen workload scaling gate\",\n");
+    let _ = writeln!(
+        json,
+        "  \"tiers\": \"{}\",\n  \"threads\": {},\n  \"cpus\": {},",
+        tier_names.join(","),
+        threads,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"category\": \"{}\", \"tier\": \"{}\", \"ops\": {}, \"blocks\": {}, \"ises\": {}, \"instances\": {}, \"speedup\": {:.4}, \"sequential_ms\": {:.3}, \"batched_ms\": {:.3}}}{}",
+            r.name, r.category, r.tier, r.ops, r.blocks, r.ises, r.instances, r.speedup,
+            r.sequential_ms, r.batched_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write scaling report");
+    println!("wrote {out_path}");
+}

@@ -6,7 +6,7 @@
 use crate::Table;
 use isegen_core::{generate, GainWeights, IoConstraints, IseConfig, SearchConfig};
 use isegen_ir::LatencyModel;
-use isegen_workloads::all_workloads;
+use isegen_workloads::paper_suite;
 
 /// Which component a variant disables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,11 +79,11 @@ pub struct AblationResult {
     pub rows: Vec<AblationRow>,
 }
 
-/// Runs every variant on every workload (ISEGEN with reuse, I/O `(4,2)`,
+/// Runs every variant on every paper workload (ISEGEN with reuse, I/O `(4,2)`,
 /// `N_ISE = 4`).
 pub fn run() -> AblationResult {
     let model = LatencyModel::paper_default();
-    let apps: Vec<_> = all_workloads()
+    let apps: Vec<_> = paper_suite()
         .into_iter()
         .map(|spec| (spec.name.to_string(), spec.application()))
         .collect();

@@ -4,7 +4,7 @@
 use crate::Table;
 use isegen_core::{bipartition, BlockContext, IoConstraints, SearchConfig};
 use isegen_ir::LatencyModel;
-use isegen_workloads::all_workloads;
+use isegen_workloads::paper_suite;
 
 /// Per-benchmark convergence trace.
 #[derive(Debug, Clone)]
@@ -26,12 +26,12 @@ pub struct ConvergenceResult {
     pub max_passes: usize,
 }
 
-/// Sweeps the pass budget on every workload's critical block under the
+/// Sweeps the pass budget on every paper workload's critical block under the
 /// paper's `(4,2)` constraint.
 pub fn run(max_passes: usize) -> ConvergenceResult {
     let model = LatencyModel::paper_default();
     let io = IoConstraints::new(4, 2);
-    let rows = all_workloads()
+    let rows = paper_suite()
         .into_iter()
         .map(|spec| {
             let app = spec.application();

@@ -17,7 +17,7 @@ use crate::Table;
 use isegen_core::{generate, IoConstraints, IseConfig, IseSelection, SearchConfig};
 use isegen_ir::{Application, LatencyModel, Opcode};
 use isegen_rtl::AfuLibrary;
-use isegen_workloads::all_workloads;
+use isegen_workloads::paper_suite;
 
 /// Energy per instruction fetch/decode, picojoules.
 pub const E_FETCH: f64 = 6.0;
@@ -114,7 +114,7 @@ fn analyse(app: &Application, model: &LatencyModel, sel: &IseSelection) -> (u64,
     (code_before, code_after, energy_before, energy_after)
 }
 
-/// Runs ISEGEN (reuse on, I/O `(4,2)`, `N_ISE = 4`) on every workload
+/// Runs ISEGEN (reuse on, I/O `(4,2)`, `N_ISE = 4`) on every paper workload
 /// and derives the deployment impact.
 pub fn run() -> DeploymentResult {
     let model = LatencyModel::paper_default();
@@ -123,7 +123,7 @@ pub fn run() -> DeploymentResult {
         max_ises: 4,
         reuse_matching: true,
     };
-    let rows = all_workloads()
+    let rows = paper_suite()
         .into_iter()
         .map(|spec| {
             let app = spec.application();

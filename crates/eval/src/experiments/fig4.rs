@@ -36,7 +36,7 @@ pub fn run(config: &HarnessConfig) -> Fig4Result {
                 .collect();
             Fig4Row {
                 benchmark: spec.name.to_string(),
-                nodes: spec.paper_nodes,
+                nodes: spec.kernel_ops,
                 outcomes,
             }
         })

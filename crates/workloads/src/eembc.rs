@@ -1,7 +1,7 @@
 //! EEMBC-derived kernels: `conven00`, `fbital00`, `viterb00`, `autcor00`,
-//! `fft00`.
+//! `fft00`, `fir00`, `idctrn01`.
 
-use crate::util::assemble;
+use crate::util::{assemble, butterfly, clamp, mac_chain};
 use isegen_graph::NodeId;
 use isegen_ir::{Application, BlockBuilder, Opcode};
 
@@ -146,6 +146,138 @@ pub fn fft00() -> Application {
     assemble("fft00", b.build().expect("non-empty"), 0.70)
 }
 
+/// `fir00` — 16-tap fixed-point FIR filter (EEMBC telecom). Critical
+/// block: **36 operations**: one multiply-accumulate chain over the tap
+/// window followed by the rounding/saturation tail every fixed-point
+/// filter carries.
+pub fn fir00() -> Application {
+    let mut b = BlockBuilder::new("fir00_kernel").frequency(90_000);
+    let acc0 = b.input("acc_in");
+    let pairs: Vec<(NodeId, NodeId)> = (0..16)
+        .map(|i| (b.input(format!("x{i}")), b.input(format!("h{i}"))))
+        .collect();
+    let acc = mac_chain(&mut b, acc0, &pairs);
+    // round, rescale, saturate to the output sample width
+    let round = b.input("round");
+    let shift = b.input("shift");
+    let (lo, hi) = (b.input("sat_lo"), b.input("sat_hi"));
+    let rounded = b.op(Opcode::Add, &[acc, round]).expect("arity");
+    let scaled = b.op(Opcode::Sar, &[rounded, shift]).expect("arity");
+    let out = clamp(&mut b, scaled, lo, hi);
+    b.live_out(out).expect("in-block id");
+    debug_assert_eq!(b.operation_count(), 16 * 2 + 4);
+    assemble("fir00", b.build().expect("non-empty"), 0.65)
+}
+
+/// One 8-point even/odd-decomposition IDCT: even half as two rotator
+/// pairs plus butterflies, odd half as the full 4×4 coefficient
+/// combination, final recomposition butterflies. 40 operations.
+fn idct_1d(b: &mut BlockBuilder, x: [NodeId; 8], c: &[NodeId; 7]) -> [NodeId; 8] {
+    // even part: x0, x2, x4, x6
+    let (e0, e1) = butterfly(b, x[0], x[4]);
+    let m26 = b.op(Opcode::Mul, &[x[2], c[5]]).expect("arity");
+    let m62 = b.op(Opcode::Mul, &[x[6], c[1]]).expect("arity");
+    let e2 = b.op(Opcode::Sub, &[m26, m62]).expect("arity");
+    let m22 = b.op(Opcode::Mul, &[x[2], c[1]]).expect("arity");
+    let m66 = b.op(Opcode::Mul, &[x[6], c[5]]).expect("arity");
+    let e3 = b.op(Opcode::Add, &[m22, m66]).expect("arity");
+    let (t0, t3) = butterfly(b, e0, e3);
+    let (t1, t2) = butterfly(b, e1, e2);
+    // odd part: x1, x3, x5, x7 against the four odd cosine coefficients
+    let products: [[NodeId; 2]; 4] = [
+        [c[0], c[6]], // x1·c1, x1·c7
+        [c[2], c[4]], // x3·c3, x3·c5
+        [c[4], c[2]],
+        [c[6], c[0]],
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, pair)| {
+        [
+            b.op(Opcode::Mul, &[x[2 * i + 1], pair[0]]).expect("arity"),
+            b.op(Opcode::Mul, &[x[2 * i + 1], pair[1]]).expect("arity"),
+        ]
+    })
+    .collect::<Vec<_>>()
+    .try_into()
+    .expect("four odd lanes");
+    let combine = |b: &mut BlockBuilder, terms: [NodeId; 4], signs: [bool; 3]| {
+        let mut acc = terms[0];
+        for (t, &plus) in terms[1..].iter().zip(&signs) {
+            let oc = if plus { Opcode::Add } else { Opcode::Sub };
+            acc = b.op(oc, &[acc, *t]).expect("arity");
+        }
+        acc
+    };
+    let o0 = combine(
+        b,
+        [
+            products[0][0],
+            products[1][0],
+            products[2][0],
+            products[3][0],
+        ],
+        [true, true, true],
+    );
+    let o1 = combine(
+        b,
+        [
+            products[0][1],
+            products[1][1],
+            products[2][0],
+            products[3][0],
+        ],
+        [false, false, true],
+    );
+    let o2 = combine(
+        b,
+        [
+            products[0][0],
+            products[1][1],
+            products[2][1],
+            products[3][1],
+        ],
+        [true, true, false],
+    );
+    let o3 = combine(
+        b,
+        [
+            products[0][1],
+            products[1][0],
+            products[2][0],
+            products[3][1],
+        ],
+        [false, true, false],
+    );
+    // recomposition
+    let (y0, y7) = butterfly(b, t0, o0);
+    let (y1, y6) = butterfly(b, t1, o1);
+    let (y2, y5) = butterfly(b, t2, o2);
+    let (y3, y4) = butterfly(b, t3, o3);
+    [y0, y1, y2, y3, y4, y5, y6, y7]
+}
+
+/// `idctrn01` — 8×8 inverse DCT (EEMBC consumer). Critical block:
+/// **88 operations**: two unrolled 8-point even/odd-decomposition 1-D
+/// IDCT passes (40 ops each, sharing the cosine coefficient inputs)
+/// plus the descale tail on the final row.
+pub fn idctrn01() -> Application {
+    let mut b = BlockBuilder::new("idctrn01_kernel").frequency(45_000);
+    let coeffs: [NodeId; 7] = std::array::from_fn(|i| b.input(format!("c{}", i + 1)));
+    let mut last = [coeffs[0]; 8];
+    for row in 0..2 {
+        let x: [NodeId; 8] = std::array::from_fn(|i| b.input(format!("r{row}_{i}")));
+        last = idct_1d(&mut b, x, &coeffs);
+    }
+    let shift = b.input("descale");
+    for y in last {
+        let out = b.op(Opcode::Sar, &[y, shift]).expect("arity");
+        b.live_out(out).expect("in-block id");
+    }
+    debug_assert_eq!(b.operation_count(), 2 * 40 + 8);
+    assemble("idctrn01", b.build().expect("non-empty"), 0.60)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,10 +304,36 @@ mod tests {
 
     #[test]
     fn kernels_use_padding_free_structures() {
-        // these five are built to exact counts without pad_to
-        for app in [conven00(), fbital00(), viterb00(), autcor00(), fft00()] {
+        // these kernels are built to exact counts without pad_to
+        for app in [
+            conven00(),
+            fbital00(),
+            viterb00(),
+            autcor00(),
+            fft00(),
+            fir00(),
+            idctrn01(),
+        ] {
             assert_eq!(app.blocks().len(), 2, "{}", app.name());
             assert!(app.blocks()[1].frequency() >= 1);
         }
+    }
+
+    #[test]
+    fn new_kernels_hit_their_sizes() {
+        assert_eq!(fir00().critical_block().unwrap().operation_count(), 36);
+        assert_eq!(idctrn01().critical_block().unwrap().operation_count(), 88);
+    }
+
+    #[test]
+    fn fir_is_mac_dominated() {
+        let app = fir00();
+        let kernel = app.critical_block().unwrap();
+        let muls = kernel
+            .dag()
+            .nodes()
+            .filter(|(_, op)| op.opcode() == Opcode::Mul)
+            .count();
+        assert_eq!(muls, 16);
     }
 }

@@ -1,6 +1,7 @@
-//! MediaBench ADPCM coder/decoder kernels.
+//! MediaBench kernels: ADPCM coder/decoder, the JPEG forward DCT and
+//! the GSM long-term predictor search.
 
-use crate::util::{assemble, pad_to};
+use crate::util::{assemble, butterfly, clamp, mac_chain, pad_to};
 use isegen_graph::NodeId;
 use isegen_ir::{Application, BlockBuilder, BuildError, Opcode};
 
@@ -133,6 +134,111 @@ pub fn adpcm_coder() -> Application {
     assemble("adpcm_coder", b.build().expect("non-empty"), 0.55)
 }
 
+/// One 8-point jfdctint-style forward DCT row: stage-1 butterflies,
+/// even half with the shared rotator, full odd half with the five
+/// z-terms. 44 operations.
+fn fdct_row(b: &mut BlockBuilder, x: [NodeId; 8], c: &[NodeId; 9]) -> [NodeId; 8] {
+    let (s0, d0) = butterfly(b, x[0], x[7]);
+    let (s1, d1) = butterfly(b, x[1], x[6]);
+    let (s2, d2) = butterfly(b, x[2], x[5]);
+    let (s3, d3) = butterfly(b, x[3], x[4]);
+    // even half
+    let (t10, t13) = butterfly(b, s0, s3);
+    let (t11, t12) = butterfly(b, s1, s2);
+    let (out0, out4) = butterfly(b, t10, t11);
+    let zsum = b.op(Opcode::Add, &[t12, t13]).expect("arity");
+    let z1 = b.op(Opcode::Mul, &[zsum, c[0]]).expect("arity");
+    let m13 = b.op(Opcode::Mul, &[t13, c[1]]).expect("arity");
+    let out2 = b.op(Opcode::Add, &[z1, m13]).expect("arity");
+    let m12 = b.op(Opcode::Mul, &[t12, c[2]]).expect("arity");
+    let out6 = b.op(Opcode::Sub, &[z1, m12]).expect("arity");
+    // odd half
+    let z1o = b.op(Opcode::Add, &[d0, d3]).expect("arity");
+    let z2o = b.op(Opcode::Add, &[d1, d2]).expect("arity");
+    let z3o = b.op(Opcode::Add, &[d0, d2]).expect("arity");
+    let z4o = b.op(Opcode::Add, &[d1, d3]).expect("arity");
+    let z34 = b.op(Opcode::Add, &[z3o, z4o]).expect("arity");
+    let z5 = b.op(Opcode::Mul, &[z34, c[3]]).expect("arity");
+    let p0 = b.op(Opcode::Mul, &[d0, c[4]]).expect("arity");
+    let p1 = b.op(Opcode::Mul, &[d1, c[5]]).expect("arity");
+    let p2 = b.op(Opcode::Mul, &[d2, c[6]]).expect("arity");
+    let p3 = b.op(Opcode::Mul, &[d3, c[7]]).expect("arity");
+    let z1m = b.op(Opcode::Mul, &[z1o, c[8]]).expect("arity");
+    let z2m = b.op(Opcode::Mul, &[z2o, c[3]]).expect("arity");
+    let z3m = b.op(Opcode::Mul, &[z3o, c[4]]).expect("arity");
+    let z4m = b.op(Opcode::Mul, &[z4o, c[5]]).expect("arity");
+    let z3s = b.op(Opcode::Add, &[z3m, z5]).expect("arity");
+    let z4s = b.op(Opcode::Add, &[z4m, z5]).expect("arity");
+    let sum2 = |b: &mut BlockBuilder, a: NodeId, m: NodeId, z: NodeId| {
+        let t = b.op(Opcode::Add, &[a, m]).expect("arity");
+        b.op(Opcode::Add, &[t, z]).expect("arity")
+    };
+    let out7 = sum2(b, p0, z1m, z3s);
+    let out5 = sum2(b, p1, z2m, z4s);
+    let out3 = sum2(b, p2, z2m, z3s);
+    let out1 = sum2(b, p3, z1m, z4s);
+    [out0, out1, out2, out3, out4, out5, out6, out7]
+}
+
+/// `jpeg_fdct` (MediaBench cjpeg). Critical block: **112 operations**:
+/// two unrolled 8-point forward-DCT rows (44 ops each, sharing the
+/// cosine constants) fused with the per-coefficient quantisation tail
+/// (bias, reciprocal multiply, descale) on the final row.
+pub fn jpeg_fdct() -> Application {
+    let mut b = BlockBuilder::new("jpeg_fdct_kernel").frequency(35_000);
+    let coeffs: [NodeId; 9] = std::array::from_fn(|i| b.input(format!("c{i}")));
+    let mut last = [coeffs[0]; 8];
+    for row in 0..2 {
+        let x: [NodeId; 8] = std::array::from_fn(|i| b.input(format!("r{row}_{i}")));
+        last = fdct_row(&mut b, x, &coeffs);
+    }
+    let bias = b.input("bias");
+    let shift = b.input("shift");
+    for (i, y) in last.into_iter().enumerate() {
+        let recip = b.input(format!("q{i}"));
+        let biased = b.op(Opcode::Add, &[y, bias]).expect("arity");
+        let scaled = b.op(Opcode::Mul, &[biased, recip]).expect("arity");
+        let out = b.op(Opcode::Sar, &[scaled, shift]).expect("arity");
+        b.live_out(out).expect("in-block id");
+    }
+    debug_assert_eq!(b.operation_count(), 2 * 44 + 3 * 8);
+    assemble("jpeg_fdct", b.build().expect("non-empty"), 0.55)
+}
+
+/// `gsm_ltp` (MediaBench GSM 06.10 long-term predictor). Critical
+/// block: **102 operations**: the lag search — nine cross-correlation
+/// MAC chains over the reconstructed short-term residual window — the
+/// running maximum reduction, and the gain normalisation tail.
+pub fn gsm_ltp() -> Application {
+    let mut b = BlockBuilder::new("gsm_ltp_kernel").frequency(30_000);
+    let zero = b.input("acc0");
+    let d: Vec<NodeId> = (0..5).map(|k| b.input(format!("d{k}"))).collect();
+    let mut corr: Vec<NodeId> = Vec::new();
+    for lag in 0..9 {
+        let pairs: Vec<(NodeId, NodeId)> = d
+            .iter()
+            .enumerate()
+            .map(|(k, &dk)| (dk, b.input(format!("dp{lag}_{k}"))))
+            .collect();
+        corr.push(mac_chain(&mut b, zero, &pairs));
+    }
+    let mut best = corr[0];
+    for &c in &corr[1..] {
+        best = b.op(Opcode::Max, &[best, c]).expect("arity");
+    }
+    // gain normalisation: margin subtract, rescale, clamp to the coder's
+    // two-bit gain code range
+    let margin = b.input("margin");
+    let shift = b.input("shift");
+    let (lo, hi) = (b.input("g_lo"), b.input("g_hi"));
+    let adj = b.op(Opcode::Sub, &[best, margin]).expect("arity");
+    let scaled = b.op(Opcode::Sar, &[adj, shift]).expect("arity");
+    let gain = clamp(&mut b, scaled, lo, hi);
+    b.live_out(gain).expect("in-block id");
+    debug_assert_eq!(b.operation_count(), 9 * 10 + 8 + 4);
+    assemble("gsm_ltp", b.build().expect("non-empty"), 0.50)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +249,27 @@ mod tests {
         assert_eq!(dec.critical_block().unwrap().operation_count(), 82);
         let cod = adpcm_coder();
         assert_eq!(cod.critical_block().unwrap().operation_count(), 96);
+    }
+
+    #[test]
+    fn new_kernels_hit_their_sizes() {
+        assert_eq!(jpeg_fdct().critical_block().unwrap().operation_count(), 112);
+        assert_eq!(gsm_ltp().critical_block().unwrap().operation_count(), 102);
+    }
+
+    #[test]
+    fn ltp_is_a_max_reduction_over_mac_chains() {
+        let kernel_app = gsm_ltp();
+        let kernel = kernel_app.critical_block().unwrap();
+        let count = |oc: Opcode| {
+            kernel
+                .dag()
+                .nodes()
+                .filter(|(_, op)| op.opcode() == oc)
+                .count()
+        };
+        assert_eq!(count(Opcode::Mul), 9 * 5);
+        assert_eq!(count(Opcode::Max), 8 + 1); // reduction + clamp floor
     }
 
     #[test]

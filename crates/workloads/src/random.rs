@@ -1,5 +1,10 @@
-//! Random operation DFGs for stress tests and scaling benchmarks.
+//! Random operation DFGs for stress tests and scaling benchmarks:
+//! [`random_application`] (free-form straight-line code) and the
+//! parameterised layered [`synthetic_application`] family whose named
+//! members ([`synth_tiny`] … [`synth_xl`]) stretch the corpus to
+//! several-thousand-op blocks.
 
+use crate::util::assemble;
 use isegen_graph::NodeId;
 use isegen_ir::{Application, BlockBuilder, Opcode};
 use rand::rngs::StdRng;
@@ -119,6 +124,197 @@ pub fn random_application(config: &RandomWorkloadConfig) -> Application {
     app
 }
 
+/// Configuration of [`synthetic_application`]: a layered DFG whose
+/// shape is swept along four independent axes — width (ILP), depth
+/// (serial chains), fan-in (operand pressure) and I/O pressure (how
+/// often an operand is a fresh live-in instead of an earlier result).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// RNG seed; equal configs give identical applications.
+    pub seed: u64,
+    /// Operations per layer (the DFG's parallel width).
+    pub width: usize,
+    /// Number of layers (the DFG's serial depth). The kernel holds
+    /// exactly `width × depth` operations.
+    pub depth: usize,
+    /// Maximum operand count per operation (1–3; the IR's widest arity).
+    pub fan_in: usize,
+    /// Probability that an operand is a fresh external input — high
+    /// values starve cuts of internal edges and stress the I/O budget.
+    pub input_bias: f64,
+    /// Probability of a memory operation (barrier) per op slot.
+    pub memory_fraction: f64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            seed: 0x5EED,
+            width: 8,
+            depth: 8,
+            fan_in: 2,
+            input_bias: 0.15,
+            memory_fraction: 0.0,
+        }
+    }
+}
+
+/// Generates a deterministic layered synthetic kernel: `depth` layers of
+/// `width` operations, each drawing most operands from the previous
+/// layer (with occasional long-range edges and fresh inputs), assembled
+/// into an application with the usual memory-bound support block.
+///
+/// # Panics
+///
+/// Panics if `width`/`depth` is zero, `fan_in` is outside `1..=3` or a
+/// probability is outside `0.0..=1.0`.
+pub fn synthetic_application(name: &str, config: &SyntheticConfig) -> Application {
+    assert!(
+        config.width > 0 && config.depth > 0,
+        "empty synthetic shape"
+    );
+    assert!(
+        (1..=3).contains(&config.fan_in),
+        "fan_in {} outside the IR's 1..=3 arity range",
+        config.fan_in
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.input_bias),
+        "invalid input_bias"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.memory_fraction),
+        "invalid memory_fraction"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = BlockBuilder::new(format!("{name}_kernel")).frequency(5_000);
+    let mut prev_layer: Vec<NodeId> = (0..config.width.max(2))
+        .map(|i| b.input(format!("seed{i}")))
+        .collect();
+    let mut earlier: Vec<NodeId> = prev_layer.clone();
+    let mut fresh = 0usize;
+    for _layer in 0..config.depth {
+        let mut layer = Vec::with_capacity(config.width);
+        for _ in 0..config.width {
+            let mut operand = |b: &mut BlockBuilder, rng: &mut StdRng| -> NodeId {
+                if rng.gen_bool(config.input_bias) {
+                    fresh += 1;
+                    b.input(format!("in{fresh}"))
+                } else if rng.gen_bool(0.8) {
+                    prev_layer[rng.gen_range(0..prev_layer.len())]
+                } else {
+                    earlier[rng.gen_range(0..earlier.len())]
+                }
+            };
+            let v = if config.memory_fraction > 0.0 && rng.gen_bool(config.memory_fraction) {
+                let addr = operand(&mut b, &mut rng);
+                b.op(Opcode::Load, &[addr]).expect("arity")
+            } else {
+                // mostly max-arity nodes, with a sprinkle of narrower ones
+                let arity = if config.fan_in > 1 && rng.gen_bool(0.2) {
+                    rng.gen_range(1..config.fan_in)
+                } else {
+                    config.fan_in
+                };
+                match arity {
+                    1 => {
+                        let a = operand(&mut b, &mut rng);
+                        let oc = UNARY[rng.gen_range(0..UNARY.len())];
+                        b.op(oc, &[a]).expect("arity")
+                    }
+                    2 => {
+                        let a = operand(&mut b, &mut rng);
+                        let c = operand(&mut b, &mut rng);
+                        let oc = BINARY[rng.gen_range(0..BINARY.len())];
+                        b.op(oc, &[a, c]).expect("arity")
+                    }
+                    _ => {
+                        let a = operand(&mut b, &mut rng);
+                        let c = operand(&mut b, &mut rng);
+                        let d = operand(&mut b, &mut rng);
+                        let oc = TERNARY[rng.gen_range(0..TERNARY.len())];
+                        b.op(oc, &[a, c, d]).expect("arity")
+                    }
+                }
+            };
+            layer.push(v);
+        }
+        earlier.extend(&layer);
+        prev_layer = layer;
+    }
+    debug_assert_eq!(b.operation_count(), config.width * config.depth);
+    assemble(name, b.build().expect("non-empty"), 0.90)
+}
+
+/// `synth_tiny` — 8×8 layered DFG (**64 ops**): the smallest synthetic
+/// family member, quick enough for debug-mode tests.
+pub fn synth_tiny() -> Application {
+    synthetic_application("synth_tiny", &SyntheticConfig::default())
+}
+
+/// `synth_io` — 16×16 with ternary fan-in and heavy I/O pressure
+/// (**256 ops**): every other operand is a fresh live-in, starving cuts
+/// of internal edges.
+pub fn synth_io() -> Application {
+    synthetic_application(
+        "synth_io",
+        &SyntheticConfig {
+            seed: 0x10AD,
+            width: 16,
+            depth: 16,
+            fan_in: 3,
+            input_bias: 0.45,
+            ..SyntheticConfig::default()
+        },
+    )
+}
+
+/// `synth_deep` — 6×80 (**480 ops**): long serial chains, minimal ILP —
+/// the worst case for directional cut growth.
+pub fn synth_deep() -> Application {
+    synthetic_application(
+        "synth_deep",
+        &SyntheticConfig {
+            seed: 0xDEEB,
+            width: 6,
+            depth: 80,
+            input_bias: 0.05,
+            ..SyntheticConfig::default()
+        },
+    )
+}
+
+/// `synth_wide` — 64×8 (**512 ops**): extreme ILP with shallow depth,
+/// plus a 2% memory-barrier sprinkle.
+pub fn synth_wide() -> Application {
+    synthetic_application(
+        "synth_wide",
+        &SyntheticConfig {
+            seed: 0x71DE,
+            width: 64,
+            depth: 8,
+            memory_fraction: 0.02,
+            ..SyntheticConfig::default()
+        },
+    )
+}
+
+/// `synth_xl` — 32×64 (**2048 ops**): the corpus's largest block, the
+/// regime where the incremental toggle engine and gain cache earn their
+/// keep.
+pub fn synth_xl() -> Application {
+    synthetic_application(
+        "synth_xl",
+        &SyntheticConfig {
+            seed: 0x2048,
+            width: 32,
+            depth: 64,
+            input_bias: 0.10,
+            ..SyntheticConfig::default()
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +346,65 @@ mod tests {
         for b in app.blocks() {
             assert_eq!(b.operation_count(), 40);
         }
+    }
+
+    #[test]
+    fn synthetic_family_hits_exact_shapes() {
+        for (app, ops) in [
+            (synth_tiny(), 64),
+            (synth_io(), 256),
+            (synth_deep(), 480),
+            (synth_wide(), 512),
+            (synth_xl(), 2048),
+        ] {
+            let kernel = app.critical_block().expect("has blocks");
+            assert_eq!(kernel.operation_count(), ops, "{}", app.name());
+            assert!(kernel.name().ends_with("_kernel"));
+        }
+    }
+
+    #[test]
+    fn synthetic_generation_is_deterministic() {
+        let cfg = SyntheticConfig {
+            width: 12,
+            depth: 10,
+            memory_fraction: 0.05,
+            ..SyntheticConfig::default()
+        };
+        let a = synthetic_application("t", &cfg);
+        let b = synthetic_application("t", &cfg);
+        let (ka, kb) = (a.critical_block().unwrap(), b.critical_block().unwrap());
+        assert_eq!(
+            ka.dag().edges().collect::<Vec<_>>(),
+            kb.dag().edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn io_pressure_raises_live_in_count() {
+        let lean = synthetic_application(
+            "lean",
+            &SyntheticConfig {
+                input_bias: 0.02,
+                width: 16,
+                depth: 16,
+                ..SyntheticConfig::default()
+            },
+        );
+        let hungry = synthetic_application(
+            "hungry",
+            &SyntheticConfig {
+                input_bias: 0.5,
+                width: 16,
+                depth: 16,
+                ..SyntheticConfig::default()
+            },
+        );
+        let inputs = |app: &Application| {
+            let k = app.critical_block().unwrap();
+            k.node_count() - k.operation_count()
+        };
+        assert!(inputs(&hungry) > 2 * inputs(&lean));
     }
 
     #[test]

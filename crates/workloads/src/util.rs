@@ -67,11 +67,71 @@ pub(crate) fn support_block(name: &str, kernel: &BasicBlock, hot_fraction: f64) 
 /// Assembles kernel + support into an application where the kernel block
 /// carries `hot_fraction` of the dynamic cycles.
 pub(crate) fn assemble(name: &str, kernel: BasicBlock, hot_fraction: f64) -> Application {
+    assemble_multi(name, kernel, hot_fraction, Vec::new())
+}
+
+/// Like [`assemble`], but with additional secondary blocks (e.g. a key
+/// schedule that runs once per key while the kernel runs once per
+/// message block). The kernel must stay the application's critical
+/// block, so every extra block must be smaller than it.
+pub(crate) fn assemble_multi(
+    name: &str,
+    kernel: BasicBlock,
+    hot_fraction: f64,
+    extras: Vec<BasicBlock>,
+) -> Application {
     let support = support_block(&format!("{name}_rest"), &kernel, hot_fraction);
     let mut app = Application::new(name);
+    for extra in &extras {
+        assert!(
+            extra.operation_count() < kernel.operation_count(),
+            "{name}: secondary block {} ({} ops) would displace the kernel ({} ops)",
+            extra.name(),
+            extra.operation_count(),
+            kernel.operation_count()
+        );
+    }
     app.push_block(kernel);
+    for extra in extras {
+        app.push_block(extra);
+    }
     app.push_block(support);
     app
+}
+
+/// A multiply-accumulate chain: folds `acc ← acc + x·y` over every
+/// `(x, y)` pair. Adds `2·pairs.len()` operations — the backbone of
+/// every filter/correlation kernel in the suite.
+pub(crate) fn mac_chain(
+    b: &mut BlockBuilder,
+    mut acc: NodeId,
+    pairs: &[(NodeId, NodeId)],
+) -> NodeId {
+    for &(x, y) in pairs {
+        let p = b.op(Opcode::Mul, &[x, y]).expect("binary");
+        acc = b.op(Opcode::Add, &[acc, p]).expect("binary");
+    }
+    acc
+}
+
+/// A DSP butterfly: `(x + y, x − y)`. Adds 2 operations.
+pub(crate) fn butterfly(b: &mut BlockBuilder, x: NodeId, y: NodeId) -> (NodeId, NodeId) {
+    let sum = b.op(Opcode::Add, &[x, y]).expect("binary");
+    let diff = b.op(Opcode::Sub, &[x, y]).expect("binary");
+    (sum, diff)
+}
+
+/// Three-way XOR reduction, as in the SHA-2 Σ/σ mixers. Adds 2
+/// operations.
+pub(crate) fn xor3(b: &mut BlockBuilder, x: NodeId, y: NodeId, z: NodeId) -> NodeId {
+    let xy = b.op(Opcode::Xor, &[x, y]).expect("binary");
+    b.op(Opcode::Xor, &[xy, z]).expect("binary")
+}
+
+/// Saturating clamp `min(max(v, lo), hi)`. Adds 2 operations.
+pub(crate) fn clamp(b: &mut BlockBuilder, v: NodeId, lo: NodeId, hi: NodeId) -> NodeId {
+    let floored = b.op(Opcode::Max, &[v, lo]).expect("binary");
+    b.op(Opcode::Min, &[floored, hi]).expect("binary")
 }
 
 #[cfg(test)]
@@ -107,6 +167,41 @@ mod tests {
                 "requested {f}, achieved {actual}"
             );
         }
+    }
+
+    #[test]
+    fn helpers_add_exact_op_counts() {
+        let mut b = BlockBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.input("z");
+        let acc = mac_chain(&mut b, x, &[(x, y), (y, z), (z, x)]);
+        assert_eq!(b.operation_count(), 6);
+        let (s, d) = butterfly(&mut b, acc, y);
+        assert_eq!(b.operation_count(), 8);
+        let m = xor3(&mut b, s, d, z);
+        assert_eq!(b.operation_count(), 10);
+        clamp(&mut b, m, x, y);
+        assert_eq!(b.operation_count(), 12);
+        b.build().unwrap();
+    }
+
+    #[test]
+    fn assemble_multi_keeps_kernel_critical() {
+        let mut k = BlockBuilder::new("k").frequency(1_000);
+        let x = k.input("x");
+        let mut prev = x;
+        for _ in 0..8 {
+            prev = k.op(Opcode::Add, &[prev, x]).unwrap();
+        }
+        let kernel = k.build().unwrap();
+        let mut e = BlockBuilder::new("extra").frequency(10);
+        let y = e.input("y");
+        e.op(Opcode::Xor, &[y, y]).unwrap();
+        let extra = e.build().unwrap();
+        let app = assemble_multi("t", kernel, 0.7, vec![extra]);
+        assert_eq!(app.blocks().len(), 3);
+        assert_eq!(app.critical_block().unwrap().name(), "k");
     }
 
     #[test]

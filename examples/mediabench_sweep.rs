@@ -22,7 +22,7 @@ fn main() {
             let out = run_algorithm(alg, &app, &model, &config);
             println!(
                 "{:<18} {:>10} {:>12} {:>12}",
-                format!("{}({})", spec.name, spec.paper_nodes),
+                format!("{}({})", spec.name, spec.kernel_ops),
                 alg.to_string(),
                 out.speedup_cell(),
                 out.runtime_us()

@@ -1,0 +1,172 @@
+//! Per-workload smoke tests over the whole registry: every entry —
+//! paper suite, expansion kernels and synthetics alike — must be a
+//! well-formed, convex-searchable DAG, the corpus must meet the scale
+//! floors the scaling gate depends on, and the batched driver must stay
+//! byte-identical to the sequential driver on the new workloads. A
+//! malformed kernel fails here, in tier 1, not in a CI benchmark.
+
+use isegen::graph::{NodeSet, TopoOrder};
+use isegen::ir::Opcode;
+use isegen::prelude::*;
+use isegen::workloads::{all_workloads, workloads_in, workloads_in_tiers, Category, SizeTier};
+
+#[test]
+fn registry_names_are_unique_and_sorted_by_size() {
+    let all = all_workloads();
+    assert!(all.len() >= 10, "corpus shrank to {} entries", all.len());
+    let mut names: Vec<&str> = all.iter().map(|w| w.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), all.len(), "duplicate workload names");
+    for w in all.windows(2) {
+        assert!(
+            w[0].kernel_ops <= w[1].kernel_ops,
+            "{} listed after the larger {}",
+            w[1].name,
+            w[0].name
+        );
+    }
+}
+
+#[test]
+fn corpus_meets_the_scale_floors() {
+    // the regimes the ROADMAP's workload-expansion item calls for
+    let crypto = workloads_in(Category::Crypto);
+    assert!(
+        crypto
+            .iter()
+            .any(|w| w.name.starts_with("aes") && w.kernel_ops >= 1000),
+        "no >=1000-op AES block in the corpus"
+    );
+    let synth = workloads_in(Category::Synthetic);
+    assert!(
+        synth.iter().any(|w| w.kernel_ops >= 2000),
+        "no >=2000-op synthetic block in the corpus"
+    );
+    for category in Category::ALL {
+        assert!(
+            !workloads_in(category).is_empty(),
+            "category {} is empty",
+            category.name()
+        );
+    }
+}
+
+/// Structural well-formedness of every registry entry: exact op count,
+/// acyclicity, sane arities, and a searchable (convex-feasible) block.
+#[test]
+fn every_registry_entry_is_a_well_formed_searchable_dag() {
+    let model = LatencyModel::paper_default();
+    for spec in all_workloads() {
+        let app = spec.application();
+        let kernel = app.critical_block().expect("application has blocks");
+        assert_eq!(
+            kernel.operation_count(),
+            spec.kernel_ops,
+            "{}: kernel size disagrees with the registry",
+            spec.name
+        );
+        assert!(
+            app.blocks().len() >= 2,
+            "{}: missing the rest-of-program block",
+            spec.name
+        );
+        assert!(app.blocks().iter().all(|b| b.frequency() >= 1));
+
+        let dag = kernel.dag();
+        // acyclic and fully ordered
+        let topo = TopoOrder::new(dag);
+        assert_eq!(topo.len(), dag.node_count(), "{}: cyclic kernel", spec.name);
+        // every edge goes forward in topological order
+        for (src, dst) in dag.edges() {
+            assert!(
+                topo.rank(src) < topo.rank(dst),
+                "{}: edge against topological order",
+                spec.name
+            );
+        }
+        // operations consume values; inputs don't
+        let mut ops = 0usize;
+        for (id, op) in dag.nodes() {
+            if op.opcode() == Opcode::Input {
+                assert_eq!(dag.in_degree(id), 0, "{}: input with operands", spec.name);
+            } else {
+                ops += 1;
+                assert!(dag.in_degree(id) >= 1, "{}: orphan operation", spec.name);
+            }
+        }
+        assert_eq!(ops, spec.kernel_ops, "{}: op census mismatch", spec.name);
+        assert!(
+            dag.edge_count() >= spec.kernel_ops,
+            "{}: fewer edges than operations",
+            spec.name
+        );
+
+        // convex-cut feasibility: the search must have somewhere to go
+        let ctx = BlockContext::new(kernel, &model);
+        let eligible = ctx.eligible();
+        assert!(!eligible.is_empty(), "{}: nothing to cut", spec.name);
+        assert!(
+            ctx.potential(None) > 0,
+            "{}: zero speedup potential",
+            spec.name
+        );
+        // every singleton over a sample of eligible nodes is a convex cut
+        let sample: Vec<_> = eligible.iter().collect();
+        for &node in [
+            sample[0],
+            sample[sample.len() / 2],
+            sample[sample.len() - 1],
+        ]
+        .iter()
+        {
+            let mut cut = NodeSet::new(dag.node_count());
+            cut.insert(node);
+            assert!(
+                ctx.is_convex(&cut),
+                "{}: singleton cut is non-convex",
+                spec.name
+            );
+        }
+    }
+}
+
+/// The scaling gate's core invariant at tier-1 speed: sequential and
+/// batched drivers agree byte-for-byte on the small tier (every thread
+/// count) and the medium tier. The paper's AES is covered separately in
+/// `batched_driver.rs`; the release-mode `scaling` binary extends the
+/// check to the large/huge tiers in CI.
+#[test]
+fn batched_driver_is_identical_on_the_small_tier() {
+    let model = LatencyModel::paper_default();
+    let config = IseConfig::paper_default();
+    let search = SearchConfig::default();
+    for spec in workloads_in_tiers(&[SizeTier::Small]) {
+        let app = spec.application();
+        let sequential = generate(&app, &model, &config, &search);
+        for threads in [1usize, 2, 4] {
+            let batched = isegen::core::generate_batched(&app, &model, &config, &search, threads);
+            assert_eq!(
+                batched, sequential,
+                "{}: batched diverged at {threads} threads",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_driver_is_identical_on_the_medium_tier() {
+    let model = LatencyModel::paper_default();
+    let config = IseConfig::paper_default();
+    let search = SearchConfig::default();
+    for spec in workloads_in_tiers(&[SizeTier::Medium]) {
+        if spec.name == "aes" {
+            continue; // covered by batched_driver.rs at three thread counts
+        }
+        let app = spec.application();
+        let sequential = generate(&app, &model, &config, &search);
+        let batched = isegen::core::generate_batched(&app, &model, &config, &search, 2);
+        assert_eq!(batched, sequential, "{}: batched diverged", spec.name);
+    }
+}

@@ -3,10 +3,28 @@
 use rand::{RngCore, SeedableRng, StdRng};
 
 /// Runner configuration. Only `cases` is honoured by the shim.
+///
+/// The `PROPTEST_CASES` environment variable, when set to a positive
+/// integer, overrides `cases` for every property test — including those
+/// that pass an explicit `with_cases` — so CI can pin one deterministic
+/// case budget across the whole workspace. (Upstream proptest only
+/// folds the variable into the *default* config; the shim gives the
+/// environment the last word because reproducible CI runtimes are what
+/// the knob exists for here.)
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
     /// Number of successful (non-rejected) cases required to pass.
     pub cases: u32,
+}
+
+/// The `PROPTEST_CASES` override, if set and parseable.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
 }
 
 impl ProptestConfig {
@@ -72,17 +90,19 @@ fn fnv1a(name: &str) -> u64 {
     h
 }
 
-/// Drives one property test: generates cases until `cfg.cases` pass,
+/// Drives one property test: generates cases until `cfg.cases` pass
+/// (or `PROPTEST_CASES` cases when the environment override is set),
 /// panicking on the first failure with a reproducible case seed.
 pub fn run_proptest<F>(name: &str, cfg: &ProptestConfig, mut case: F)
 where
     F: FnMut(&mut TestRng) -> TestCaseResult,
 {
+    let cases = env_cases().unwrap_or(cfg.cases);
     let base = fnv1a(name);
     let mut passed: u32 = 0;
     let mut rejected: u64 = 0;
     let mut attempt: u64 = 0;
-    while passed < cfg.cases {
+    while passed < cases {
         let seed = base ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         attempt += 1;
         let mut rng = TestRng::seed(seed);
@@ -90,17 +110,42 @@ where
             Ok(()) => passed += 1,
             Err(TestCaseError::Reject(_)) => {
                 rejected += 1;
-                let cap = u64::from(cfg.cases) * 256 + 1024;
+                let cap = u64::from(cases) * 256 + 1024;
                 assert!(
                     rejected <= cap,
                     "proptest `{name}`: too many prop_assume! rejections ({rejected}) \
-                     for {} target cases",
-                    cfg.cases
+                     for {cases} target cases"
                 );
             }
             Err(TestCaseError::Fail(msg)) => {
                 panic!("proptest `{name}` failed at case {passed} (case seed {seed:#x}):\n{msg}")
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The only test in this crate touching the process environment, so
+    // no cross-test race on the variable.
+    #[test]
+    fn env_var_overrides_configured_cases() {
+        std::env::set_var("PROPTEST_CASES", "7");
+        let mut ran = 0u32;
+        run_proptest("env_override", &ProptestConfig::with_cases(64), |_| {
+            ran += 1;
+            Ok(())
+        });
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(ran, 7, "PROPTEST_CASES must win over with_cases");
+
+        let mut ran = 0u32;
+        run_proptest("no_env", &ProptestConfig::with_cases(5), |_| {
+            ran += 1;
+            Ok(())
+        });
+        assert_eq!(ran, 5, "configured cases apply without the override");
     }
 }
