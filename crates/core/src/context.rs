@@ -1,16 +1,17 @@
 use isegen_graph::{convex, NodeId, NodeSet, Reachability, TopoOrder};
 use isegen_ir::{BasicBlock, LatencyModel};
+use std::sync::Arc;
 
-/// Per-block precomputation shared by every algorithm that searches the
-/// block for cuts.
+/// The owned, block-independent part of a [`BlockContext`]: topological
+/// order, transitive closure, per-node latencies, eligibility mask and
+/// growth scores.
 ///
-/// Built once per basic block in O(V·E/64); it bundles the topological
-/// order, the transitive closure (for O(n/64) convexity tests), per-node
-/// latencies, the ISE-eligibility mask and the static barrier-distance
-/// *growth scores* used by the paper's "Large Cut" gain component.
-#[derive(Debug)]
-pub struct BlockContext<'a> {
-    block: &'a BasicBlock,
+/// Splitting this out of the borrowing [`BlockContext`] lets a long-lived
+/// service cache the O(V·E/64) precomputation across requests: the data
+/// carries no lifetime, is `Send + Sync`, and reattaches to its block via
+/// [`BlockContext::with_data`] at the cost of an `Arc` clone.
+#[derive(Debug, Clone)]
+pub struct ContextData {
     topo: TopoOrder,
     reach: Reachability,
     sw: Vec<u32>,
@@ -19,9 +20,15 @@ pub struct BlockContext<'a> {
     growth: Vec<f64>,
 }
 
-impl<'a> BlockContext<'a> {
+impl ContextData {
+    /// Number of DFG nodes this data was computed for.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.sw.len()
+    }
+
     /// Precomputes search state for `block` under `model`.
-    pub fn new(block: &'a BasicBlock, model: &LatencyModel) -> Self {
+    pub fn compute(block: &BasicBlock, model: &LatencyModel) -> Self {
         let dag = block.dag();
         let n = dag.node_count();
         let topo = TopoOrder::new(dag);
@@ -82,8 +89,7 @@ impl<'a> BlockContext<'a> {
             })
             .collect();
 
-        BlockContext {
-            block,
+        ContextData {
             topo,
             reach,
             sw,
@@ -91,6 +97,54 @@ impl<'a> BlockContext<'a> {
             eligible,
             growth,
         }
+    }
+}
+
+/// Per-block precomputation shared by every algorithm that searches the
+/// block for cuts.
+///
+/// Built once per basic block in O(V·E/64); it bundles the topological
+/// order, the transitive closure (for O(n/64) convexity tests), per-node
+/// latencies, the ISE-eligibility mask and the static barrier-distance
+/// *growth scores* used by the paper's "Large Cut" gain component. The
+/// precomputation lives in a shared [`ContextData`], so caches can keep
+/// it alive across requests and reattach it with
+/// [`BlockContext::with_data`].
+#[derive(Debug, Clone)]
+pub struct BlockContext<'a> {
+    block: &'a BasicBlock,
+    data: Arc<ContextData>,
+}
+
+impl<'a> BlockContext<'a> {
+    /// Precomputes search state for `block` under `model`.
+    pub fn new(block: &'a BasicBlock, model: &LatencyModel) -> Self {
+        BlockContext {
+            block,
+            data: Arc::new(ContextData::compute(block, model)),
+        }
+    }
+
+    /// Reattaches cached [`ContextData`] to its block, skipping the
+    /// precomputation — the fast path of a serving-layer context cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` was computed for a block with a different node
+    /// count; callers key their caches so this cannot happen.
+    pub fn with_data(block: &'a BasicBlock, data: Arc<ContextData>) -> Self {
+        assert_eq!(
+            data.node_count(),
+            block.dag().node_count(),
+            "cached context data does not match block"
+        );
+        BlockContext { block, data }
+    }
+
+    /// The shared precomputation, for caching (cheap `Arc` clone).
+    #[inline]
+    pub fn data(&self) -> Arc<ContextData> {
+        Arc::clone(&self.data)
     }
 
     /// The block this context was built for.
@@ -108,31 +162,38 @@ impl<'a> BlockContext<'a> {
     /// Cached topological order.
     #[inline]
     pub fn topo(&self) -> &TopoOrder {
-        &self.topo
+        &self.data.topo
     }
 
     /// Cached transitive closure.
     #[inline]
     pub fn reach(&self) -> &Reachability {
-        &self.reach
+        &self.data.reach
     }
 
     /// Software cycles of `node` on the baseline core.
     #[inline]
     pub fn sw_cycles(&self, node: NodeId) -> u32 {
-        self.sw[node.index()]
+        self.data.sw[node.index()]
     }
 
     /// Hardware delay of `node` in MAC units.
     #[inline]
     pub fn hw_delay(&self, node: NodeId) -> f64 {
-        self.hw[node.index()]
+        self.data.hw[node.index()]
+    }
+
+    /// Total software cycles of one block execution (all nodes, input
+    /// markers included at cost 0) — lets drivers working from cached
+    /// contexts avoid a fresh [`LatencyModel`] walk.
+    pub fn block_sw_latency(&self) -> u64 {
+        self.data.sw.iter().map(|&c| c as u64).sum()
     }
 
     /// Nodes that may be part of a cut.
     #[inline]
     pub fn eligible(&self) -> &NodeSet {
-        &self.eligible
+        &self.data.eligible
     }
 
     /// Static growth score of `node`: `1/(1 + min(d_up, d_down))` with
@@ -140,12 +201,12 @@ impl<'a> BlockContext<'a> {
     /// to a barrier and therefore favoured by directional growth.
     #[inline]
     pub fn growth_score(&self, node: NodeId) -> f64 {
-        self.growth[node.index()]
+        self.data.growth[node.index()]
     }
 
     /// Exact convexity test for an arbitrary node set, O(|cut|·n/64).
     pub fn is_convex(&self, cut: &NodeSet) -> bool {
-        convex::is_convex(&self.reach, cut)
+        convex::is_convex(&self.data.reach, cut)
     }
 
     /// Upper bound on the merit obtainable from the still-uncovered part
@@ -154,10 +215,11 @@ impl<'a> BlockContext<'a> {
     /// (paper §4: "a function of its execution frequency and estimated
     /// gain from mapping all its nodes to hardware").
     pub fn potential(&self, forbidden: Option<&NodeSet>) -> u64 {
-        self.eligible
+        self.data
+            .eligible
             .iter()
             .filter(|&v| forbidden.is_none_or(|f| !f.contains(v)))
-            .map(|v| self.sw[v.index()] as u64)
+            .map(|v| self.data.sw[v.index()] as u64)
             .sum()
     }
 }
@@ -203,6 +265,40 @@ mod tests {
         assert!((ctx.growth_score(ids[3]) - 0.5).abs() < 1e-12);
         // mul is two steps from either barrier
         assert!(ctx.growth_score(ids[2]) < ctx.growth_score(ids[1]));
+    }
+
+    #[test]
+    fn cached_data_reattaches() {
+        let block = sample_block();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let data = ctx.data();
+        let reused = BlockContext::with_data(&block, data);
+        let ids: Vec<NodeId> = block.dag().node_ids().collect();
+        for &v in &ids {
+            assert_eq!(reused.sw_cycles(v), ctx.sw_cycles(v));
+            assert_eq!(reused.growth_score(v), ctx.growth_score(v));
+        }
+        assert_eq!(reused.eligible(), ctx.eligible());
+        assert_eq!(reused.potential(None), ctx.potential(None));
+        assert_eq!(
+            reused.block_sw_latency(),
+            block.software_latency(&model),
+            "block_sw_latency matches the model walk"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match block")]
+    fn mismatched_data_rejected() {
+        let block = sample_block();
+        let mut b = BlockBuilder::new("other");
+        let x = b.input("x");
+        b.op(Opcode::Not, &[x]).unwrap();
+        let other = b.build().unwrap();
+        let model = LatencyModel::paper_default();
+        let data = BlockContext::new(&other, &model).data();
+        let _ = BlockContext::with_data(&block, data);
     }
 
     #[test]

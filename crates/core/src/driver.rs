@@ -129,20 +129,38 @@ pub fn generate_with<F: CutFinder + ?Sized>(
     model: &LatencyModel,
     config: &IseConfig,
 ) -> IseSelection {
-    let blocks = app.blocks();
-    let contexts: Vec<BlockContext<'_>> =
-        blocks.iter().map(|b| BlockContext::new(b, model)).collect();
+    let contexts: Vec<BlockContext<'_>> = app
+        .blocks()
+        .iter()
+        .map(|b| BlockContext::new(b, model))
+        .collect();
+    generate_in_contexts(finder, &contexts, config)
+}
+
+/// [`generate_with`] over prebuilt block contexts (one per block, in
+/// block order; each context's [`BlockContext::block`] is the block it
+/// searches). This is the entry point for callers that cache contexts
+/// across runs — e.g. the `ised` service, which reattaches cached
+/// [`crate::ContextData`] instead of recomputing transitive closures per
+/// request.
+pub fn generate_in_contexts<F: CutFinder + ?Sized>(
+    finder: &mut F,
+    contexts: &[BlockContext<'_>],
+    config: &IseConfig,
+) -> IseSelection {
+    let blocks: Vec<&isegen_ir::BasicBlock> = contexts.iter().map(|c| c.block()).collect();
+    let blocks = &blocks[..];
     let mut covered: Vec<NodeSet> = blocks
         .iter()
         .map(|b| NodeSet::new(b.dag().node_count()))
         .collect();
-    let total_sw_cycles = app.total_software_latency(model);
+    let total_sw_cycles = total_sw_cycles(blocks, contexts);
     let mut saved_cycles = 0u64;
     let mut ises = Vec::new();
 
     for _ in 0..config.max_ises {
         // Rank blocks by remaining speedup potential.
-        let order = rank_blocks(blocks, &contexts, &covered);
+        let order = rank_blocks(blocks, contexts, &covered);
         let potential = |bi: usize| -> u64 {
             blocks[bi].frequency() * contexts[bi].potential(Some(&covered[bi]))
         };
@@ -162,7 +180,7 @@ pub fn generate_with<F: CutFinder + ?Sized>(
 
         deploy_cut(
             blocks,
-            &contexts,
+            contexts,
             config,
             &mut covered,
             &mut ises,
@@ -213,14 +231,34 @@ pub fn generate_batched_with<F>(
 where
     F: CutFinder + Clone + Send + Sync,
 {
-    let blocks = app.blocks();
-    let contexts: Vec<BlockContext<'_>> =
-        blocks.iter().map(|b| BlockContext::new(b, model)).collect();
+    let contexts: Vec<BlockContext<'_>> = app
+        .blocks()
+        .iter()
+        .map(|b| BlockContext::new(b, model))
+        .collect();
+    generate_batched_in_contexts(finder, &contexts, config, threads)
+}
+
+/// [`generate_batched_with`] over prebuilt block contexts — the batched
+/// counterpart of [`generate_in_contexts`], with the same output
+/// guarantee: byte-identical to the sequential driver at any thread
+/// count.
+pub fn generate_batched_in_contexts<F>(
+    finder: &F,
+    contexts: &[BlockContext<'_>],
+    config: &IseConfig,
+    threads: usize,
+) -> IseSelection
+where
+    F: CutFinder + Clone + Send + Sync,
+{
+    let blocks: Vec<&isegen_ir::BasicBlock> = contexts.iter().map(|c| c.block()).collect();
+    let blocks = &blocks[..];
     let mut covered: Vec<NodeSet> = blocks
         .iter()
         .map(|b| NodeSet::new(b.dag().node_count()))
         .collect();
-    let total_sw_cycles = app.total_software_latency(model);
+    let total_sw_cycles = total_sw_cycles(blocks, contexts);
     let mut saved_cycles = 0u64;
     let mut ises = Vec::new();
     // Cut found for block `bi` against the *current* covered[bi]; carried
@@ -228,7 +266,7 @@ where
     let mut cut_cache: Vec<Option<Cut>> = vec![None; blocks.len()];
 
     for _ in 0..config.max_ises {
-        let order = rank_blocks(blocks, &contexts, &covered);
+        let order = rank_blocks(blocks, contexts, &covered);
         let potential = |bi: usize| -> u64 {
             blocks[bi].frequency() * contexts[bi].potential(Some(&covered[bi]))
         };
@@ -251,7 +289,7 @@ where
                     .take(threads.max(1))
                     .collect();
                 for (bj, cut) in
-                    search_blocks(finder, &contexts, &covered, config.io, &wave, threads)
+                    search_blocks(finder, contexts, &covered, config.io, &wave, threads)
                 {
                     cut_cache[bj] = Some(cut);
                 }
@@ -266,7 +304,7 @@ where
 
         let touched = deploy_cut(
             blocks,
-            &contexts,
+            contexts,
             config,
             &mut covered,
             &mut ises,
@@ -299,10 +337,21 @@ pub fn generate_batched(
     generate_batched_with(&finder, app, model, config, threads)
 }
 
+/// Total dynamic software latency `Σ_b frequency(b) · software_latency(b)`
+/// derived from the contexts' cached per-node cycle tables (equals
+/// [`Application::total_software_latency`] without needing the model).
+fn total_sw_cycles(blocks: &[&isegen_ir::BasicBlock], contexts: &[BlockContext<'_>]) -> u64 {
+    blocks
+        .iter()
+        .zip(contexts)
+        .map(|(b, c)| b.frequency() * c.block_sw_latency())
+        .sum()
+}
+
 /// Block indices sorted by descending remaining speedup potential
 /// (stable: ties keep index order, as in the paper's ranking).
 fn rank_blocks(
-    blocks: &[isegen_ir::BasicBlock],
+    blocks: &[&isegen_ir::BasicBlock],
     contexts: &[BlockContext<'_>],
     covered: &[NodeSet],
 ) -> Vec<usize> {
@@ -367,7 +416,7 @@ where
 /// invalidation in the batched driver).
 #[allow(clippy::too_many_arguments)]
 fn deploy_cut(
-    blocks: &[isegen_ir::BasicBlock],
+    blocks: &[&isegen_ir::BasicBlock],
     contexts: &[BlockContext<'_>],
     config: &IseConfig,
     covered: &mut [NodeSet],
@@ -385,8 +434,8 @@ fn deploy_cut(
     }];
 
     if config.reuse_matching {
-        let pattern = Pattern::extract(&blocks[bi], cut.nodes());
-        for (bj, block) in blocks.iter().enumerate() {
+        let pattern = Pattern::extract(blocks[bi], cut.nodes());
+        for (bj, &block) in blocks.iter().enumerate() {
             for candidate in find_disjoint_instances(block, &pattern, Some(&covered[bj])) {
                 // An instance is only usable where it is itself a legal
                 // ISE occurrence: convex and within the port budget in

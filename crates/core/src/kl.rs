@@ -204,7 +204,10 @@ fn restart_seeds(
         .iter()
         .map(|&v| (gain_of(&engine, ctx, &config.weights, io, v), v))
         .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    // total_cmp, not partial_cmp().unwrap(): gains inherit NaN from
+    // user-supplied weights (the daemon accepts arbitrary f64s), and a
+    // NaN must sort deterministically, not panic the search.
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
     let dag = ctx.block().dag();
     let mut banned = NodeSet::new(n);
@@ -370,6 +373,52 @@ mod tests {
             None,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adversarial_weights_do_not_panic() {
+        // A service request may carry arbitrary f64 weights; NaN gains
+        // used to panic the seed sort (partial_cmp().unwrap()). Every
+        // pathological flavour must complete and return *some* cut.
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let poisoned = [
+            GainWeights {
+                merit: f64::NAN,
+                io_penalty: f64::NAN,
+                affinity: f64::NAN,
+                growth: f64::NAN,
+                independence: f64::NAN,
+            },
+            GainWeights {
+                merit: f64::INFINITY,
+                io_penalty: f64::NEG_INFINITY,
+                affinity: f64::NAN,
+                growth: 0.0,
+                independence: -0.0,
+            },
+            GainWeights {
+                merit: f64::MAX,
+                io_penalty: f64::MIN_POSITIVE,
+                affinity: -f64::MAX,
+                growth: f64::NAN,
+                independence: f64::INFINITY,
+            },
+        ];
+        for weights in poisoned {
+            let config = SearchConfig {
+                weights,
+                ..SearchConfig::default()
+            };
+            let cut = bipartition(&ctx, IoConstraints::new(4, 2), &config, None);
+            // Whatever the search found must still be architecturally
+            // legal — the guard rails hold even under junk weights.
+            assert!(cut.is_empty() || cut.satisfies_io(IoConstraints::new(4, 2)));
+            if !cut.is_empty() {
+                assert!(ctx.is_convex(cut.nodes()));
+            }
+        }
     }
 
     #[test]

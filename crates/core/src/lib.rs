@@ -75,11 +75,11 @@ mod speedup;
 pub use addendum::AddendumTable;
 pub use cache::{CacheStats, GainCache};
 pub use constraints::IoConstraints;
-pub use context::BlockContext;
+pub use context::{BlockContext, ContextData};
 pub use cut::Cut;
 pub use driver::{
-    generate, generate_batched, generate_batched_with, generate_with, CutFinder, Ise, IseConfig,
-    IseInstance, IseSelection,
+    generate, generate_batched, generate_batched_in_contexts, generate_batched_with,
+    generate_in_contexts, generate_with, CutFinder, Ise, IseConfig, IseInstance, IseSelection,
 };
 pub use engine::{Probe, ToggleEngine};
 pub use gain::GainWeights;

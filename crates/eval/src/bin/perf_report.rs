@@ -208,6 +208,18 @@ fn bench_driver(name: &str, app: &Application, model: &LatencyModel, threads: us
     }
 }
 
+const USAGE: &str = "usage: perf_report [--full] [--threads N] [--out PATH]
+  --full        full-size sweeps (CI quick mode is the default)
+  --threads N   batched-driver thread count (default: available parallelism)
+  --out PATH    JSON report path (default BENCH_kl.json)";
+
+/// Prints the problem and the usage to stderr, then exits with code 2 —
+/// a CLI mistake is a usage error, never a panic with a backtrace.
+fn usage_error(message: &str) -> ! {
+    eprintln!("perf_report: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut out_path = "BENCH_kl.json".to_string();
     let mut full = false;
@@ -218,15 +230,19 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => full = true,
-            "--out" => out_path = args.next().expect("--out needs a path"),
-            "--threads" => {
-                threads = args
-                    .next()
-                    .expect("--threads needs a count")
-                    .parse()
-                    .expect("--threads needs a number")
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => usage_error("--out needs a path"),
+            },
+            "--threads" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => threads = n,
+                _ => usage_error("--threads needs a positive integer"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
             }
-            other => panic!("unknown argument {other:?} (use --full / --out / --threads)"),
+            other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
 

@@ -76,15 +76,26 @@ fn run_workload(spec: &WorkloadSpec, threads: usize) -> Row {
     }
 }
 
+const USAGE: &str = "usage: scaling [--tier LIST|all] [--threads N] [--out PATH]
+  --tier LIST   comma-separated size tiers (small/medium/large/huge) or all
+                (default small,medium)
+  --threads N   batched-driver thread count (default: available parallelism)
+  --out PATH    JSON report path (default scaling-report.json)";
+
+/// Prints the problem and the usage to stderr, then exits with code 2 —
+/// a CLI mistake is a usage error, never a panic with a backtrace.
+fn usage_error(message: &str) -> ! {
+    eprintln!("scaling: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
 fn parse_tiers(arg: &str) -> Vec<SizeTier> {
     if arg == "all" {
         return SizeTier::ALL.to_vec();
     }
     arg.split(',')
         .map(|t| {
-            SizeTier::parse(t.trim()).unwrap_or_else(|| {
-                panic!("unknown tier {t:?} (use small/medium/large/huge or all)")
-            })
+            SizeTier::parse(t.trim()).unwrap_or_else(|| usage_error(&format!("unknown tier {t:?}")))
         })
         .collect()
 }
@@ -98,16 +109,23 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--tier" => tiers = parse_tiers(&args.next().expect("--tier needs a list")),
-            "--out" => out_path = args.next().expect("--out needs a path"),
-            "--threads" => {
-                threads = args
-                    .next()
-                    .expect("--threads needs a count")
-                    .parse()
-                    .expect("--threads needs a number")
+            "--tier" => match args.next() {
+                Some(list) => tiers = parse_tiers(&list),
+                None => usage_error("--tier needs a list"),
+            },
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => usage_error("--out needs a path"),
+            },
+            "--threads" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => threads = n,
+                _ => usage_error("--threads needs a positive integer"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
             }
-            other => panic!("unknown argument {other:?} (use --tier / --out / --threads)"),
+            other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
 

@@ -18,6 +18,8 @@
 //!   multiply-accumulate (MAC) delay, exactly like the paper's
 //!   synthesis-calibrated table.
 //! * [`BlockBuilder`] — ergonomic DFG construction with arity validation.
+//! * [`text`] — a round-trip text serialization of applications, the wire
+//!   format of the `ised` service (parse errors, never panics).
 //!
 //! # Example
 //!
@@ -49,6 +51,7 @@ mod error;
 pub mod interp;
 mod latency;
 mod opcode;
+pub mod text;
 
 pub use app::Application;
 pub use block::BasicBlock;
@@ -56,3 +59,4 @@ pub use builder::BlockBuilder;
 pub use error::BuildError;
 pub use latency::LatencyModel;
 pub use opcode::{Opcode, Operation};
+pub use text::{parse_application, write_application, TextError};

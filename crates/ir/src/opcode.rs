@@ -139,6 +139,15 @@ impl Opcode {
         self.is_memory() || self.is_input()
     }
 
+    /// Parses a mnemonic produced by [`Opcode::mnemonic`].
+    ///
+    /// Returns `None` for anything that is not exactly a known mnemonic —
+    /// the text-IR parser turns that into a structured error rather than
+    /// a panic.
+    pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+        Opcode::ALL.into_iter().find(|op| op.mnemonic() == s)
+    }
+
     /// Short lowercase mnemonic.
     pub fn mnemonic(self) -> &'static str {
         use Opcode::*;
@@ -274,6 +283,20 @@ mod tests {
         let op = Operation::with_label(Opcode::Input, "x0");
         assert_eq!(op.to_string(), "in:x0");
         assert_eq!(Operation::new(Opcode::Add).to_string(), "add");
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::from_mnemonic("frobnicate"), None);
+        assert_eq!(Opcode::from_mnemonic(""), None);
+        assert_eq!(
+            Opcode::from_mnemonic("ADD"),
+            None,
+            "mnemonics are lowercase"
+        );
     }
 
     #[test]

@@ -1,0 +1,519 @@
+//! A line-oriented text serialization of [`Application`]s — the wire
+//! format of the `ised` service front-end.
+//!
+//! The format is deliberately trivial to emit and to parse by hand (the
+//! build image has no serde), yet round-trips every structural property
+//! of a block: node order (and therefore ids), opcodes, operand order,
+//! labels, execution frequencies and live-out sets.
+//!
+//! ```text
+//! app "aes"
+//! block "round" freq 1000
+//!   n0 = in "x"
+//!   n1 = in "k"
+//!   n2 = xor n0 n1
+//!   n3 = sbox n2
+//!   live n2
+//! end
+//! ```
+//!
+//! Rules:
+//!
+//! * Blank lines and lines starting with `#` are ignored.
+//! * Strings are double-quoted with `\\`, `\"`, `\n`, `\t`, `\r`
+//!   escapes; bare words are accepted where a name is expected.
+//! * `freq` is optional, defaults to 1 and is bounded by
+//!   [`MAX_FREQUENCY`] (untrusted input must not overflow downstream
+//!   cycle arithmetic).
+//! * A node line is `<name> = <mnemonic> ["label"] <operand>*`; operands
+//!   must name earlier nodes of the same block (the DAG property is
+//!   structural). External inputs use the arity-0 mnemonic `in`.
+//! * `live <name>` marks an explicit live-out; sinks are live-out
+//!   automatically, exactly as in [`BlockBuilder`].
+//!
+//! Parsing never panics: every malformed input — truncated, misquoted,
+//! unknown opcode, wrong arity, dangling operand — is a [`TextError`]
+//! with the offending line number (property-tested in
+//! `tests/serve_roundtrip.rs`).
+
+use crate::{Application, BasicBlock, BlockBuilder, BuildError, Opcode};
+use isegen_graph::NodeId;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Largest block frequency the parser accepts. [`BasicBlock`] carries a
+/// `u64`, but text IR arrives from untrusted clients and downstream
+/// cycle accounting multiplies frequency by block latency into `u64`s —
+/// `u32::MAX` keeps every product a service-sized program can produce
+/// comfortably inside `u64` while being far beyond any real execution
+/// profile.
+pub const MAX_FREQUENCY: u64 = u32::MAX as u64;
+
+/// Errors of text-IR parsing, each tagged with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TextError {
+    /// The line does not match the grammar.
+    Syntax {
+        /// Offending line (1-based; 0 when the input ended prematurely).
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// An unknown opcode mnemonic.
+    UnknownOpcode {
+        /// Offending line.
+        line: usize,
+        /// The mnemonic as written.
+        mnemonic: String,
+    },
+    /// An operand or `live` target names no earlier node.
+    UnknownNode {
+        /// Offending line.
+        line: usize,
+        /// The name as written.
+        name: String,
+    },
+    /// A node name was defined twice in one block.
+    DuplicateNode {
+        /// Offending line.
+        line: usize,
+        /// The redefined name.
+        name: String,
+    },
+    /// Block construction failed (arity mismatch, empty block, …).
+    Build {
+        /// Line of the node or `end` that triggered the error.
+        line: usize,
+        /// The underlying builder error.
+        source: BuildError,
+    },
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            TextError::UnknownOpcode { line, mnemonic } => {
+                write!(f, "line {line}: unknown opcode {mnemonic:?}")
+            }
+            TextError::UnknownNode { line, name } => {
+                write!(f, "line {line}: unknown node {name:?}")
+            }
+            TextError::DuplicateNode { line, name } => {
+                write!(f, "line {line}: node {name:?} defined twice")
+            }
+            TextError::Build { line, source } => write!(f, "line {line}: {source}"),
+        }
+    }
+}
+
+impl Error for TextError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TextError::Build { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes one block as a `block … end` section.
+fn write_block(out: &mut String, block: &BasicBlock) {
+    out.push_str("block ");
+    write_string(out, block.name());
+    let _ = writeln!(out, " freq {}", block.frequency());
+    let dag = block.dag();
+    for (id, op) in dag.nodes() {
+        let _ = write!(out, "  n{} = {}", id.index(), op.opcode());
+        if let Some(label) = op.label() {
+            if !label.is_empty() {
+                out.push(' ');
+                write_string(out, label);
+            }
+        }
+        for p in dag.preds(id) {
+            let _ = write!(out, " n{}", p.index());
+        }
+        out.push('\n');
+    }
+    for id in block.live_outs().iter() {
+        let _ = writeln!(out, "  live n{}", id.index());
+    }
+    out.push_str("end\n");
+}
+
+/// Serializes `app` to the canonical text form.
+///
+/// The output is deterministic and parsing it back yields a structurally
+/// identical application ([`parse_application`] ∘ `write_application` is
+/// the identity on the serialized bytes), so the text doubles as a
+/// canonical content key for caches.
+pub fn write_application(app: &Application) -> String {
+    let mut out = String::new();
+    out.push_str("app ");
+    write_string(&mut out, app.name());
+    out.push('\n');
+    for block in app.blocks() {
+        write_block(&mut out, block);
+    }
+    out
+}
+
+/// One token of a line: a bare word or a quoted string.
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+}
+
+impl Tok {
+    /// The payload where either form is acceptable (names, labels).
+    fn text(&self) -> &str {
+        match self {
+            Tok::Word(s) | Tok::Str(s) => s,
+        }
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> TextError {
+    TextError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Splits one line into tokens, honouring quoting. Never panics.
+fn tokenize(line: &str, lineno: usize) -> Result<Vec<Tok>, TextError> {
+    let mut toks = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    None => return Err(syntax(lineno, "unterminated string")),
+                    Some('"') => break,
+                    Some('\\') => match chars.next() {
+                        Some('\\') => s.push('\\'),
+                        Some('"') => s.push('"'),
+                        Some('n') => s.push('\n'),
+                        Some('t') => s.push('\t'),
+                        Some('r') => s.push('\r'),
+                        other => {
+                            return Err(syntax(
+                                lineno,
+                                format!("bad escape {:?}", other.map(String::from)),
+                            ))
+                        }
+                    },
+                    Some(c) => s.push(c),
+                }
+            }
+            toks.push(Tok::Str(s));
+        } else {
+            let mut s = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() || c == '"' {
+                    break;
+                }
+                s.push(c);
+                chars.next();
+            }
+            toks.push(Tok::Word(s));
+        }
+    }
+    Ok(toks)
+}
+
+/// An in-progress block while parsing.
+struct BlockParse {
+    builder: BlockBuilder,
+    names: HashMap<String, NodeId>,
+    start_line: usize,
+}
+
+/// Parses the canonical text form back into an [`Application`].
+///
+/// # Errors
+///
+/// Any deviation from the grammar yields a [`TextError`] naming the
+/// offending line; no input panics.
+pub fn parse_application(text: &str) -> Result<Application, TextError> {
+    let mut app: Option<Application> = None;
+    let mut block: Option<BlockParse> = None;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks = tokenize(line, lineno)?;
+        let head = toks[0].text();
+        match head {
+            "app" => {
+                if app.is_some() {
+                    return Err(syntax(lineno, "duplicate app header"));
+                }
+                let [_, name] = &toks[..] else {
+                    return Err(syntax(lineno, "expected: app \"name\""));
+                };
+                app = Some(Application::new(name.text()));
+            }
+            "block" => {
+                let Some(_) = app else {
+                    return Err(syntax(lineno, "block before app header"));
+                };
+                if block.is_some() {
+                    return Err(syntax(lineno, "block inside block (missing end?)"));
+                }
+                let (name, freq) = match &toks[..] {
+                    [_, name] => (name.text(), 1u64),
+                    [_, name, Tok::Word(kw), Tok::Word(freq)] if kw == "freq" => {
+                        let freq: u64 = freq
+                            .parse()
+                            .ok()
+                            .filter(|&f| f <= MAX_FREQUENCY)
+                            .ok_or_else(|| {
+                                syntax(
+                                    lineno,
+                                    format!("bad frequency {freq:?} (max {MAX_FREQUENCY})"),
+                                )
+                            })?;
+                        (name.text(), freq)
+                    }
+                    _ => return Err(syntax(lineno, "expected: block \"name\" [freq N]")),
+                };
+                block = Some(BlockParse {
+                    builder: BlockBuilder::new(name).frequency(freq),
+                    names: HashMap::new(),
+                    start_line: lineno,
+                });
+            }
+            "live" => {
+                let Some(b) = block.as_mut() else {
+                    return Err(syntax(lineno, "live outside a block"));
+                };
+                let [_, name] = &toks[..] else {
+                    return Err(syntax(lineno, "expected: live <node>"));
+                };
+                let &id = b
+                    .names
+                    .get(name.text())
+                    .ok_or_else(|| TextError::UnknownNode {
+                        line: lineno,
+                        name: name.text().to_string(),
+                    })?;
+                b.builder.live_out(id).map_err(|source| TextError::Build {
+                    line: lineno,
+                    source,
+                })?;
+            }
+            "end" => {
+                let Some(b) = block.take() else {
+                    return Err(syntax(lineno, "end outside a block"));
+                };
+                if toks.len() != 1 {
+                    return Err(syntax(lineno, "end takes no arguments"));
+                }
+                let built = b.builder.build().map_err(|source| TextError::Build {
+                    line: lineno,
+                    source,
+                })?;
+                app.as_mut()
+                    .expect("checked at block start")
+                    .push_block(built);
+            }
+            _ => {
+                let Some(b) = block.as_mut() else {
+                    return Err(syntax(
+                        lineno,
+                        format!("unexpected {head:?} outside a block"),
+                    ));
+                };
+                // <name> = <mnemonic> ["label"] <operand>*
+                let (Some(Tok::Word(name)), Some(Tok::Word(eq)), Some(Tok::Word(mnemonic))) =
+                    (toks.first(), toks.get(1), toks.get(2))
+                else {
+                    return Err(syntax(lineno, "expected: <name> = <mnemonic> …"));
+                };
+                if eq != "=" {
+                    return Err(syntax(lineno, "expected '=' after node name"));
+                }
+                if b.names.contains_key(name) {
+                    return Err(TextError::DuplicateNode {
+                        line: lineno,
+                        name: name.clone(),
+                    });
+                }
+                let opcode =
+                    Opcode::from_mnemonic(mnemonic).ok_or_else(|| TextError::UnknownOpcode {
+                        line: lineno,
+                        mnemonic: mnemonic.clone(),
+                    })?;
+                let mut rest = &toks[3..];
+                let label = match rest.first() {
+                    Some(Tok::Str(l)) => {
+                        rest = &rest[1..];
+                        Some(l.clone())
+                    }
+                    _ => None,
+                };
+                let id = if opcode == Opcode::Input {
+                    if !rest.is_empty() {
+                        return Err(syntax(lineno, "inputs take no operands"));
+                    }
+                    b.builder.input(label.unwrap_or_default())
+                } else {
+                    let mut operands = Vec::with_capacity(rest.len());
+                    for t in rest {
+                        let Tok::Word(opname) = t else {
+                            return Err(syntax(lineno, "operands must be node names"));
+                        };
+                        let &p = b.names.get(opname).ok_or_else(|| TextError::UnknownNode {
+                            line: lineno,
+                            name: opname.clone(),
+                        })?;
+                        operands.push(p);
+                    }
+                    let result = match label {
+                        Some(l) => b.builder.op_labelled(opcode, l, &operands),
+                        None => b.builder.op(opcode, &operands),
+                    };
+                    result.map_err(|source| TextError::Build {
+                        line: lineno,
+                        source,
+                    })?
+                };
+                b.names.insert(name.clone(), id);
+            }
+        }
+    }
+
+    if let Some(b) = block {
+        return Err(syntax(b.start_line, "block is never closed (missing end)"));
+    }
+    app.ok_or_else(|| syntax(0, "missing app header"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LatencyModel;
+
+    fn sample() -> Application {
+        let mut b = BlockBuilder::new("mac kernel").frequency(500);
+        let x = b.input("x");
+        let y = b.input("weird \"label\"\n");
+        let m = b.op(Opcode::Mul, &[x, y]).unwrap();
+        let s = b.op_labelled(Opcode::Add, "sum", &[m, x]).unwrap();
+        b.op(Opcode::Not, &[s]).unwrap();
+        b.live_out(m).unwrap();
+        let mut app = Application::new("demo/app");
+        app.push_block(b.build().unwrap());
+        let mut b2 = BlockBuilder::new("tail");
+        let z = b2.input("z");
+        b2.op(Opcode::Mac, &[z, z, z]).unwrap();
+        app.push_block(b2.build().unwrap());
+        app
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let app = sample();
+        let text = write_application(&app);
+        let reparsed = parse_application(&text).unwrap();
+        assert_eq!(write_application(&reparsed), text);
+        assert_eq!(reparsed.name(), app.name());
+        assert_eq!(reparsed.blocks().len(), 2);
+        let (a, b) = (&app.blocks()[0], &reparsed.blocks()[0]);
+        assert_eq!(a.frequency(), b.frequency());
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.live_outs(), b.live_outs());
+        for id in a.dag().node_ids() {
+            assert_eq!(a.opcode(id), b.opcode(id));
+            assert_eq!(a.dag().preds(id), b.dag().preds(id));
+            assert_eq!(a.dag().weight(id).label(), b.dag().weight(id).label());
+        }
+        let model = LatencyModel::paper_default();
+        assert_eq!(a.software_latency(&model), b.software_latency(&model));
+    }
+
+    #[test]
+    fn hand_written_form_parses() {
+        let app = parse_application(
+            "# comment\n\napp demo\nblock hot freq 9\n  a = in\n  b = add a a\nend\n",
+        )
+        .unwrap();
+        assert_eq!(app.blocks()[0].frequency(), 9);
+        assert_eq!(app.blocks()[0].node_count(), 2);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let cases: &[(&str, &str)] = &[
+            ("block b\nend\n", "block before app"),
+            ("app a\napp b\n", "duplicate app"),
+            ("app a\nblock b\n  x = in\n", "never closed"),
+            ("app a\nend\n", "end outside"),
+            ("app a\nblock b\n  x = frob\nend\n", "unknown opcode"),
+            ("app a\nblock b\n  x = add y y\nend\n", "unknown node"),
+            ("app a\nblock b freq zap\nend\n", "bad frequency"),
+            (
+                // u64-overflow bait: freq × latency must stay in range,
+                // so the parser bounds freq itself.
+                "app a\nblock b freq 18446744073709551615\n  x = in\n  y = add x x\nend\n",
+                "bad frequency",
+            ),
+            ("app a\nblock b\n  x = in\n  x = in\nend\n", "defined twice"),
+            ("app a\nblock b\n  live q\nend\n", "unknown node"),
+            ("app a\nblock b\nend\n", "no operations"),
+            (
+                "app a\nblock b\n  x = in\n  y = add x\nend\n",
+                "takes 2 operands",
+            ),
+            ("app a\nblock \"b\n", "unterminated"),
+            ("app a\nblock b\n  x = in \"l\\qm\"\nend\n", "bad escape"),
+            ("", "missing app header"),
+        ];
+        for (text, expect) in cases {
+            let err = parse_application(text).unwrap_err().to_string();
+            assert!(
+                err.contains(expect),
+                "input {text:?} gave {err:?}, expected {expect:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncations_never_panic() {
+        let text = write_application(&sample());
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            // Result irrelevant; the property is "no panic".
+            let _ = parse_application(&text[..cut]);
+        }
+    }
+}

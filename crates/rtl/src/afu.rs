@@ -76,7 +76,7 @@ impl AfuLibrary {
                 let block = &app.blocks()[ise.block_index];
                 let netlist = Netlist::from_cut(block, ise.cut.nodes())?;
                 let name = format!("ise{k}");
-                let verilog = emit_verilog(&netlist, &name);
+                let verilog = emit_verilog(&netlist, &name)?;
                 let topo = TopoOrder::new(block.dag());
                 let delay = path::critical_path_within(block.dag(), &topo, ise.cut.nodes(), |v| {
                     model.hw_delay(block.opcode(v))

@@ -17,6 +17,20 @@ pub enum RtlError {
         /// Its opcode.
         opcode: Opcode,
     },
+    /// A node's operand count disagrees with its opcode's arity — a
+    /// malformed DFG that must surface as a structured error (the `ised`
+    /// daemon turns it into an error response), never a panic in the
+    /// emitter.
+    ArityMismatch {
+        /// The offending node.
+        node: NodeId,
+        /// Its opcode.
+        opcode: Opcode,
+        /// Operands the opcode requires.
+        expected: usize,
+        /// Operands the node actually has.
+        got: usize,
+    },
 }
 
 impl fmt::Display for RtlError {
@@ -26,6 +40,15 @@ impl fmt::Display for RtlError {
             RtlError::IneligibleNode { node, opcode } => {
                 write!(f, "node {node} ({opcode}) cannot be implemented in an AFU")
             }
+            RtlError::ArityMismatch {
+                node,
+                opcode,
+                expected,
+                got,
+            } => write!(
+                f,
+                "node {node} ({opcode}) has {got} operands, expected {expected}"
+            ),
         }
     }
 }
@@ -50,5 +73,12 @@ mod tests {
             e.to_string(),
             "node n3 (ld) cannot be implemented in an AFU"
         );
+        let e = RtlError::ArityMismatch {
+            node: NodeId::from_index(1),
+            opcode: Opcode::Add,
+            expected: 2,
+            got: 5,
+        };
+        assert_eq!(e.to_string(), "node n1 (add) has 5 operands, expected 2");
     }
 }

@@ -36,7 +36,7 @@
 //!
 //! let netlist = Netlist::from_cut(&block, cut.nodes())?;
 //! assert_eq!(netlist.evaluate(&[6, 7]), vec![48]); // (6*7)+6
-//! let verilog = emit_verilog(&netlist, "mac_afu");
+//! let verilog = emit_verilog(&netlist, "mac_afu")?;
 //! assert!(verilog.contains("module mac_afu"));
 //! # Ok(())
 //! # }

@@ -49,6 +49,10 @@ impl Netlist {
     /// * [`RtlError::EmptyCut`] for an empty cut.
     /// * [`RtlError::IneligibleNode`] when the cut contains memory
     ///   operations or input markers.
+    /// * [`RtlError::ArityMismatch`] when a cut node's operand count
+    ///   disagrees with its opcode — defence in depth for DFGs that
+    ///   reach the emitter from outside [`isegen_ir::BlockBuilder`]'s
+    ///   validation (e.g. via a service boundary).
     pub fn from_cut(block: &BasicBlock, cut: &NodeSet) -> Result<Netlist, RtlError> {
         if cut.is_empty() {
             return Err(RtlError::EmptyCut);
@@ -58,6 +62,14 @@ impl Netlist {
             let opcode = block.opcode(v);
             if !opcode.is_ise_eligible() {
                 return Err(RtlError::IneligibleNode { node: v, opcode });
+            }
+            if dag.preds(v).len() != opcode.arity() {
+                return Err(RtlError::ArityMismatch {
+                    node: v,
+                    opcode,
+                    expected: opcode.arity(),
+                    got: dag.preds(v).len(),
+                });
             }
         }
         // Input ports: distinct outside producers, ascending node id.
@@ -280,6 +292,46 @@ mod tests {
         assert!(matches!(
             Netlist::from_cut(&block, &NodeSet::new(2)),
             Err(RtlError::EmptyCut)
+        ));
+    }
+
+    #[test]
+    fn malformed_arity_is_an_error_not_a_panic() {
+        // A netlist with a cell whose operand count disagrees with its
+        // opcode cannot come out of `from_cut` (which validates), so
+        // build one by hand — this test module may touch the private
+        // fields — and prove the emitter degrades into a structured
+        // error, the contract the `ised` worker threads rely on.
+        let malformed = Netlist {
+            cells: vec![Cell {
+                opcode: Opcode::Add,
+                operands: vec![Signal::Input(0)],
+            }],
+            cell_nodes: vec![NodeId::from_index(1)],
+            input_nodes: vec![NodeId::from_index(0)],
+            outputs: vec![0],
+        };
+        assert!(matches!(
+            crate::emit_verilog(&malformed, "bad"),
+            Err(RtlError::ArityMismatch {
+                opcode: Opcode::Add,
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+        let ineligible = Netlist {
+            cells: vec![Cell {
+                opcode: Opcode::Load,
+                operands: vec![Signal::Input(0)],
+            }],
+            cell_nodes: vec![NodeId::from_index(1)],
+            input_nodes: vec![NodeId::from_index(0)],
+            outputs: vec![0],
+        };
+        assert!(matches!(
+            crate::emit_verilog(&ineligible, "bad"),
+            Err(RtlError::IneligibleNode { .. })
         ));
     }
 

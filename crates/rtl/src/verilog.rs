@@ -1,6 +1,6 @@
 //! Synthesizable Verilog-2001 emission for AFU datapaths.
 
-use crate::{Netlist, Signal};
+use crate::{Netlist, RtlError, Signal};
 use isegen_ir::interp::AES_SBOX;
 use isegen_ir::Opcode;
 use std::fmt::Write as _;
@@ -84,6 +84,14 @@ fn gfmul_function() -> String {
 /// [`Netlist`]'s port order. AES helpers (`sbox`, `xtime`, `gfmul`) are
 /// emitted as functions only when the datapath uses them.
 ///
+/// # Errors
+///
+/// [`RtlError::ArityMismatch`] / [`RtlError::IneligibleNode`] when a
+/// cell's shape disagrees with its opcode — impossible for netlists from
+/// [`Netlist::from_cut`], which validates both, but kept fallible so a
+/// malformed datapath surfacing through a service boundary degrades into
+/// a structured error response instead of an emitter panic.
+///
 /// ```
 /// use isegen_graph::NodeSet;
 /// use isegen_ir::{BlockBuilder, Opcode};
@@ -95,13 +103,30 @@ fn gfmul_function() -> String {
 /// let n = b.op(Opcode::Not, &[x])?;
 /// let block = b.build()?;
 /// let netlist = Netlist::from_cut(&block, &NodeSet::from_ids(2, [n]))?;
-/// let v = emit_verilog(&netlist, "inv");
+/// let v = emit_verilog(&netlist, "inv")?;
 /// assert!(v.contains("assign n0 = ~in0;"));
 /// assert!(v.contains("assign out0 = n0;"));
 /// # Ok(())
 /// # }
 /// ```
-pub fn emit_verilog(netlist: &Netlist, module_name: &str) -> String {
+pub fn emit_verilog(netlist: &Netlist, module_name: &str) -> Result<String, RtlError> {
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        let node = netlist.cell_nodes()[i];
+        if !cell.opcode.is_ise_eligible() {
+            return Err(RtlError::IneligibleNode {
+                node,
+                opcode: cell.opcode,
+            });
+        }
+        if cell.operands.len() != cell.opcode.arity() {
+            return Err(RtlError::ArityMismatch {
+                node,
+                opcode: cell.opcode,
+                expected: cell.opcode.arity(),
+                got: cell.operands.len(),
+            });
+        }
+    }
     let mut out = String::new();
     let _ = writeln!(out, "// AFU datapath generated by isegen-rtl");
     let _ = writeln!(
@@ -138,7 +163,7 @@ pub fn emit_verilog(netlist: &Netlist, module_name: &str) -> String {
         let _ = writeln!(out, "  assign out{i} = n{cell};");
     }
     out.push_str("endmodule\n");
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -158,18 +183,15 @@ mod tests {
             if !opcode.is_ise_eligible() {
                 continue;
             }
-            let v = match opcode.arity() {
-                1 => b.op(opcode, &[x]).unwrap(),
-                2 => b.op(opcode, &[x, y]).unwrap(),
-                3 => b.op(opcode, &[x, y, z]).unwrap(),
-                n => panic!("unexpected arity {n}"),
-            };
-            nodes.push(v);
+            // every eligible opcode has arity 1..=3; slice by arity so a
+            // future opcode can never reintroduce a panic here
+            let operands = &[x, y, z][..opcode.arity()];
+            nodes.push(b.op(opcode, operands).unwrap());
         }
         let block = b.build().unwrap();
         let cut = NodeSet::from_ids(block.dag().node_count(), nodes.iter().copied());
         let netlist = Netlist::from_cut(&block, &cut).unwrap();
-        let v = emit_verilog(&netlist, "all_ops");
+        let v = emit_verilog(&netlist, "all_ops").unwrap();
         assert!(v.contains("module all_ops"));
         assert!(v.contains("endmodule"));
         assert!(v.contains("function [7:0] sbox;"));
@@ -188,7 +210,7 @@ mod tests {
         let a = b.op(Opcode::Add, &[x, x]).unwrap();
         let block = b.build().unwrap();
         let netlist = Netlist::from_cut(&block, &NodeSet::from_ids(2, [a])).unwrap();
-        let v = emit_verilog(&netlist, "plain");
+        let v = emit_verilog(&netlist, "plain").unwrap();
         assert!(!v.contains("function"));
         assert!(v.contains("assign n0 = in0 + in0;"));
     }

@@ -1,0 +1,70 @@
+//! `ised` — the ISE selection daemon.
+//!
+//! ```sh
+//! ised                         # 127.0.0.1:9417, cache capacity 64
+//! ised --addr 0.0.0.0:7000 --cache 256
+//! ised --addr 127.0.0.1:0      # ephemeral port, printed on stdout
+//! ```
+//!
+//! Logs go to stderr; the "listening on" line goes to stdout so
+//! supervisors (and the CI smoke test) can scrape the bound address.
+
+use isegen_serve::{Server, ServerConfig};
+use std::io::Write as _;
+
+const USAGE: &str = "usage: ised [--addr HOST:PORT] [--cache N] [--quiet]
+  --addr HOST:PORT  listen address (default 127.0.0.1:9417; port 0 = ephemeral)
+  --cache N         LRU capacity in applications (default 64)
+  --quiet           suppress per-request logging on stderr";
+
+/// Prints usage and exits with code 2 — the CLI-contract shared with the
+/// eval binaries: bad arguments are a usage error, not a panic.
+fn usage_error(message: &str) -> ! {
+    eprintln!("ised: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:9417".to_string();
+    let mut cache = 64usize;
+    let mut verbose = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => usage_error("--addr needs HOST:PORT"),
+            },
+            "--cache" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => cache = n,
+                _ => usage_error("--cache needs a positive integer"),
+            },
+            "--quiet" => verbose = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let server = match Server::bind(
+        &addr,
+        ServerConfig {
+            cache_capacity: cache,
+            verbose,
+        },
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ised: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("ised listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.run() {
+        eprintln!("ised: server error: {e}");
+        std::process::exit(1);
+    }
+}

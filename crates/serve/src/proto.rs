@@ -1,0 +1,260 @@
+//! The `ised` wire protocol: newline-delimited JSON requests and
+//! responses, plus the bounds-checked translation from request fields to
+//! library configuration.
+//!
+//! Every request is one JSON object on one line with an `"op"` member;
+//! every response is one JSON object on one line with an `"ok"` member.
+//! Failures carry `"error"` (human-readable) and `"kind"` (stable
+//! machine-readable tag) — a malformed or hostile request can never kill
+//! the connection, let alone the worker thread.
+//!
+//! | op         | request fields                          | response |
+//! |------------|-----------------------------------------|----------|
+//! | `ping`     | —                                       | `{"ok":true,"op":"pong"}` |
+//! | `submit`   | `ir` (text IR)                          | app hash + shape |
+//! | `select`   | `app` (hash) or `ir`, optional `config` | selection summary |
+//! | `rtl`      | `app` (hash) or `ir`, optional `config` | Verilog + area |
+//! | `stats`    | —                                       | cache/request counters |
+//! | `shutdown` | —                                       | ack, then the server drains |
+//!
+//! `config` members (all optional): `io` (`[inputs, outputs]`),
+//! `max_ises`, `reuse`, `threads`, `max_passes`, `restarts` and
+//! `weights` (`{"merit":…, "io_penalty":…, "affinity":…, "growth":…,
+//! "independence":…}`). Defaults are the paper's headline configuration.
+
+use crate::json::Json;
+use isegen_core::{GainWeights, IoConstraints, IseConfig, SearchConfig};
+use std::fmt;
+
+/// Upper bound on `max_ises`, `max_passes`, `restarts` and `threads` in
+/// a request — generous for real use, small enough that one hostile
+/// request cannot pin a worker thread forever.
+pub const MAX_KNOB: u64 = 4096;
+
+/// A structured protocol failure, rendered as an error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Stable machine-readable tag (`parse`, `protocol`, `ir`,
+    /// `collision`, `not_found`, `rtl`, `internal`).
+    pub kind: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// Builds an error with the given tag.
+    pub fn new(kind: &'static str, message: impl Into<String>) -> ProtoError {
+        ProtoError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// The one-line JSON error response.
+    pub fn to_response(&self) -> Json {
+        Json::obj([
+            ("ok", Json::Bool(false)),
+            ("kind", Json::from(self.kind)),
+            ("error", Json::from(self.message.clone())),
+        ])
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A fully resolved request configuration: driver + search + threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestConfig {
+    /// Problem-2 driver configuration.
+    pub ise: IseConfig,
+    /// K-L search configuration.
+    pub search: SearchConfig,
+    /// Driver thread count (1 = sequential driver).
+    pub threads: usize,
+}
+
+impl Default for RequestConfig {
+    fn default() -> Self {
+        RequestConfig {
+            ise: IseConfig::paper_default(),
+            search: SearchConfig::default(),
+            threads: 1,
+        }
+    }
+}
+
+fn bounded(obj: &Json, key: &'static str, default: usize) -> Result<usize, ProtoError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_u64() {
+            Some(n) if (1..=MAX_KNOB).contains(&n) => Ok(n as usize),
+            _ => Err(ProtoError::new(
+                "protocol",
+                format!("config.{key} must be an integer in 1..={MAX_KNOB}"),
+            )),
+        },
+    }
+}
+
+fn weight(obj: &Json, key: &'static str, default: f64) -> Result<f64, ProtoError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_f64().ok_or_else(|| {
+            ProtoError::new("protocol", format!("config.weights.{key} must be a number"))
+        }),
+    }
+}
+
+/// Parses the optional `config` member of a `select`/`rtl` request.
+///
+/// Every field is validated against library preconditions — e.g. `io`
+/// components must be ≥ 1 because [`IoConstraints::new`] panics on zero;
+/// the protocol turns what would be a panic into a structured error.
+pub fn parse_config(config: Option<&Json>) -> Result<RequestConfig, ProtoError> {
+    let mut out = RequestConfig::default();
+    let Some(obj) = config else { return Ok(out) };
+    if !matches!(obj, Json::Obj(_)) {
+        return Err(ProtoError::new("protocol", "config must be an object"));
+    }
+    if let Some(io) = obj.get("io") {
+        let parts = io.as_array().unwrap_or(&[]);
+        let (Some(i), Some(o)) = (
+            parts.first().and_then(Json::as_u64),
+            parts.get(1).and_then(Json::as_u64),
+        ) else {
+            return Err(ProtoError::new(
+                "protocol",
+                "config.io must be [max_inputs, max_outputs]",
+            ));
+        };
+        if !(1..=MAX_KNOB).contains(&i) || !(1..=MAX_KNOB).contains(&o) {
+            return Err(ProtoError::new(
+                "protocol",
+                format!("config.io components must be in 1..={MAX_KNOB}"),
+            ));
+        }
+        out.ise.io = IoConstraints::new(i as u32, o as u32);
+    }
+    out.ise.max_ises = bounded(obj, "max_ises", out.ise.max_ises)?;
+    if let Some(reuse) = obj.get("reuse") {
+        out.ise.reuse_matching = reuse
+            .as_bool()
+            .ok_or_else(|| ProtoError::new("protocol", "config.reuse must be a boolean"))?;
+    }
+    out.threads = bounded(obj, "threads", out.threads)?;
+    out.search.max_passes = bounded(obj, "max_passes", out.search.max_passes)?;
+    out.search.restarts = bounded(obj, "restarts", out.search.restarts)?;
+    if let Some(w) = obj.get("weights") {
+        if !matches!(w, Json::Obj(_)) {
+            return Err(ProtoError::new(
+                "protocol",
+                "config.weights must be an object",
+            ));
+        }
+        let d = GainWeights::default();
+        out.search.weights = GainWeights {
+            merit: weight(w, "merit", d.merit)?,
+            io_penalty: weight(w, "io_penalty", d.io_penalty)?,
+            affinity: weight(w, "affinity", d.affinity)?,
+            growth: weight(w, "growth", d.growth)?,
+            independence: weight(w, "independence", d.independence)?,
+        };
+    }
+    Ok(out)
+}
+
+/// Formats an application hash the way the protocol exchanges it.
+pub fn format_hash(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+/// Parses a hash produced by [`format_hash`].
+pub fn parse_hash(s: &str) -> Result<u64, ProtoError> {
+    if s.len() == 16 {
+        if let Ok(h) = u64::from_str_radix(s, 16) {
+            return Ok(h);
+        }
+    }
+    Err(ProtoError::new(
+        "protocol",
+        format!("{s:?} is not a 16-hex-digit app hash"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn default_when_config_absent() {
+        let cfg = parse_config(None).unwrap();
+        assert_eq!(cfg, RequestConfig::default());
+        assert_eq!(cfg.ise, IseConfig::paper_default());
+    }
+
+    #[test]
+    fn full_config_round_trip() {
+        let j = json::parse(
+            r#"{"io":[6,3],"max_ises":8,"reuse":false,"threads":4,
+                "max_passes":2,"restarts":1,
+                "weights":{"merit":2.0,"io_penalty":10.0}}"#,
+        )
+        .unwrap();
+        let cfg = parse_config(Some(&j)).unwrap();
+        assert_eq!(cfg.ise.io, IoConstraints::new(6, 3));
+        assert_eq!(cfg.ise.max_ises, 8);
+        assert!(!cfg.ise.reuse_matching);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.search.max_passes, 2);
+        assert_eq!(cfg.search.restarts, 1);
+        assert_eq!(cfg.search.weights.merit, 2.0);
+        assert_eq!(cfg.search.weights.io_penalty, 10.0);
+        // unspecified weights keep their defaults
+        assert_eq!(cfg.search.weights.affinity, GainWeights::default().affinity);
+    }
+
+    #[test]
+    fn hostile_configs_are_structured_errors() {
+        // Each of these would panic or spin somewhere in the library if
+        // passed through unchecked (IoConstraints::new asserts non-zero;
+        // huge knobs would pin a worker).
+        let cases = [
+            r#"{"io":[0,2]}"#,
+            r#"{"io":[4]}"#,
+            r#"{"io":"wide"}"#,
+            r#"{"io":[4,-2]}"#,
+            r#"{"max_ises":0}"#,
+            r#"{"threads":1e9}"#,
+            r#"{"max_passes":2.5}"#,
+            r#"{"restarts":99999999}"#,
+            r#"{"reuse":"yes"}"#,
+            r#"{"weights":{"merit":"big"}}"#,
+            r#"{"weights":[1,2,3]}"#,
+        ];
+        for text in cases {
+            let j = json::parse(text).unwrap();
+            let err = parse_config(Some(&j)).unwrap_err();
+            assert_eq!(err.kind, "protocol", "{text}");
+        }
+        // NaN weights are *accepted* — the library is NaN-safe and the
+        // daemon must not be the layer that decides they are wrong.
+        let j = json::parse(r#"{"weights":{"merit":null}}"#).unwrap();
+        assert!(parse_config(Some(&j)).is_err(), "null is not a number");
+    }
+
+    #[test]
+    fn hash_round_trip() {
+        let h = 0x0123_4567_89ab_cdefu64;
+        assert_eq!(parse_hash(&format_hash(h)).unwrap(), h);
+        assert!(parse_hash("xyz").is_err());
+        assert!(parse_hash("123").is_err());
+        assert!(parse_hash("00112233445566778").is_err());
+    }
+}

@@ -1,0 +1,477 @@
+//! The long-lived `ised` server: accepts TCP connections, speaks the
+//! newline-delimited JSON protocol of [`crate::proto`], and serves every
+//! request from the shared [`ServeCache`].
+//!
+//! Concurrency is hand-rolled on scoped threads (no async runtime in the
+//! image): the acceptor polls a non-blocking listener so it can observe
+//! the shutdown flag, and each connection gets one scoped worker thread.
+//! Worker panics are impossible by construction on the request path —
+//! every library error is mapped to a structured error response — and a
+//! `catch_unwind` backstop turns anything that slips through into an
+//! `"internal"` error response instead of a dead connection.
+
+use crate::cache::{AppEntry, SelectionKey, ServeCache, SubmitError};
+use crate::json::{self, Json};
+use crate::proto::{self, ProtoError, RequestConfig};
+use isegen_core::{generate_batched_in_contexts, generate_in_contexts, IseSelection, IsegenFinder};
+use isegen_ir::LatencyModel;
+use isegen_rtl::AfuLibrary;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Hard cap on one request line (bytes). The largest bundled workload
+/// serializes to well under 1 MiB of text IR; 16 MiB leaves room for
+/// far bigger programs while bounding per-connection memory.
+pub const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// How the server is set up; see [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// LRU bound on cached applications.
+    pub cache_capacity: usize,
+    /// Log requests and connections to stderr.
+    pub verbose: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cache_capacity: 64,
+            verbose: true,
+        }
+    }
+}
+
+/// The `ised` daemon. Construct with [`Server::bind`], run with
+/// [`Server::run`] (blocks until a `shutdown` request or
+/// [`Server::request_stop`]).
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    cache: ServeCache,
+    config: ServerConfig,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) with the
+    /// paper-default latency model.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            local_addr,
+            cache: ServeCache::new(config.cache_capacity, LatencyModel::paper_default()),
+            config,
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared cache (exposed for in-process tests and stats).
+    pub fn cache(&self) -> &ServeCache {
+        &self.cache
+    }
+
+    /// Asks the accept loop to drain and return. Safe from any thread.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    fn log(&self, message: impl AsRef<str>) {
+        if self.config.verbose {
+            eprintln!("[ised] {}", message.as_ref());
+        }
+    }
+
+    /// Accepts and serves connections until shutdown. Every connection
+    /// runs on its own scoped thread; the call returns only after all
+    /// of them finished.
+    pub fn run(&self) -> io::Result<()> {
+        self.log(format!(
+            "listening on {} (cache capacity {})",
+            self.local_addr, self.config.cache_capacity
+        ));
+        std::thread::scope(|scope| {
+            loop {
+                if self.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, peer)) => {
+                        self.connections.fetch_add(1, Ordering::Relaxed);
+                        self.log(format!("connection from {peer}"));
+                        scope.spawn(move || {
+                            if let Err(e) = self.handle_connection(stream) {
+                                self.log(format!("connection {peer} closed: {e}"));
+                            } else {
+                                self.log(format!("connection {peer} closed"));
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => {
+                        // Accept errors (ECONNABORTED, EMFILE under fd
+                        // pressure, EINTR, …) are transient from the
+                        // listener's point of view: log, back off and
+                        // keep accepting. Bailing out here would leave
+                        // the daemon alive but deaf — workers keep
+                        // serving inside the scope while no new client
+                        // can ever connect.
+                        self.log(format!("accept error (retrying): {e}"));
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                }
+            }
+        });
+        self.log("shutdown complete");
+        Ok(())
+    }
+
+    fn handle_connection(&self, stream: TcpStream) -> io::Result<()> {
+        // Short read timeouts let workers notice the shutdown flag; a
+        // timed-out read just polls again (inside `read_line_capped`,
+        // which keeps any partial line intact across timeouts).
+        stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let mut bytes = Vec::new();
+        loop {
+            bytes.clear();
+            match read_line_capped(&mut reader, &mut bytes, MAX_LINE_BYTES, &self.stop)? {
+                LineRead::Eof | LineRead::Stopped => return Ok(()),
+                LineRead::Line => {}
+                LineRead::TooLong => {
+                    // The line was drained; answer and keep serving.
+                    let err = ProtoError::new(
+                        "protocol",
+                        format!("request exceeds {MAX_LINE_BYTES} bytes"),
+                    );
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    writeln!(writer, "{}", err.to_response())?;
+                    writer.flush()?;
+                    continue;
+                }
+            }
+            // Invalid UTF-8 degrades into replacement characters and
+            // then a structured JSON parse error — never a panic.
+            let line = String::from_utf8_lossy(&bytes);
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            // The backstop: a panic anywhere in dispatch becomes an
+            // "internal" error response, not a dead worker thread.
+            let response = catch_unwind(AssertUnwindSafe(|| self.dispatch(&line)))
+                .unwrap_or_else(|_| {
+                    Err(ProtoError::new(
+                        "internal",
+                        "request handler panicked; see server log",
+                    ))
+                })
+                .unwrap_or_else(|e| {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    self.log(format!("error response: {e}"));
+                    e.to_response()
+                });
+            writeln!(writer, "{response}")?;
+            writer.flush()?;
+        }
+    }
+
+    /// Parses and executes one request line.
+    fn dispatch(&self, line: &str) -> Result<Json, ProtoError> {
+        let request =
+            json::parse(line.trim()).map_err(|e| ProtoError::new("parse", e.to_string()))?;
+        let op = request
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtoError::new("protocol", "request needs a string \"op\""))?;
+        match op {
+            "ping" => Ok(Json::obj([("ok", Json::Bool(true)), ("op", "pong".into())])),
+            "submit" => self.op_submit(&request),
+            "select" => self.op_select(&request),
+            "rtl" => self.op_rtl(&request),
+            "stats" => Ok(self.op_stats()),
+            "shutdown" => {
+                self.log("shutdown requested");
+                self.request_stop();
+                Ok(Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("op", "shutdown".into()),
+                ]))
+            }
+            other => Err(ProtoError::new(
+                "protocol",
+                format!("unknown op {other:?} (ping/submit/select/rtl/stats/shutdown)"),
+            )),
+        }
+    }
+
+    fn op_submit(&self, request: &Json) -> Result<Json, ProtoError> {
+        let (hash, entry, fresh) = self.submit_ir(request)?;
+        self.log(format!(
+            "submit {} → {} ({})",
+            entry.app.name(),
+            proto::format_hash(hash),
+            if fresh { "new" } else { "cached" }
+        ));
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", "submit".into()),
+            ("app", proto::format_hash(hash).into()),
+            ("name", entry.app.name().into()),
+            ("blocks", entry.app.blocks().len().into()),
+            (
+                "ops",
+                entry
+                    .app
+                    .blocks()
+                    .iter()
+                    .map(|b| b.operation_count())
+                    .sum::<usize>()
+                    .into(),
+            ),
+            ("cached", Json::Bool(!fresh)),
+        ]))
+    }
+
+    /// Resolves the application of a request: `app` (a hash from an
+    /// earlier submit) or inline `ir`.
+    fn resolve_app(&self, request: &Json) -> Result<(u64, Arc<AppEntry>), ProtoError> {
+        if let Some(hash) = request.get("app") {
+            let hash = hash
+                .as_str()
+                .ok_or_else(|| ProtoError::new("protocol", "\"app\" must be a hash string"))
+                .and_then(proto::parse_hash)?;
+            let entry = self.cache.get(hash).ok_or_else(|| {
+                ProtoError::new(
+                    "not_found",
+                    format!(
+                        "no app {} in cache (submit it first)",
+                        proto::format_hash(hash)
+                    ),
+                )
+            })?;
+            return Ok((hash, entry));
+        }
+        let (hash, entry, _) = self.submit_ir(request)?;
+        Ok((hash, entry))
+    }
+
+    fn submit_ir(&self, request: &Json) -> Result<(u64, Arc<AppEntry>, bool), ProtoError> {
+        let ir = request.get("ir").and_then(Json::as_str).ok_or_else(|| {
+            ProtoError::new("protocol", "request needs \"ir\" text or an \"app\" hash")
+        })?;
+        self.cache.submit(ir).map_err(|e| {
+            let kind = match e {
+                SubmitError::Ir(_) => "ir",
+                SubmitError::HashCollision => "collision",
+            };
+            ProtoError::new(kind, e.to_string())
+        })
+    }
+
+    /// Computes (or recalls) the selection for `entry` under `config`.
+    fn selection(&self, entry: &AppEntry, config: &RequestConfig) -> (Arc<IseSelection>, bool) {
+        let key = SelectionKey::new(&config.ise, &config.search);
+        if let Some(found) = entry.cached_selection(&key) {
+            self.cache.count_selection(true);
+            return (found, true);
+        }
+        self.cache.count_selection(false);
+        let contexts = entry.contexts();
+        let selection = if config.threads > 1 {
+            let finder = IsegenFinder::new(config.search.clone());
+            generate_batched_in_contexts(&finder, &contexts, &config.ise, config.threads)
+        } else {
+            let mut finder = IsegenFinder::new(config.search.clone());
+            generate_in_contexts(&mut finder, &contexts, &config.ise)
+        };
+        let selection = Arc::new(selection);
+        entry.store_selection(key, Arc::clone(&selection));
+        (selection, false)
+    }
+
+    fn op_select(&self, request: &Json) -> Result<Json, ProtoError> {
+        let (hash, entry) = self.resolve_app(request)?;
+        let config = proto::parse_config(request.get("config"))?;
+        let (selection, hit) = self.selection(&entry, &config);
+        self.log(format!(
+            "select {} → {} ISEs ({})",
+            proto::format_hash(hash),
+            selection.ises.len(),
+            if hit { "memo hit" } else { "computed" }
+        ));
+        let ises: Vec<Json> = selection
+            .ises
+            .iter()
+            .map(|ise| {
+                Json::obj([
+                    ("block", ise.block_index.into()),
+                    (
+                        "block_name",
+                        entry.app.blocks()[ise.block_index].name().into(),
+                    ),
+                    ("nodes", ise.cut.nodes().len().into()),
+                    ("inputs", u64::from(ise.cut.input_count()).into()),
+                    ("outputs", u64::from(ise.cut.output_count()).into()),
+                    ("saved_per_execution", ise.saved_per_execution.into()),
+                    ("instances", ise.instances.len().into()),
+                ])
+            })
+            .collect();
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", "select".into()),
+            ("app", proto::format_hash(hash).into()),
+            ("speedup", selection.speedup().into()),
+            ("total_sw_cycles", selection.total_sw_cycles.into()),
+            ("saved_cycles", selection.saved_cycles.into()),
+            ("instances", selection.instance_count().into()),
+            ("ises", Json::Arr(ises)),
+            ("cache", if hit { "hit" } else { "miss" }.into()),
+        ]))
+    }
+
+    fn op_rtl(&self, request: &Json) -> Result<Json, ProtoError> {
+        let (hash, entry) = self.resolve_app(request)?;
+        let config = proto::parse_config(request.get("config"))?;
+        let (selection, hit) = self.selection(&entry, &config);
+        let library = AfuLibrary::from_selection(&entry.app, self.cache.model(), &selection)
+            .map_err(|e| ProtoError::new("rtl", e.to_string()))?;
+        self.log(format!(
+            "rtl {} → {} instructions, {:.0} gates",
+            proto::format_hash(hash),
+            library.instructions().len(),
+            library.total_gates()
+        ));
+        let instructions: Vec<Json> = library
+            .instructions()
+            .iter()
+            .map(|inst| {
+                Json::obj([
+                    ("name", inst.name.as_str().into()),
+                    ("cells", inst.netlist.cell_count().into()),
+                    ("inputs", inst.netlist.input_count().into()),
+                    ("outputs", inst.netlist.output_count().into()),
+                    ("gates", inst.gates.into()),
+                    ("delay", inst.delay.into()),
+                    ("saved_per_execution", inst.saved_per_execution.into()),
+                    ("instances", inst.instance_count.into()),
+                ])
+            })
+            .collect();
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", "rtl".into()),
+            ("app", proto::format_hash(hash).into()),
+            ("gates", library.total_gates().into()),
+            ("instructions", Json::Arr(instructions)),
+            ("verilog", library.emit_verilog().into()),
+            ("cache", if hit { "hit" } else { "miss" }.into()),
+        ]))
+    }
+
+    fn op_stats(&self) -> Json {
+        let c = self.cache.counters();
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", "stats".into()),
+            ("entries", c.entries.into()),
+            ("context_hits", c.context_hits.into()),
+            ("context_misses", c.context_misses.into()),
+            ("selection_hits", c.selection_hits.into()),
+            ("selection_misses", c.selection_misses.into()),
+            ("evictions", c.evictions.into()),
+            ("requests", self.requests.load(Ordering::Relaxed).into()),
+            ("errors", self.errors.load(Ordering::Relaxed).into()),
+            (
+                "connections",
+                self.connections.load(Ordering::Relaxed).into(),
+            ),
+        ])
+    }
+}
+
+enum LineRead {
+    Line,
+    Eof,
+    TooLong,
+    Stopped,
+}
+
+/// Reads one `\n`-terminated line into `buf`, bounding growth: past
+/// `cap` bytes the rest of the line is drained and discarded so the
+/// connection can keep being served. Read timeouts poll `stop` and
+/// otherwise retry with the partial line intact.
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    cap: usize,
+    stop: &AtomicBool,
+) -> io::Result<LineRead> {
+    let mut overflow = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(LineRead::Stopped);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            return Ok(if overflow {
+                LineRead::TooLong
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        let (take, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (chunk.len(), false),
+        };
+        if !overflow {
+            buf.extend_from_slice(&chunk[..take]);
+            if buf.len() > cap {
+                overflow = true;
+                buf.clear();
+            }
+        }
+        reader.consume(take);
+        if done {
+            return Ok(if overflow {
+                LineRead::TooLong
+            } else {
+                LineRead::Line
+            });
+        }
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`eval`] — experiment harness regenerating every figure.
 //! * [`rtl`] — AFU datapath generation: netlists, synthesizable Verilog,
 //!   area estimates, golden-model simulation (the paper's future work).
+//! * [`serve`] — `ised`, the long-lived service front-end: text IR in,
+//!   selections and Verilog out, with per-block context caching.
 //!
 //! # Quickstart
 //!
@@ -57,6 +59,7 @@ pub use isegen_graph as graph;
 pub use isegen_ir as ir;
 pub use isegen_match as matching;
 pub use isegen_rtl as rtl;
+pub use isegen_serve as serve;
 pub use isegen_workloads as workloads;
 
 /// The most common imports in one place.

@@ -1,0 +1,330 @@
+//! End-to-end proof that the `ised` service path is the library path:
+//! for registry workloads, the daemon's selection and Verilog must be
+//! **byte-identical** to calling the drivers and the RTL emitter
+//! in-process, with the repeated request served from the context cache.
+//! Plus: the text-IR parser under fire — arbitrary mutations of valid
+//! programs (and raw noise) must produce structured errors, never
+//! panics.
+
+use isegen::core::{generate, IseConfig, SearchConfig};
+use isegen::ir::{text, LatencyModel};
+use isegen::rtl::AfuLibrary;
+use isegen::serve::json::{self, Json};
+use isegen::serve::{Server, ServerConfig};
+use isegen::workloads::workload_by_name;
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn quiet_server() -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            verbose: false,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { stream, reader }
+    }
+
+    fn raw(&mut self, line: &str) -> Json {
+        writeln!(self.stream, "{line}").expect("send");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("receive");
+        json::parse(response.trim()).expect("response is one JSON line")
+    }
+
+    fn request(&mut self, payload: Json) -> Json {
+        let response = self.raw(&payload.to_string());
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "unexpected error response: {response}"
+        );
+        response
+    }
+}
+
+/// Drives one workload through submit → select → select → rtl and
+/// checks every byte against the in-process pipeline.
+fn verify_workload(client: &mut Client, name: &str) {
+    let spec = workload_by_name(name).expect("registry workload");
+    let app = spec.application();
+    let ir = text::write_application(&app);
+    let model = LatencyModel::paper_default();
+    let expected = generate(
+        &app,
+        &model,
+        &IseConfig::paper_default(),
+        &SearchConfig::default(),
+    );
+    let expected_afu = AfuLibrary::from_selection(&app, &model, &expected).expect("library AFU");
+
+    let submit = client.request(Json::obj([
+        ("op", "submit".into()),
+        ("ir", ir.as_str().into()),
+    ]));
+    assert_eq!(submit.get("name").and_then(Json::as_str), Some(spec.name));
+    let hash = submit
+        .get("app")
+        .and_then(Json::as_str)
+        .expect("hash")
+        .to_string();
+
+    let select = client.request(Json::obj([
+        ("op", "select".into()),
+        ("app", hash.as_str().into()),
+    ]));
+    assert_eq!(
+        select
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .map(f64::to_bits),
+        Some(expected.speedup().to_bits()),
+        "{name}: speedup must be bit-identical to the library path"
+    );
+    assert_eq!(
+        select.get("ises").and_then(Json::as_array).map(<[_]>::len),
+        Some(expected.ises.len()),
+        "{name}: ISE count"
+    );
+    assert_eq!(
+        select.get("saved_cycles").and_then(Json::as_u64),
+        Some(expected.saved_cycles),
+        "{name}: saved cycles"
+    );
+    assert_eq!(select.get("cache").and_then(Json::as_str), Some("miss"));
+
+    // The identical request again: served from the selection memo, with
+    // an identical payload.
+    let again = client.request(Json::obj([
+        ("op", "select".into()),
+        ("app", hash.as_str().into()),
+    ]));
+    assert_eq!(
+        again.get("cache").and_then(Json::as_str),
+        Some("hit"),
+        "{name}"
+    );
+    assert_eq!(
+        again.get("ises"),
+        select.get("ises"),
+        "{name}: memo must not drift"
+    );
+
+    let rtl = client.request(Json::obj([
+        ("op", "rtl".into()),
+        ("app", hash.as_str().into()),
+    ]));
+    assert_eq!(
+        rtl.get("verilog").and_then(Json::as_str),
+        Some(expected_afu.emit_verilog().as_str()),
+        "{name}: Verilog must be byte-identical to the library path"
+    );
+    assert_eq!(
+        rtl.get("instructions")
+            .and_then(Json::as_array)
+            .map(<[_]>::len),
+        Some(expected_afu.instructions().len())
+    );
+}
+
+#[test]
+fn daemon_matches_library_path_and_serves_from_cache() {
+    let server = quiet_server();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run());
+        let mut client = Client::connect(&server);
+        for name in ["fir00", "aes"] {
+            verify_workload(&mut client, name);
+        }
+
+        // A second client submitting the same program hits the context
+        // cache instead of rebuilding transitive closures.
+        let mut other = Client::connect(&server);
+        let aes_ir = text::write_application(&workload_by_name("aes").unwrap().application());
+        let resubmit = other.request(Json::obj([
+            ("op", "submit".into()),
+            ("ir", aes_ir.as_str().into()),
+        ]));
+        assert_eq!(resubmit.get("cached").and_then(Json::as_bool), Some(true));
+
+        let stats = client.request(Json::obj([("op", "stats".into())]));
+        let hits = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or(0);
+        assert!(
+            hits("context_hits") > 0,
+            "context cache was never hit: {stats}"
+        );
+        assert!(
+            hits("selection_hits") > 0,
+            "selection memo was never hit: {stats}"
+        );
+        assert_eq!(hits("entries"), 2, "fir00 + aes cached once each");
+        assert_eq!(hits("errors"), 0, "no error responses in the happy path");
+
+        client.request(Json::obj([("op", "shutdown".into())]));
+        handle
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+    });
+}
+
+#[test]
+fn hostile_requests_get_structured_errors_not_dead_connections() {
+    let server = quiet_server();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run());
+        let mut client = Client::connect(&server);
+        // Every abuse below must yield ok:false with a kind — on the
+        // SAME connection, proving no worker thread died.
+        let abuses = [
+            ("not json at all", "parse"),
+            (r#"{"no_op":1}"#, "protocol"),
+            (r#"{"op":"warp"}"#, "protocol"),
+            (r#"{"op":"select"}"#, "protocol"),
+            (r#"{"op":"select","app":"zz"}"#, "protocol"),
+            (r#"{"op":"select","app":"0123456789abcdef"}"#, "not_found"),
+            (
+                r#"{"op":"submit","ir":"app a\nblock b\n  x = frob\nend\n"}"#,
+                "ir",
+            ),
+            (
+                r#"{"op":"submit","ir":"app a\nblock b\n  x = in\n  y = add x\nend\n"}"#,
+                "ir",
+            ),
+            (
+                r#"{"op":"select","ir":"app a\nblock b\n  x = in\n  y = add x x\nend\n","config":{"io":[0,1]}}"#,
+                "protocol",
+            ),
+            (r#"{"op":"rtl","ir":"truncated"#, "parse"),
+        ];
+        for (line, kind) in abuses {
+            let response = client.raw(line);
+            assert_eq!(
+                response.get("ok").and_then(Json::as_bool),
+                Some(false),
+                "{line} must fail"
+            );
+            assert_eq!(
+                response.get("kind").and_then(Json::as_str),
+                Some(kind),
+                "{line} → {response}"
+            );
+        }
+        // NaN weights: the request must *succeed* — the library is
+        // NaN-proof end to end (kl.rs sorts with total_cmp now).
+        let nan = client.raw(
+            r#"{"op":"select","ir":"app a\nblock b freq 5\n  x = in\n  y = in\n  m = mul x y\n  s = add m x\nend\n","config":{"weights":{"merit":1e400,"affinity":-1e400}}}"#,
+        );
+        assert_eq!(
+            nan.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "non-finite weights must not kill the request: {nan}"
+        );
+        // And the connection still works.
+        let pong = client.raw(r#"{"op":"ping"}"#);
+        assert_eq!(pong.get("op").and_then(Json::as_str), Some("pong"));
+        client.request(Json::obj([("op", "shutdown".into())]));
+        handle
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+    });
+}
+
+// ---- text-IR fuzzing ----------------------------------------------------
+
+/// Tiny deterministic generator for mutation fuzzing (no shrinking
+/// needed: the property is "does not panic", and a failure seed
+/// reproduces exactly).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+}
+
+fn mutate(text: &str, rng: &mut XorShift) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    for _ in 0..=rng.below(8) {
+        if bytes.is_empty() {
+            break;
+        }
+        match rng.below(5) {
+            0 => {
+                // truncate
+                bytes.truncate(rng.below(bytes.len() + 1));
+            }
+            1 => {
+                // delete a byte
+                let i = rng.below(bytes.len());
+                bytes.remove(i);
+            }
+            2 => {
+                // overwrite with an interesting byte
+                let i = rng.below(bytes.len());
+                bytes[i] = *b"\"\\\n =#x0\xff".get(rng.below(9)).expect("in range");
+            }
+            3 => {
+                // insert a random printable-ish byte
+                let i = rng.below(bytes.len() + 1);
+                bytes.insert(i, (rng.next() % 96 + 32) as u8);
+            }
+            _ => {
+                // duplicate a slice (repeated lines, nested headers)
+                let a = rng.below(bytes.len());
+                let b = (a + rng.below(64)).min(bytes.len());
+                let slice = bytes[a..b].to_vec();
+                bytes.extend_from_slice(&slice);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    /// Mutated real programs: parse must return (never panic), and when
+    /// it accepts the mutant, the canonical form must round-trip stably.
+    #[test]
+    fn ir_parser_survives_mutations(seed in any::<u64>()) {
+        let base = text::write_application(&workload_by_name("fir00").unwrap().application());
+        let mut rng = XorShift(seed);
+        let mutant = mutate(&base, &mut rng);
+        if let Ok(app) = text::parse_application(&mutant) {
+            let canonical = text::write_application(&app);
+            let reparsed = text::parse_application(&canonical)
+                .expect("canonical text of an accepted program must parse");
+            prop_assert_eq!(canonical, text::write_application(&reparsed));
+        }
+    }
+
+    /// Raw noise: arbitrary short byte soup through the parser.
+    #[test]
+    fn ir_parser_survives_noise(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let noise = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = text::parse_application(&noise);
+    }
+}

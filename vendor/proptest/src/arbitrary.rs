@@ -29,7 +29,7 @@ macro_rules! impl_arbitrary_uint {
     )*};
 }
 
-impl_arbitrary_uint!(u64, usize);
+impl_arbitrary_uint!(u8, u64, usize);
 
 /// The strategy returned by [`any`].
 #[derive(Debug)]
