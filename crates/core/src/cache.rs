@@ -9,9 +9,13 @@
 //! node and recombines them with the engine's current global terms in
 //! O(1); after a committed toggle only the nodes named by
 //! [`crate::ToggleEngine::toggle_and_mark`] — the toggled node's
-//! reachability cones, consumers sharing a producer, and the cut — are
-//! re-probed for real. `tests/gain_cache_prop.rs` proves the recombined
-//! probes identical to fresh ones after arbitrary toggle sequences.
+//! reachability cones and consumers sharing a producer — are re-probed
+//! for real. Even the convexity term is split along that line: the
+//! cone-local hull conditions are cached while the violator gate and
+//! the cut's own convexity are O(1) reads at recombination time, so no
+//! commit ever flushes the cache. `tests/gain_cache_prop.rs` proves the
+//! recombined probes identical to fresh ones after arbitrary toggle
+//! sequences.
 
 use crate::engine::{Probe, ToggleEngine};
 use crate::{GainWeights, IoConstraints};
@@ -19,7 +23,9 @@ use isegen_graph::{NodeId, NodeSet};
 
 /// Per-node cached probe pieces. Only terms that are invariant under
 /// *other* nodes' toggles (outside the dirty set) are stored; everything
-/// global is re-read from the engine at materialisation time.
+/// global — operand counts, latencies, the violator gate, the cut's own
+/// convexity and size — is re-read from the engine at materialisation
+/// time, which is what lets a commit invalidate nothing but cones.
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     /// Would the node enter the cut (it is currently software)?
@@ -30,8 +36,11 @@ struct Entry {
     dout: i32,
     /// Distinct neighbours currently in the cut (`N(v, C)`).
     neighbors_in_cut: u32,
-    /// Convexity of the cut after the toggle.
-    convex: bool,
+    /// The *cone-local* half of the convexity test:
+    /// [`ToggleEngine::entering_hull_ok`] for entering candidates,
+    /// [`ToggleEngine::leaving_local_ok`] for leaving ones. Combined
+    /// with the engine's O(1) global gate at materialisation time.
+    local_convex: bool,
     /// Entering only: longest hardware path through the candidate
     /// (`max up(preds∩C) + delay + max down(succs∩C)`).
     through: f64,
@@ -42,7 +51,7 @@ const CLEAN_SLATE: Entry = Entry {
     di: 0,
     dout: 0,
     neighbors_in_cut: 0,
-    convex: false,
+    local_convex: false,
     through: 0.0,
 };
 
@@ -56,9 +65,19 @@ pub struct CacheStats {
     pub fresh_probes: u64,
     /// Committed toggles routed through the cache.
     pub commits: u64,
-    /// Commits that forced a full cache invalidation (violator-set or
-    /// component-structure change).
+    /// Explicit whole-cache flushes ([`GainCache::invalidate_all`]).
+    /// The commit path never flushes — global probe terms are re-read
+    /// from the engine at recombination time instead — so in a normal
+    /// search this stays `0`.
     pub full_invalidations: u64,
+    /// K-L portfolio trajectories merged into this result.
+    pub trajectories: u64,
+    /// Trajectory setups served from a warm [`crate::SearchScratch`]
+    /// arena: engine and cache buffers were reused, not allocated.
+    pub arena_reuses: u64,
+    /// Trajectory setups that had to build their arena buffers fresh
+    /// (at most one per portfolio worker per process in steady state).
+    pub arena_allocs: u64,
 }
 
 impl CacheStats {
@@ -78,6 +97,9 @@ impl CacheStats {
         self.fresh_probes += other.fresh_probes;
         self.commits += other.commits;
         self.full_invalidations += other.full_invalidations;
+        self.trajectories += other.trajectories;
+        self.arena_reuses += other.arena_reuses;
+        self.arena_allocs += other.arena_allocs;
     }
 }
 
@@ -89,6 +111,14 @@ pub struct GainCache {
     entries: Vec<Entry>,
     dirty: NodeSet,
     stats: CacheStats,
+}
+
+impl Default for GainCache {
+    /// An empty cache for a zero-node block — the placeholder state of a
+    /// pooled arena before [`GainCache::reset`] sizes it to a block.
+    fn default() -> Self {
+        GainCache::new(0)
+    }
 }
 
 impl GainCache {
@@ -104,21 +134,30 @@ impl GainCache {
     /// Marks every node dirty (e.g. when the engine was toggled behind
     /// the cache's back).
     pub fn invalidate_all(&mut self) {
+        self.stats.full_invalidations += 1;
         self.dirty.insert_all();
     }
 
+    /// Re-initialises the cache for a block of `n` nodes, reusing the
+    /// entry and dirty-set allocations — the arena path of
+    /// [`crate::SearchScratch`]. Clears the statistics; absorb
+    /// [`GainCache::stats`] first if they matter.
+    pub fn reset(&mut self, n: usize) {
+        self.entries.clear();
+        self.entries.resize(n, CLEAN_SLATE);
+        self.dirty.reset(n);
+        self.dirty.insert_all();
+        self.stats = CacheStats::default();
+    }
+
     /// Commits a toggle through the engine and invalidates exactly the
-    /// cached probes the commit may have changed. Returns `true` when
-    /// the node entered the cut.
+    /// cached probes the commit may have changed (the toggled node's
+    /// cones and shared-producer consumers — never the whole cache).
+    /// Returns `true` when the node entered the cut.
     pub fn commit(&mut self, engine: &mut ToggleEngine<'_, '_>, v: NodeId) -> bool {
         self.stats.commits += 1;
-        let full = engine.toggle_and_mark(v, &mut self.dirty);
-        let entering = engine.cut().contains(v);
-        if full {
-            self.stats.full_invalidations += 1;
-            self.invalidate_all();
-        }
-        entering
+        engine.toggle_and_mark(v, &mut self.dirty);
+        engine.cut().contains(v)
     }
 
     /// The probe of `v` against the engine's current cut: recombined
@@ -133,7 +172,11 @@ impl GainCache {
                 di: probe.inputs as i32 - engine.input_count() as i32,
                 dout: probe.outputs as i32 - engine.output_count() as i32,
                 neighbors_in_cut: probe.neighbors_in_cut,
-                convex: probe.convex,
+                local_convex: if probe.entering {
+                    engine.entering_hull_ok(v)
+                } else {
+                    engine.leaving_local_ok(v)
+                },
                 through: if probe.entering {
                     engine.entering_through(v)
                 } else {
@@ -151,29 +194,33 @@ impl GainCache {
         let outputs = engine.output_count() as i32 + e.dout;
         debug_assert!(inputs >= 0 && outputs >= 0, "cached io went negative");
         let sw = ctx.sw_cycles(v) as u64;
-        let (merit, other_components_hw) = if e.entering {
-            let merit = if e.convex {
+        let (convex, merit, other_components_hw) = if e.entering {
+            // Global violator gate fresh, cone-local hull term cached —
+            // together exactly `ToggleEngine::convex_after(v, entering)`.
+            let convex = engine.entering_gate(v) && e.local_convex;
+            let merit = if convex {
                 let sw2 = engine.software_latency() + sw;
                 let hw2 = engine.hardware_latency().max(e.through);
                 sw2 as f64 - hw2
             } else {
                 0.0
             };
-            (merit, 0.0)
+            (convex, merit, 0.0)
         } else {
-            let merit = if e.convex {
+            let convex = engine.is_convex() && (engine.cut().len() <= 1 || e.local_convex);
+            let merit = if convex {
                 let sw2 = engine.software_latency() - sw;
                 sw2 as f64 - engine.hardware_latency()
             } else {
                 0.0
             };
-            (merit, engine.other_components_hw(v))
+            (convex, merit, engine.other_components_hw(v))
         };
         Probe {
             entering: e.entering,
             inputs: inputs as u32,
             outputs: outputs as u32,
-            convex: e.convex,
+            convex,
             merit,
             neighbors_in_cut: e.neighbors_in_cut,
             other_components_hw,
@@ -243,19 +290,65 @@ mod tests {
             fresh_probes: 1,
             commits: 2,
             full_invalidations: 0,
+            trajectories: 1,
+            arena_reuses: 0,
+            arena_allocs: 1,
         };
         let b = CacheStats {
             cached_probes: 1,
             fresh_probes: 3,
             commits: 1,
             full_invalidations: 1,
+            trajectories: 2,
+            arena_reuses: 2,
+            arena_allocs: 0,
         };
         a.absorb(b);
         assert_eq!(a.cached_probes, 4);
         assert_eq!(a.fresh_probes, 4);
         assert_eq!(a.commits, 3);
         assert_eq!(a.full_invalidations, 1);
+        assert_eq!(a.trajectories, 3);
+        assert_eq!(a.arena_reuses, 2);
+        assert_eq!(a.arena_allocs, 1);
         assert!((a.avoided_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(CacheStats::default().avoided_fraction(), 0.0);
+    }
+
+    #[test]
+    fn reset_behaves_like_a_fresh_cache() {
+        let mut b = BlockBuilder::new("pair");
+        let (x, y) = (b.input("x"), b.input("y"));
+        let m = b.op(Opcode::Mul, &[x, y]).unwrap();
+        let a = b.op(Opcode::Add, &[m, m]).unwrap();
+        let block = b.build().unwrap();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let n = ctx.node_count();
+        let nodes: Vec<_> = block.dag().node_ids().collect();
+
+        let mut engine = ToggleEngine::new(&ctx);
+        let mut cache = GainCache::new(n);
+        for &u in &nodes {
+            let _ = cache.probe(&engine, u);
+        }
+        cache.commit(&mut engine, m);
+        cache.commit(&mut engine, a);
+        assert!(cache.stats().commits == 2);
+
+        // Reset onto a fresh engine: stats cleared, every probe fresh
+        // again, and cached ≡ fresh still holds afterwards.
+        let mut engine = ToggleEngine::new(&ctx);
+        cache.reset(n);
+        assert_eq!(cache.stats(), CacheStats::default());
+        for &u in &nodes {
+            let _ = cache.probe(&engine, u);
+        }
+        assert_eq!(cache.stats().fresh_probes, nodes.len() as u64);
+        assert_eq!(cache.stats().cached_probes, 0);
+        cache.commit(&mut engine, a);
+        for &u in &nodes {
+            assert_eq!(cache.probe(&engine, u), engine.probe(u));
+        }
     }
 }

@@ -22,6 +22,24 @@ pub trait CutFinder {
         forbidden: Option<&NodeSet>,
     ) -> Cut;
 
+    /// [`CutFinder::find_cut`] with a thread budget for *intra-block*
+    /// parallelism. The batched driver splits its overall budget between
+    /// block-level waves and each block's search and passes the share
+    /// here. The result must not depend on `threads` (parallel finders
+    /// are required to be byte-identical at every thread count); the
+    /// default implementation ignores the budget and searches
+    /// sequentially.
+    fn find_cut_budget(
+        &mut self,
+        ctx: &BlockContext<'_>,
+        io: IoConstraints,
+        forbidden: Option<&NodeSet>,
+        threads: usize,
+    ) -> Cut {
+        let _ = threads;
+        self.find_cut(ctx, io, forbidden)
+    }
+
     /// Short identifier used in reports.
     fn name(&self) -> &str {
         "custom"
@@ -215,12 +233,18 @@ pub fn generate_in_contexts<F: CutFinder + ?Sized>(
 ///   never wasted: every wave result is memoised and consumed by a later
 ///   iteration unless coverage invalidates it first.
 ///
+/// The `threads` budget feeds **two** parallelism levels: wave-level
+/// workers, and — when a wave is shorter than the budget — each block
+/// search's intra-block portfolio via [`CutFinder::find_cut_budget`]
+/// (a single huge block gets the whole budget as portfolio threads).
+///
 /// Results are consumed strictly in rank order and waves merge by block
 /// index, so the output is deterministic and **byte-identical to the
-/// sequential driver** for any finder whose `find_cut` is a pure
-/// function of `(ctx, io, forbidden)` — true of every finder in this
-/// workspace. The finder is cloned per search, so hidden per-call state
-/// would be the only source of divergence.
+/// sequential driver** for any finder whose `find_cut_budget` is a pure
+/// function of `(ctx, io, forbidden)` — independent of the thread
+/// budget and of any retained working state. True of every finder in
+/// this workspace: [`IsegenFinder`] keeps search *arenas* between
+/// calls, but resets them before every trajectory.
 pub fn generate_batched_with<F>(
     finder: &F,
     app: &Application,
@@ -365,7 +389,62 @@ fn rank_blocks(
 /// Searches `pending` blocks concurrently on up to `threads` scoped
 /// threads (an atomic cursor deals work; results merge by block index,
 /// so the outcome is independent of scheduling). The finder is cloned
-/// per search.
+/// once per worker, so per-worker search arenas stay warm across the
+/// blocks of a wave.
+///
+/// The thread budget is split between the two parallelism levels: a
+/// wave of `k` blocks runs on `min(threads, k)` workers, and each
+/// worker hands its block search `⌊threads / workers⌋` portfolio
+/// threads ([`CutFinder::find_cut_budget`]). Full waves therefore run
+/// searches inline, while a short wave — typically one big block —
+/// spends the spare budget *inside* the block. Both levels are
+/// byte-identical to sequential at any count, so the split never
+/// changes results, only wall time.
+/// Deals `items` to one scoped worker thread per element of `states`
+/// via an atomic cursor, applying `f` to each item with the worker's
+/// mutable state, and returns the results **in item order** — the
+/// shared scaffolding of the batched driver's block waves and the K-L
+/// portfolio fan-out. With a single state (or a single item) it runs
+/// inline on `states[0]`. Which worker processes which item is
+/// scheduling-dependent; the output order is not, so callers stay
+/// deterministic as long as `f` itself is.
+pub(crate) fn deal_indexed<I, S, T>(
+    items: &[I],
+    states: &mut [S],
+    f: impl Fn(&I, &mut S) -> T + Send + Sync,
+) -> Vec<T>
+where
+    I: Sync,
+    S: Send,
+    T: Send,
+{
+    assert!(!states.is_empty(), "deal_indexed needs at least one state");
+    if states.len() == 1 || items.len() <= 1 {
+        let state = &mut states[0];
+        return items.iter().map(|item| f(item, state)).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for state in states.iter_mut() {
+            let next = &next;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = f(item, state);
+                slots.lock().expect("pool worker panicked").push((i, out));
+            });
+        }
+    });
+    let mut out = slots.into_inner().expect("pool worker panicked");
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
 fn search_blocks<F>(
     finder: &F,
     contexts: &[BlockContext<'_>],
@@ -377,37 +456,18 @@ fn search_blocks<F>(
 where
     F: CutFinder + Clone + Send + Sync,
 {
-    let workers = threads.max(1).min(pending.len());
-    if workers <= 1 {
-        return pending
-            .iter()
-            .map(|&bi| {
-                let mut f = finder.clone();
-                (bi, f.find_cut(&contexts[bi], io, Some(&covered[bi])))
-            })
-            .collect();
-    }
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, Cut)>> = Mutex::new(Vec::with_capacity(pending.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&bi) = pending.get(i) else { break };
-                let mut f = finder.clone();
-                let cut = f.find_cut(&contexts[bi], io, Some(&covered[bi]));
-                results
-                    .lock()
-                    .expect("search worker panicked")
-                    .push((bi, cut));
-            });
-        }
-    });
-    let mut out = results.into_inner().expect("search worker panicked");
-    out.sort_unstable_by_key(|&(bi, _)| bi);
-    out
+    let threads = threads.max(1);
+    let workers = threads.min(pending.len()).max(1);
+    let per_search = (threads / workers).max(1);
+    // One finder clone per worker: warm search arenas are reused across
+    // the blocks a worker draws from the wave.
+    let mut finders: Vec<F> = (0..workers).map(|_| finder.clone()).collect();
+    deal_indexed(pending, &mut finders, |&bi, f| {
+        (
+            bi,
+            f.find_cut_budget(&contexts[bi], io, Some(&covered[bi]), per_search),
+        )
+    })
 }
 
 /// Accepts `cut` in block `bi`: locks its nodes, deploys reuse instances

@@ -59,7 +59,48 @@ pub struct ToggleEngine<'c, 'a> {
     order_scratch: Vec<NodeId>,
     order_scratch_b: Vec<NodeId>,
     queue_scratch: Vec<NodeId>,
-    violators_prev: NodeSet,
+    // Commit-delta capture for precision cache invalidation
+    // (`toggle_and_mark`): populated by entering refreshes only while
+    // `track_deltas` is set, so plain `toggle` pays one branch.
+    track_deltas: bool,
+    hull_delta_below: Vec<(usize, u64)>,
+    hull_delta_above: Vec<(usize, u64)>,
+    changed_up: Vec<NodeId>,
+    changed_down: Vec<NodeId>,
+    bfs_visited: NodeSet,
+}
+
+/// The owned buffers of a [`ToggleEngine`], detached from any block —
+/// the engine half of a reusable search arena.
+///
+/// A K-L trajectory needs ~a dozen node-sized buffers; allocating them
+/// per trajectory dominated setup cost on large blocks. Instead, workers
+/// keep an `EngineArena` alive across trajectories *and blocks*:
+/// [`ToggleEngine::from_cut_in`] moves the buffers into an engine and
+/// resizes them to the block (allocation-free once the arena has seen a
+/// block at least as large), and [`ToggleEngine::into_arena`] moves them
+/// back out when the trajectory ends.
+#[derive(Debug, Default)]
+pub struct EngineArena {
+    cut: NodeSet,
+    fanout_to_cut: Vec<u32>,
+    up: Vec<f64>,
+    down: Vec<f64>,
+    below: NodeSet,
+    above: NodeSet,
+    below_ext: NodeSet,
+    above_ext: NodeSet,
+    violators: NodeSet,
+    comp_label: Vec<u32>,
+    comp_cp: Vec<f64>,
+    order_scratch: Vec<NodeId>,
+    order_scratch_b: Vec<NodeId>,
+    queue_scratch: Vec<NodeId>,
+    hull_delta_below: Vec<(usize, u64)>,
+    hull_delta_above: Vec<(usize, u64)>,
+    changed_up: Vec<NodeId>,
+    changed_down: Vec<NodeId>,
+    bfs_visited: NodeSet,
 }
 
 /// The predicted effect of toggling one node, produced by
@@ -104,43 +145,124 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
     ///
     /// Panics if `cut`'s capacity does not match the block.
     pub fn from_cut(ctx: &'c BlockContext<'a>, cut: NodeSet) -> Self {
-        let n = ctx.node_count();
-        assert_eq!(cut.capacity(), n, "cut capacity does not match block");
-        let dag = ctx.block().dag();
-        let mut fanout_to_cut = vec![0u32; n];
-        for v in cut.iter() {
-            for &p in dag.preds(v) {
-                fanout_to_cut[p.index()] += 1;
-            }
-        }
+        Self::from_cut_in(ctx, &cut, EngineArena::default())
+    }
+
+    /// [`ToggleEngine::from_cut`] reusing the buffers of `arena` instead
+    /// of allocating fresh ones — the arena path of the K-L portfolio.
+    /// Pair with [`ToggleEngine::into_arena`] to recover the buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut`'s capacity does not match the block.
+    pub fn from_cut_in(ctx: &'c BlockContext<'a>, cut: &NodeSet, arena: EngineArena) -> Self {
         let mut engine = ToggleEngine {
             ctx,
-            cut,
-            fanout_to_cut,
+            cut: arena.cut,
+            fanout_to_cut: arena.fanout_to_cut,
             input_count: 0,
             output_count: 0,
             sw_sum: 0,
-            up: vec![0.0; n],
-            down: vec![0.0; n],
+            up: arena.up,
+            down: arena.down,
             critical: 0.0,
-            below: NodeSet::new(n),
-            above: NodeSet::new(n),
-            below_ext: NodeSet::new(n),
-            above_ext: NodeSet::new(n),
-            violators: NodeSet::new(n),
+            below: arena.below,
+            above: arena.above,
+            below_ext: arena.below_ext,
+            above_ext: arena.above_ext,
+            violators: arena.violators,
             convex_now: true,
-            comp_label: vec![OUTSIDE; n],
+            comp_label: arena.comp_label,
             comp_count: 0,
-            comp_cp: Vec::new(),
+            comp_cp: arena.comp_cp,
             comp_cp_total: 0.0,
-            order_scratch: Vec::new(),
-            order_scratch_b: Vec::new(),
-            queue_scratch: Vec::new(),
-            violators_prev: NodeSet::new(n),
+            order_scratch: arena.order_scratch,
+            order_scratch_b: arena.order_scratch_b,
+            queue_scratch: arena.queue_scratch,
+            track_deltas: false,
+            hull_delta_below: arena.hull_delta_below,
+            hull_delta_above: arena.hull_delta_above,
+            changed_up: arena.changed_up,
+            changed_down: arena.changed_down,
+            bfs_visited: arena.bfs_visited,
         };
-        engine.recount_io();
-        engine.refresh_full();
+        engine.reset_from_cut(cut);
         engine
+    }
+
+    /// Re-initialises this engine from `cut`, reusing every buffer —
+    /// what [`ToggleEngine::from_cut`] does, without the allocations.
+    /// Used between K-L passes (restart from the pass-best cut) and
+    /// between pooled trajectories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut`'s capacity does not match the block.
+    pub fn reset_from_cut(&mut self, cut: &NodeSet) {
+        let n = self.ctx.node_count();
+        assert_eq!(cut.capacity(), n, "cut capacity does not match block");
+        self.cut.copy_from(cut);
+        self.fanout_to_cut.clear();
+        self.fanout_to_cut.resize(n, 0);
+        let dag = self.ctx.block().dag();
+        for v in self.cut.iter() {
+            for &p in dag.preds(v) {
+                self.fanout_to_cut[p.index()] += 1;
+            }
+        }
+        self.up.clear();
+        self.up.resize(n, 0.0);
+        self.down.clear();
+        self.down.resize(n, 0.0);
+        self.below.reset(n);
+        self.above.reset(n);
+        self.below_ext.reset(n);
+        self.above_ext.reset(n);
+        self.violators.reset(n);
+        self.convex_now = true;
+        self.comp_label.clear();
+        self.comp_label.resize(n, OUTSIDE);
+        self.comp_count = 0;
+        self.comp_cp.clear();
+        self.comp_cp_total = 0.0;
+        self.critical = 0.0;
+        self.order_scratch.clear();
+        self.order_scratch_b.clear();
+        self.queue_scratch.clear();
+        self.track_deltas = false;
+        self.hull_delta_below.clear();
+        self.hull_delta_above.clear();
+        self.changed_up.clear();
+        self.changed_down.clear();
+        self.bfs_visited.reset(n);
+        self.recount_io();
+        self.refresh_full();
+    }
+
+    /// Dismantles the engine, returning its buffers for reuse by a later
+    /// [`ToggleEngine::from_cut_in`].
+    pub fn into_arena(self) -> EngineArena {
+        EngineArena {
+            cut: self.cut,
+            fanout_to_cut: self.fanout_to_cut,
+            up: self.up,
+            down: self.down,
+            below: self.below,
+            above: self.above,
+            below_ext: self.below_ext,
+            above_ext: self.above_ext,
+            violators: self.violators,
+            comp_label: self.comp_label,
+            comp_cp: self.comp_cp,
+            order_scratch: self.order_scratch,
+            order_scratch_b: self.order_scratch_b,
+            queue_scratch: self.queue_scratch,
+            hull_delta_below: self.hull_delta_below,
+            hull_delta_above: self.hull_delta_above,
+            changed_up: self.changed_up,
+            changed_down: self.changed_down,
+            bfs_visited: self.bfs_visited,
+        }
     }
 
     /// The block context this engine searches.
@@ -274,37 +396,165 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
     }
 
     /// Toggles `v` and accumulates into `dirty` every node whose
-    /// [`ToggleEngine::probe`] result may differ from before the commit —
-    /// the invalidation set of the K-L gain cache ([`crate::GainCache`]).
+    /// *cone-local* probe terms may differ from before the commit — the
+    /// invalidation set of the K-L gain cache ([`crate::GainCache`]).
     ///
-    /// The set is conservative but cheap: `{v} ∪ anc(v) ∪ desc(v)` (the
-    /// reachability cones cover every node whose longest-path or
-    /// convexity-hull terms can move), consumers sharing a producer with
-    /// `v` (their ΔI terms read the producer's fan-out counter), and the
-    /// current cut members (leaving probes read global component state).
+    /// Every *global* probe input — operand counts, latencies, component
+    /// tables, the violator gate ([`ToggleEngine::entering_gate`]), the
+    /// cut's own convexity and size — is O(1)-readable from the engine
+    /// and re-read at recombination time, so no commit ever needs a mass
+    /// invalidation, and the dirty set only has to cover the cached
+    /// cone-local terms. For the dominant **entering** commits it is
+    /// assembled *exactly* from the state the refresh just touched,
+    /// instead of the full `anc(v) ∪ desc(v)` cones (which cover most of
+    /// a deep block like AES):
     ///
-    /// Returns `true` when the caller must instead invalidate *all*
-    /// cached probes: the convexity-violator set changed (entering
-    /// probes everywhere test against it) or a leaving commit split a
-    /// component.
-    pub fn toggle_and_mark(&mut self, v: NodeId, dirty: &mut NodeSet) -> bool {
-        self.violators_prev.clone_from(&self.violators);
-        let comp_before = self.comp_count;
+    /// * adjacency — `{v}`, `v`'s neighbours and consumers sharing a
+    ///   producer with `v` (ΔI/ΔO and `N(v,C)` terms);
+    /// * hull growth — for each node the commit *actually added* to a
+    ///   hull mask (captured word-level during the union), the cone on
+    ///   the side that reads it: the new floor/ceiling member can break
+    ///   `entering_hull_ok` only for its descendants/ancestors;
+    /// * hull shrink — `v` itself left `below_ext`/`above_ext`; that can
+    ///   flip `entering_hull_ok(u)` only where the intersection was
+    ///   exactly `{v}`, which forces every `v → u` path interior into
+    ///   the cut — a BFS from `v` through cut members reaches all such
+    ///   `u` at its non-cut frontier;
+    /// * longest paths — neighbours of cut nodes whose `up`/`down`
+    ///   values actually moved (`entering_through` reads them);
+    /// * leave terms — cut members inside `v`'s cones
+    ///   (`leaving_local_ok` reads `cut ∩ anc/desc(u)`, which gained
+    ///   `v`).
+    ///
+    /// **Leaving** commits are rare in a K-L pass (each node toggles
+    /// once, and cuts are small relative to the block), so they keep the
+    /// conservative cone cover. `tests/gain_cache_prop.rs` and the
+    /// exhaustive sweep below hold all of this to account: a node left
+    /// clean is a node whose cached terms provably did not change.
+    pub fn toggle_and_mark(&mut self, v: NodeId, dirty: &mut NodeSet) {
+        let was_below_ext = self.below_ext.contains(v);
+        let was_above_ext = self.above_ext.contains(v);
+        self.track_deltas = true;
         let entering = self.toggle(v);
+        self.track_deltas = false;
 
         let reach = self.ctx.reach();
-        dirty.insert(v);
-        dirty.union_with(reach.ancestors(v));
-        dirty.union_with(reach.descendants(v));
         let dag = self.ctx.block().dag();
+        // Adjacency: v, its neighbours, and shared-producer consumers.
+        dirty.insert(v);
+        for &s in dag.succs(v) {
+            dirty.insert(s);
+        }
         for &p in dag.preds(v) {
+            dirty.insert(p);
             for &u in dag.succs(p) {
                 dirty.insert(u);
             }
         }
-        dirty.union_with(&self.cut);
 
-        self.violators != self.violators_prev || (!entering && self.comp_count > comp_before)
+        if !entering {
+            // Leaving: cut-local rebuild; the cone cover is exact enough.
+            dirty.union_with(reach.ancestors(v));
+            dirty.union_with(reach.descendants(v));
+            return;
+        }
+
+        // Hull growth: descendants of every new `below` bit, ancestors
+        // of every new `above` bit (cut members never sit in the ext
+        // masks, so they are skipped).
+        for delta_i in 0..self.hull_delta_below.len() {
+            let (wi, mut bits) = self.hull_delta_below[delta_i];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let x = NodeId::from_index(wi * 64 + b);
+                if !self.cut.contains(x) {
+                    dirty.union_with(reach.descendants(x));
+                }
+            }
+        }
+        for delta_i in 0..self.hull_delta_above.len() {
+            let (wi, mut bits) = self.hull_delta_above[delta_i];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let x = NodeId::from_index(wi * 64 + b);
+                if !self.cut.contains(x) {
+                    dirty.union_with(reach.ancestors(x));
+                }
+            }
+        }
+
+        // Hull shrink: v left the ext masks. Reach the affected frontier
+        // through cut-interior paths.
+        if was_below_ext {
+            self.mark_through_cut_frontier(v, dirty, true);
+        }
+        if was_above_ext {
+            self.mark_through_cut_frontier(v, dirty, false);
+        }
+
+        // Longest-path moves: `entering_through(u)` reads the up/down
+        // values of u's in-cut neighbours.
+        for &w in &self.changed_up {
+            for &s in dag.succs(w) {
+                dirty.insert(s);
+            }
+        }
+        for &w in &self.changed_down {
+            for &p in dag.preds(w) {
+                dirty.insert(p);
+            }
+        }
+
+        // Leave terms: cut members in v's cones see `cut ∩ anc/desc`
+        // gain v.
+        {
+            let cut = &self.cut;
+            reach.descendants(v).for_each_word(|wi, w| {
+                let mut m = w & cut.word(wi);
+                while m != 0 {
+                    let b = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    dirty.insert(NodeId::from_index(wi * 64 + b));
+                }
+            });
+            reach.ancestors(v).for_each_word(|wi, w| {
+                let mut m = w & cut.word(wi);
+                while m != 0 {
+                    let b = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    dirty.insert(NodeId::from_index(wi * 64 + b));
+                }
+            });
+        }
+    }
+
+    /// Marks the non-cut frontier reachable from `v` through cut-member
+    /// interiors, walking successors (`downward`) or predecessors. These
+    /// are exactly the nodes whose `entering_hull_ok` can flip when `v`
+    /// leaves a hull ext mask: any other affected node would need a
+    /// second ext-mask witness on the path, which the emptiness test
+    /// already accounted for. Allocation-free (reuses the BFS buffers).
+    fn mark_through_cut_frontier(&mut self, v: NodeId, dirty: &mut NodeSet, downward: bool) {
+        let dag = self.ctx.block().dag();
+        self.bfs_visited.reset(self.ctx.node_count());
+        self.queue_scratch.clear();
+        self.queue_scratch.push(v);
+        self.bfs_visited.insert(v);
+        while let Some(x) = self.queue_scratch.pop() {
+            let next = if downward { dag.succs(x) } else { dag.preds(x) };
+            for &u in next {
+                if !self.bfs_visited.insert(u) {
+                    continue;
+                }
+                if self.cut.contains(u) {
+                    self.queue_scratch.push(u);
+                } else {
+                    dirty.insert(u);
+                }
+            }
+        }
     }
 
     // ----- incremental pieces ------------------------------------------
@@ -382,33 +632,52 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
     /// only possible new violation passes through `v`); pessimistic
     /// `false` when leaving a non-convex cut.
     ///
-    /// The entering test is the fused word-level form of
-    /// `((below ∪ desc(v)) ∩ (above ∪ anc(v))) \ cut \ {v} = ∅`:
-    /// distributing the intersection and dropping the empty
-    /// `desc(v) ∩ anc(v)` term leaves exactly the three maintained-set
-    /// conditions below — no scratch sets are materialised.
+    /// Split into a *global gate* (O(1) reads of the violator set /
+    /// cut convexity / cut size, re-evaluated fresh by the gain cache at
+    /// every recombination) and a *cone-local* condition (cached, only
+    /// invalidated by toggles within `v`'s cones) — the decomposition
+    /// that lets [`ToggleEngine::toggle_and_mark`] avoid mass
+    /// invalidation entirely.
     fn convex_after(&self, v: NodeId, entering: bool) -> bool {
-        let reach = self.ctx.reach();
         if entering {
-            // below ∩ above \ cut must already be ⊆ {v} …
-            match self.violators.len() {
-                0 => {}
-                1 if self.violators.contains(v) => {}
-                _ => return false,
-            }
-            // … and v's cones must not touch the hull outside the cut.
-            !reach.ancestors(v).intersects(&self.below_ext)
-                && !reach.descendants(v).intersects(&self.above_ext)
+            self.entering_gate(v) && self.entering_hull_ok(v)
         } else if self.convex_now {
-            if self.cut.len() <= 1 {
-                return true;
-            }
-            let has_cut_anc = reach.ancestors(v).intersects(&self.cut);
-            let has_cut_desc = reach.descendants(v).intersects(&self.cut);
-            !(has_cut_anc && has_cut_desc)
+            self.cut.len() <= 1 || self.leaving_local_ok(v)
         } else {
             false
         }
+    }
+
+    /// The global half of the entering-convexity test: the violators of
+    /// the *current* cut (`below ∩ above \ cut`) must already be `⊆ {v}`.
+    /// O(1).
+    #[inline]
+    pub(crate) fn entering_gate(&self, v: NodeId) -> bool {
+        match self.violators.len() {
+            0 => true,
+            1 => self.violators.contains(v),
+            _ => false,
+        }
+    }
+
+    /// The cone-local half of the entering-convexity test: `v`'s cones
+    /// must not touch the hull outside the cut. This is the fused
+    /// word-level form of `((below ∪ desc(v)) ∩ (above ∪ anc(v))) \ cut
+    /// \ {v} = ∅`: distributing the intersection and dropping the empty
+    /// `desc(v) ∩ anc(v)` term leaves exactly the two maintained-set
+    /// conditions below — no scratch sets are materialised.
+    pub(crate) fn entering_hull_ok(&self, v: NodeId) -> bool {
+        let reach = self.ctx.reach();
+        !reach.ancestors(v).intersects(&self.below_ext)
+            && !reach.descendants(v).intersects(&self.above_ext)
+    }
+
+    /// The cone-local half of the leaving-convexity test: out of a
+    /// convex cut of ≥ 2 nodes, removing `v` opens a hole iff `v` has
+    /// both an in-cut ancestor and an in-cut descendant.
+    pub(crate) fn leaving_local_ok(&self, v: NodeId) -> bool {
+        let reach = self.ctx.reach();
+        !(reach.ancestors(v).intersects(&self.cut) && reach.descendants(v).intersects(&self.cut))
     }
 
     /// Longest hardware path that would pass *through* `v` if it entered
@@ -505,6 +774,33 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
     fn refresh_entering(&mut self, v: NodeId) {
         let ctx = self.ctx;
         let reach = ctx.reach();
+        if self.track_deltas {
+            // Word-zip capture of the bits `v`'s cones are about to add
+            // to the hull masks — the *exact* growth of `below`/`above`,
+            // from which `toggle_and_mark` derives its invalidation set.
+            self.hull_delta_below.clear();
+            {
+                let below = &self.below;
+                let delta = &mut self.hull_delta_below;
+                reach.descendants(v).for_each_word(|wi, w| {
+                    let added = w & !below.word(wi);
+                    if added != 0 {
+                        delta.push((wi, added));
+                    }
+                });
+            }
+            self.hull_delta_above.clear();
+            {
+                let above = &self.above;
+                let delta = &mut self.hull_delta_above;
+                reach.ancestors(v).for_each_word(|wi, w| {
+                    let added = w & !above.word(wi);
+                    if added != 0 {
+                        delta.push((wi, added));
+                    }
+                });
+            }
+        }
         self.below.union_with(reach.descendants(v));
         self.above.union_with(reach.ancestors(v));
 
@@ -514,16 +810,26 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
         self.collect_cut_members_by_rank(reach.descendants(v), true);
         self.recompute_up(v);
         let affected_up = std::mem::take(&mut self.order_scratch);
+        self.changed_up.clear();
         for &w in &affected_up {
+            let old = self.up[w.index()];
             self.recompute_up(w);
+            if self.track_deltas && self.up[w.index()] != old {
+                self.changed_up.push(w);
+            }
         }
         self.order_scratch = affected_up;
 
         self.collect_cut_members_by_rank(reach.ancestors(v), false);
         self.recompute_down(v);
         let affected_down = std::mem::take(&mut self.order_scratch);
+        self.changed_down.clear();
         for &w in &affected_down {
+            let old = self.down[w.index()];
             self.recompute_down(w);
+            if self.track_deltas && self.down[w.index()] != old {
+                self.changed_down.push(w);
+            }
         }
         self.order_scratch = affected_down;
 
@@ -905,10 +1211,91 @@ mod tests {
     }
 
     #[test]
+    fn reset_from_cut_equals_fresh_engine() {
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let ids: Vec<NodeId> = block.dag().node_ids().collect();
+        // Dirty the engine with an arbitrary walk, then reset it onto a
+        // different cut: every observable must match a fresh build.
+        let mut engine = ToggleEngine::new(&ctx);
+        for &i in &[4usize, 5, 6, 5, 4] {
+            engine.toggle(ids[i]);
+        }
+        let target = NodeSet::from_ids(ctx.node_count(), [ids[4], ids[6]]);
+        engine.reset_from_cut(&target);
+        let fresh = ToggleEngine::from_cut(&ctx, target.clone());
+        assert_eq!(engine.cut(), fresh.cut());
+        assert_eq!(engine.input_count(), fresh.input_count());
+        assert_eq!(engine.output_count(), fresh.output_count());
+        assert_eq!(engine.software_latency(), fresh.software_latency());
+        assert_eq!(engine.hardware_latency(), fresh.hardware_latency());
+        assert_eq!(engine.is_convex(), fresh.is_convex());
+        assert_eq!(engine.component_count(), fresh.component_count());
+        for &v in &ids {
+            assert_eq!(engine.probe(v), fresh.probe(v), "probe mismatch at {v}");
+        }
+        check_against_scratch(&engine, &ctx);
+    }
+
+    #[test]
+    fn arena_round_trip_across_blocks() {
+        // One arena serving blocks of different sizes back to back —
+        // the per-worker pooling pattern of the portfolio search.
+        let model = LatencyModel::paper_default();
+        let big = dotprod();
+        let mut bb = BlockBuilder::new("small");
+        let x = bb.input("x");
+        bb.op(Opcode::Not, &[x]).unwrap();
+        let small = bb.build().unwrap();
+
+        let mut arena = EngineArena::default();
+        for block in [&big, &small, &big] {
+            let ctx = BlockContext::new(block, &model);
+            let empty = NodeSet::new(ctx.node_count());
+            let mut engine = ToggleEngine::from_cut_in(&ctx, &empty, arena);
+            let reference = ToggleEngine::new(&ctx);
+            for v in block.dag().node_ids() {
+                assert_eq!(engine.probe(v), reference.probe(v));
+            }
+            // commit something so the arena returns non-trivial state
+            let any = ctx.eligible().first().expect("eligible node");
+            engine.toggle(any);
+            check_against_scratch(&engine, &ctx);
+            arena = engine.into_arena();
+        }
+    }
+
+    /// The cone-local probe terms of node `u` — exactly what a
+    /// [`crate::GainCache`] entry stores. Global terms (operand counts,
+    /// latencies, the violator gate, the cut's convexity/size) are
+    /// re-read fresh at recombination time, so they may move for clean
+    /// nodes; these must not.
+    fn local_terms(engine: &ToggleEngine<'_, '_>, u: NodeId) -> (bool, i32, i32, u32, bool, f64) {
+        let p = engine.probe(u);
+        let di = p.inputs as i32 - engine.input_count() as i32;
+        let dout = p.outputs as i32 - engine.output_count() as i32;
+        let (local_convex, through) = if p.entering {
+            (engine.entering_hull_ok(u), engine.entering_through(u))
+        } else {
+            (engine.leaving_local_ok(u), 0.0)
+        };
+        (
+            p.entering,
+            di,
+            dout,
+            p.neighbors_in_cut,
+            local_convex,
+            through,
+        )
+    }
+
+    #[test]
     fn toggle_and_mark_covers_probe_changes() {
         // Exhaustive check on the dot-product block: after each commit,
-        // every node whose probe changed must be in the dirty set (or a
-        // full invalidation must be signalled).
+        // every node whose cone-local probe terms changed must be in the
+        // dirty set — there is no full-invalidation escape hatch any
+        // more, so the dirty set alone must cover every change.
         let block = dotprod();
         let model = LatencyModel::paper_default();
         let ctx = BlockContext::new(&block, &model);
@@ -917,24 +1304,18 @@ mod tests {
         for seq in &[vec![4, 5, 6, 5], vec![6, 5, 4], vec![4, 6, 4, 6, 5]] {
             let mut engine = ToggleEngine::new(&ctx);
             for &i in seq {
-                let before: Vec<Probe> = ids.iter().map(|&u| engine.probe(u)).collect();
+                let before: Vec<_> = ids.iter().map(|&u| local_terms(&engine, u)).collect();
                 let mut dirty = NodeSet::new(n);
-                let full = engine.toggle_and_mark(ids[i], &mut dirty);
-                if full {
-                    continue;
-                }
+                engine.toggle_and_mark(ids[i], &mut dirty);
                 for (u, old) in ids.iter().zip(&before) {
                     if dirty.contains(*u) {
                         continue;
                     }
-                    let new = engine.probe(*u);
-                    // Clean nodes may still see the global counters move;
-                    // the *local* probe pieces must be unchanged.
-                    assert_eq!(new.entering, old.entering, "entering changed for {u}");
-                    assert_eq!(new.convex, old.convex, "convexity changed for {u}");
                     assert_eq!(
-                        new.neighbors_in_cut, old.neighbors_in_cut,
-                        "neighbours changed for {u}"
+                        local_terms(&engine, *u),
+                        *old,
+                        "local terms changed for clean node {u} after toggling {}",
+                        ids[i]
                     );
                 }
             }

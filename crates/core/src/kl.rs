@@ -1,8 +1,11 @@
 use crate::cache::{CacheStats, GainCache};
-use crate::driver::CutFinder;
+use crate::driver::{deal_indexed, CutFinder};
+use crate::engine::EngineArena;
 use crate::gain::gain_of;
 use crate::{BlockContext, Cut, GainWeights, IoConstraints, ToggleEngine};
 use isegen_graph::{NodeId, NodeSet};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Knobs of the modified Kernighan–Lin search (paper Fig. 2).
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +34,59 @@ impl Default for SearchConfig {
             restarts: 3,
         }
     }
+}
+
+/// A reusable per-worker search arena: every buffer a K-L trajectory
+/// needs — the [`ToggleEngine`] node sets, the [`GainCache`] entry
+/// table, the mark set and the pass-best snapshot buffer — pooled so
+/// that trajectory setup is a reset, not an allocation.
+///
+/// One scratch serves one worker thread; it is reset between
+/// trajectories and between *blocks* (buffers resize to each block,
+/// allocation-free once the scratch has seen a block at least as
+/// large). [`IsegenFinder`] keeps a pool of these across `find_cut`
+/// calls, so a long-lived service searches with warm arenas.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    arena: EngineArena,
+    cache: GainCache,
+    marked: NodeSet,
+    best_nodes: NodeSet,
+    warm: bool,
+}
+
+impl SearchScratch {
+    /// A cold scratch; the first trajectory builds its buffers.
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+}
+
+/// Timing and outcome of one portfolio trajectory, reported by
+/// [`bipartition_profiled`] — the per-trajectory evidence of the perf
+/// reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryReport {
+    /// Gain flavour: `"base"` (configured weights) or `"cohesive"`
+    /// (double affinity).
+    pub flavour: &'static str,
+    /// Forced first toggle (restart diversification), if any.
+    pub seed: Option<NodeId>,
+    /// Wall time of the trajectory, in milliseconds.
+    pub wall_ms: f64,
+    /// Merit of the trajectory's best cut.
+    pub merit: f64,
+    /// Probe statistics of this trajectory alone.
+    pub stats: CacheStats,
+}
+
+/// One entry of the search portfolio: a gain flavour plus an optional
+/// forced first toggle. The spec list is built in the exact order the
+/// historical sequential scan visited, so the merge is reproducible.
+struct TrajectorySpec<'s> {
+    config: &'s SearchConfig,
+    flavour: &'static str,
+    seed: Option<NodeId>,
 }
 
 /// Runs one ISEGEN bi-partition of a basic block (paper Fig. 2): finds the
@@ -69,6 +125,42 @@ pub fn bipartition_with_stats(
     config: &SearchConfig,
     forbidden: Option<&NodeSet>,
 ) -> (Cut, CacheStats) {
+    let mut pool = Vec::new();
+    let (cut, stats, _) = bipartition_profiled(ctx, io, config, forbidden, 1, &mut pool);
+    (cut, stats)
+}
+
+/// [`bipartition`] with its weight-flavour × restart portfolio fanned
+/// out over up to `threads` scoped threads. The output is
+/// **byte-identical** to the sequential search at every thread count:
+/// trajectories are independent (each starts from the all-software
+/// configuration), and the merge scans them in the fixed portfolio
+/// order with the same strict-improvement tie-break the sequential loop
+/// applies (`tests/portfolio_parity.rs`).
+pub fn bipartition_portfolio(
+    ctx: &BlockContext<'_>,
+    io: IoConstraints,
+    config: &SearchConfig,
+    forbidden: Option<&NodeSet>,
+    threads: usize,
+) -> Cut {
+    let mut pool = Vec::new();
+    bipartition_profiled(ctx, io, config, forbidden, threads, &mut pool).0
+}
+
+/// The full-fat entry point under [`bipartition`] and friends: portfolio
+/// search on up to `threads` threads, drawing per-worker
+/// [`SearchScratch`] arenas from `pool` (grown to the worker count on
+/// demand; pass the same pool again to search with warm arenas), and
+/// reporting per-trajectory wall times alongside the merged statistics.
+pub fn bipartition_profiled(
+    ctx: &BlockContext<'_>,
+    io: IoConstraints,
+    config: &SearchConfig,
+    forbidden: Option<&NodeSet>,
+    threads: usize,
+    pool: &mut Vec<SearchScratch>,
+) -> (Cut, CacheStats, Vec<TrajectoryReport>) {
     let n = ctx.node_count();
     let mut stats = CacheStats::default();
     // Nodes the search may toggle: eligible and not forbidden.
@@ -77,7 +169,7 @@ pub fn bipartition_with_stats(
         free.subtract(f);
     }
     if free.is_empty() {
-        return (Cut::empty(n), stats);
+        return (Cut::empty(n), stats, Vec::new());
     }
     let free_nodes: Vec<NodeId> = free.iter().collect();
 
@@ -94,24 +186,75 @@ pub fn bipartition_with_stats(
         },
         ..config.clone()
     };
-    let mut best_cut = Cut::empty(n);
-    for cfg in [config, &cohesive] {
-        let candidate = kl_trajectories(ctx, io, cfg, &free_nodes, None, &mut stats);
-        if candidate.merit() > best_cut.merit() {
-            best_cut = candidate;
-        }
+    let mut specs: Vec<TrajectorySpec<'_>> = Vec::new();
+    for (cfg, flavour) in [(config, "base"), (&cohesive, "cohesive")] {
+        specs.push(TrajectorySpec {
+            config: cfg,
+            flavour,
+            seed: None,
+        });
         for seed in restart_seeds(ctx, io, cfg, &free_nodes) {
-            let candidate = kl_trajectories(ctx, io, cfg, &free_nodes, Some(seed), &mut stats);
-            if candidate.merit() > best_cut.merit() {
-                best_cut = candidate;
-            }
+            specs.push(TrajectorySpec {
+                config: cfg,
+                flavour,
+                seed: Some(seed),
+            });
         }
     }
-    (best_cut, stats)
+
+    let results = run_trajectories(ctx, io, &free_nodes, &specs, threads, pool);
+
+    // Deterministic merge: visit the results in spec order and keep the
+    // first strict improvement — exactly the comparison sequence of the
+    // sequential scan, whatever the thread count. NaN merits (possible
+    // under hostile weights) never beat the incumbent, same as before.
+    let mut best_cut = Cut::empty(n);
+    let mut reports = Vec::with_capacity(results.len());
+    for (spec, (cut, traj_stats, wall_ms)) in specs.iter().zip(results) {
+        stats.absorb(traj_stats);
+        reports.push(TrajectoryReport {
+            flavour: spec.flavour,
+            seed: spec.seed,
+            wall_ms,
+            merit: cut.merit(),
+            stats: traj_stats,
+        });
+        if cut.merit() > best_cut.merit() {
+            best_cut = cut;
+        }
+    }
+    (best_cut, stats, reports)
 }
 
-/// Runs the Fig. 2 pass loop once, optionally forcing the very first
-/// toggle onto `seed` (restart diversification).
+/// A finished trajectory: its best cut, its probe statistics, and its
+/// wall time in milliseconds.
+type TrajectoryResult = (Cut, CacheStats, f64);
+
+/// Executes every spec, inline on one scratch when `threads <= 1`, else
+/// on scoped worker threads dealing specs from an atomic cursor
+/// ([`deal_indexed`]). Results come back in spec order, so scheduling
+/// cannot leak into the merge.
+fn run_trajectories(
+    ctx: &BlockContext<'_>,
+    io: IoConstraints,
+    free_nodes: &[NodeId],
+    specs: &[TrajectorySpec<'_>],
+    threads: usize,
+    pool: &mut Vec<SearchScratch>,
+) -> Vec<TrajectoryResult> {
+    let workers = threads.max(1).min(specs.len());
+    if pool.len() < workers {
+        pool.resize_with(workers, SearchScratch::default);
+    }
+    deal_indexed(specs, &mut pool[..workers], |spec, scratch| {
+        run_trajectory(ctx, io, free_nodes, spec, scratch)
+    })
+}
+
+/// Runs the Fig. 2 pass loop for one portfolio trajectory, optionally
+/// forcing the very first toggle onto the spec's seed (restart
+/// diversification). All working state lives in `scratch`; the only
+/// allocations are the returned [`Cut`] snapshots.
 ///
 /// The sweep is served by a [`GainCache`]: after each committed toggle
 /// only the nodes in the engine's dirty set are re-probed; every other
@@ -119,25 +262,45 @@ pub fn bipartition_with_stats(
 /// are bit-identical to fresh probes (`tests/gain_cache_prop.rs`), so
 /// the trajectory — and therefore the returned cut — is exactly the one
 /// the uncached loop would take.
-fn kl_trajectories(
+fn run_trajectory(
     ctx: &BlockContext<'_>,
     io: IoConstraints,
-    config: &SearchConfig,
     free_nodes: &[NodeId],
-    seed: Option<NodeId>,
-    stats: &mut CacheStats,
-) -> Cut {
+    spec: &TrajectorySpec<'_>,
+    scratch: &mut SearchScratch,
+) -> TrajectoryResult {
+    let start = Instant::now();
     let n = ctx.node_count();
+    let config = spec.config;
+    let mut stats = CacheStats {
+        trajectories: 1,
+        ..CacheStats::default()
+    };
+    if std::mem::replace(&mut scratch.warm, true) {
+        stats.arena_reuses = 1;
+    } else {
+        stats.arena_allocs = 1;
+    }
+
     let mut best_cut = Cut::empty(n);
     let mut best_merit = 0.0f64;
+    let mut engine =
+        ToggleEngine::from_cut_in(ctx, best_cut.nodes(), std::mem::take(&mut scratch.arena));
+    let cache = &mut scratch.cache;
+    let marked = &mut scratch.marked;
+    let best_nodes = &mut scratch.best_nodes;
 
     for pass in 0..config.max_passes {
-        let mut engine = ToggleEngine::from_cut(ctx, best_cut.nodes().clone());
-        let mut cache = GainCache::new(n);
-        let mut marked = NodeSet::new(n);
-        let mut pass_best: Option<Cut> = None;
+        if pass > 0 {
+            engine.reset_from_cut(best_cut.nodes());
+        }
+        cache.reset(n);
+        marked.reset(n);
+        // Scalars of the pass-best snapshot; the nodes live in
+        // `best_nodes` (copied, not allocated, on each improvement).
+        let mut pass_best: Option<(u32, u32, u64, f64)> = None;
         let mut pass_best_merit = best_merit;
-        let mut forced = if pass == 0 { seed } else { None };
+        let mut forced = if pass == 0 { spec.seed } else { None };
 
         for _ in 0..free_nodes.len() {
             // Evaluate the gain function for every unmarked node and pick
@@ -169,21 +332,28 @@ fn kl_trajectories(
                 let m = engine.merit();
                 if m > pass_best_merit {
                     pass_best_merit = m;
-                    pass_best = Some(engine.snapshot());
+                    best_nodes.copy_from(engine.cut());
+                    pass_best = Some((
+                        engine.input_count(),
+                        engine.output_count(),
+                        engine.software_latency(),
+                        engine.hardware_latency(),
+                    ));
                 }
             }
         }
 
         stats.absorb(cache.stats());
         match pass_best {
-            Some(cut) => {
+            Some((inputs, outputs, sw, hw)) => {
                 best_merit = pass_best_merit;
-                best_cut = cut;
+                best_cut = Cut::from_parts(best_nodes.clone(), inputs, outputs, sw, hw);
             }
             None => break, // no improvement this pass
         }
     }
-    best_cut
+    scratch.arena = engine.into_arena();
+    (best_cut, stats, start.elapsed().as_secs_f64() * 1e3)
 }
 
 /// Picks up to `restarts − 1` forced first moves, spread across the
@@ -241,20 +411,73 @@ fn restart_seeds(
 /// [`CutFinder`] adapter for the ISEGEN bi-partition, so the generic
 /// application driver ([`crate::generate_with`]) can run ISEGEN alongside
 /// the baseline algorithms.
-#[derive(Debug, Clone, Default)]
+///
+/// The finder owns a pool of [`SearchScratch`] arenas that stays warm
+/// across `find_cut` calls (and therefore across blocks), and shares a
+/// [`CacheStats`] accumulator with every clone of itself — the batched
+/// driver clones one finder per worker, and the accumulated statistics
+/// of the whole generation remain readable from the original via
+/// [`IsegenFinder::accumulated_stats`].
+#[derive(Debug)]
 pub struct IsegenFinder {
     config: SearchConfig,
+    portfolio_threads: usize,
+    pool: Vec<SearchScratch>,
+    stats: Arc<Mutex<CacheStats>>,
+}
+
+impl Clone for IsegenFinder {
+    /// Clones share the stats accumulator but start with a cold arena
+    /// pool of their own (arenas are per-thread working memory).
+    fn clone(&self) -> Self {
+        IsegenFinder {
+            config: self.config.clone(),
+            portfolio_threads: self.portfolio_threads,
+            pool: Vec::new(),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+}
+
+impl Default for IsegenFinder {
+    fn default() -> Self {
+        IsegenFinder::new(SearchConfig::default())
+    }
 }
 
 impl IsegenFinder {
     /// Creates a finder with the given search configuration.
     pub fn new(config: SearchConfig) -> Self {
-        IsegenFinder { config }
+        IsegenFinder {
+            config,
+            portfolio_threads: 1,
+            pool: Vec::new(),
+            stats: Arc::new(Mutex::new(CacheStats::default())),
+        }
+    }
+
+    /// Sets the intra-block portfolio thread count used by direct
+    /// `find_cut` calls, and the floor for driver-assigned budgets.
+    /// `1` (the default) searches each block sequentially.
+    pub fn with_portfolio_threads(mut self, threads: usize) -> Self {
+        self.portfolio_threads = threads.max(1);
+        self
+    }
+
+    /// The intra-block portfolio thread count.
+    pub fn portfolio_threads(&self) -> usize {
+        self.portfolio_threads
     }
 
     /// The search configuration in use.
     pub fn config(&self) -> &SearchConfig {
         &self.config
+    }
+
+    /// The probe/arena statistics accumulated by every `find_cut` call
+    /// on this finder *and all its clones* since construction.
+    pub fn accumulated_stats(&self) -> CacheStats {
+        self.stats.lock().map(|s| *s).unwrap_or_default()
     }
 }
 
@@ -265,7 +488,23 @@ impl CutFinder for IsegenFinder {
         io: IoConstraints,
         forbidden: Option<&NodeSet>,
     ) -> Cut {
-        bipartition(ctx, io, &self.config, forbidden)
+        self.find_cut_budget(ctx, io, forbidden, 1)
+    }
+
+    fn find_cut_budget(
+        &mut self,
+        ctx: &BlockContext<'_>,
+        io: IoConstraints,
+        forbidden: Option<&NodeSet>,
+        threads: usize,
+    ) -> Cut {
+        let threads = threads.max(self.portfolio_threads);
+        let (cut, stats, _) =
+            bipartition_profiled(ctx, io, &self.config, forbidden, threads, &mut self.pool);
+        if let Ok(mut acc) = self.stats.lock() {
+            acc.absorb(stats);
+        }
+        cut
     }
 
     fn name(&self) -> &str {

@@ -81,7 +81,10 @@ pub use driver::{
     generate, generate_batched, generate_batched_in_contexts, generate_batched_with,
     generate_in_contexts, generate_with, CutFinder, Ise, IseConfig, IseInstance, IseSelection,
 };
-pub use engine::{Probe, ToggleEngine};
+pub use engine::{EngineArena, Probe, ToggleEngine};
 pub use gain::GainWeights;
-pub use kl::{bipartition, bipartition_with_stats, IsegenFinder, SearchConfig};
+pub use kl::{
+    bipartition, bipartition_portfolio, bipartition_profiled, bipartition_with_stats, IsegenFinder,
+    SearchConfig, SearchScratch, TrajectoryReport,
+};
 pub use speedup::application_speedup;

@@ -1,8 +1,9 @@
 //! Machine-readable performance report of the §4.3 hot path — seeds the
 //! repo's perf trajectory.
 //!
-//! Runs three sweeps and writes `BENCH_kl.json` (override with
-//! `--out PATH`):
+//! Runs four sweeps and writes `BENCH_kl.json` plus
+//! `BENCH_portfolio.json` (override with `--out PATH` /
+//! `--portfolio-out PATH`):
 //!
 //! 1. **toggle** — committed-toggle throughput of the incremental
 //!    [`ToggleEngine`] on random blocks and the AES block.
@@ -10,15 +11,20 @@
 //!    counters (probes avoided is the cache's win).
 //! 3. **driver** — sequential vs. batched multi-block driver on
 //!    multi-block workloads, with an equality check.
+//! 4. **portfolio** — single-block search with the weight-flavour ×
+//!    restart portfolio run sequentially vs. on threads, with
+//!    per-trajectory wall times, an identity check and the threads=1
+//!    overhead of the portfolio machinery.
 //!
 //! `--full` multiplies the workload sizes; the default quick mode is the
 //! CI smoke configuration (record-only, no thresholds). `--threads N`
-//! pins the batched driver's thread count (default: available
-//! parallelism).
+//! pins the batched-driver and portfolio thread counts (default:
+//! available parallelism).
 
 use isegen_core::{
-    bipartition_with_stats, generate_batched_with, generate_with, BlockContext, Cut, CutFinder,
-    IoConstraints, IseConfig, IsegenFinder, SearchConfig, ToggleEngine,
+    bipartition, bipartition_portfolio, bipartition_profiled, bipartition_with_stats,
+    generate_batched_with, generate_with, BlockContext, Cut, CutFinder, IoConstraints, IseConfig,
+    IsegenFinder, SearchConfig, ToggleEngine, TrajectoryReport,
 };
 use isegen_graph::{NodeId, NodeSet};
 use isegen_ir::{Application, BasicBlock, LatencyModel};
@@ -79,6 +85,10 @@ struct KlRow {
     fresh_probes: u64,
     cached_probes: u64,
     avoided_pct: f64,
+    commits: u64,
+    full_invalidations: u64,
+    trajectories: u64,
+    arena_reuses: u64,
     merit: f64,
 }
 
@@ -92,6 +102,22 @@ struct DriverRow {
     batched_searches: u64,
     speedup: f64,
     identical: bool,
+}
+
+struct PortfolioRow {
+    workload: String,
+    nodes: usize,
+    threads: usize,
+    /// Plain sequential `bipartition` (the pre-portfolio baseline path).
+    sequential_ms: f64,
+    /// Portfolio entry point at threads=1 — its overhead must be noise.
+    portfolio1_ms: f64,
+    /// Portfolio at the requested thread count.
+    portfolio_ms: f64,
+    overhead1_pct: f64,
+    speedup: f64,
+    identical: bool,
+    trajectories: Vec<TrajectoryReport>,
 }
 
 fn ms(start: Instant) -> f64 {
@@ -152,6 +178,10 @@ fn bench_kl(name: &str, block: &BasicBlock, model: &LatencyModel) -> KlRow {
         fresh_probes: stats.fresh_probes,
         cached_probes: stats.cached_probes,
         avoided_pct: stats.avoided_fraction() * 100.0,
+        commits: stats.commits,
+        full_invalidations: stats.full_invalidations,
+        trajectories: stats.trajectories,
+        arena_reuses: stats.arena_reuses,
         merit: cut.merit(),
     }
 }
@@ -208,10 +238,57 @@ fn bench_driver(name: &str, app: &Application, model: &LatencyModel, threads: us
     }
 }
 
-const USAGE: &str = "usage: perf_report [--full] [--threads N] [--out PATH]
-  --full        full-size sweeps (CI quick mode is the default)
-  --threads N   batched-driver thread count (default: available parallelism)
-  --out PATH    JSON report path (default BENCH_kl.json)";
+fn bench_portfolio(
+    name: &str,
+    block: &BasicBlock,
+    model: &LatencyModel,
+    threads: usize,
+) -> PortfolioRow {
+    let ctx = BlockContext::new(block, model);
+    let io = IoConstraints::new(4, 2);
+    let config = SearchConfig::default();
+    // Best of two interleaved runs (see bench_driver): single-shot wall
+    // times are scheduler-noisy and the minimum is the honest cost.
+    let mut sequential_ms = f64::INFINITY;
+    let mut portfolio1_ms = f64::INFINITY;
+    let mut portfolio_ms = f64::INFINITY;
+    let mut identical = true;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let sequential = bipartition(&ctx, io, &config, None);
+        sequential_ms = sequential_ms.min(ms(start));
+        let start = Instant::now();
+        let one = bipartition_portfolio(&ctx, io, &config, None, 1);
+        portfolio1_ms = portfolio1_ms.min(ms(start));
+        let start = Instant::now();
+        let parallel = bipartition_portfolio(&ctx, io, &config, None, threads);
+        portfolio_ms = portfolio_ms.min(ms(start));
+        identical &= one == sequential && parallel == sequential;
+    }
+    // Per-trajectory wall times from a profiled run on a warm pool.
+    let mut pool = Vec::new();
+    let _ = bipartition_profiled(&ctx, io, &config, None, threads, &mut pool);
+    let (_, _, trajectories) = bipartition_profiled(&ctx, io, &config, None, threads, &mut pool);
+    PortfolioRow {
+        workload: name.to_string(),
+        nodes: ctx.node_count(),
+        threads,
+        sequential_ms,
+        portfolio1_ms,
+        portfolio_ms,
+        overhead1_pct: (portfolio1_ms / sequential_ms - 1.0) * 100.0,
+        speedup: sequential_ms / portfolio_ms,
+        identical,
+        trajectories,
+    }
+}
+
+const USAGE: &str = "usage: perf_report [--full] [--threads N] [--out PATH] [--portfolio-out PATH]
+  --full               full-size sweeps (CI quick mode is the default)
+  --threads N          batched-driver and portfolio thread count
+                       (default: available parallelism)
+  --out PATH           JSON report path (default BENCH_kl.json)
+  --portfolio-out PATH portfolio report path (default BENCH_portfolio.json)";
 
 /// Prints the problem and the usage to stderr, then exits with code 2 —
 /// a CLI mistake is a usage error, never a panic with a backtrace.
@@ -222,6 +299,7 @@ fn usage_error(message: &str) -> ! {
 
 fn main() {
     let mut out_path = "BENCH_kl.json".to_string();
+    let mut portfolio_out_path = "BENCH_portfolio.json".to_string();
     let mut full = false;
     let mut threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -233,6 +311,10 @@ fn main() {
             "--out" => match args.next() {
                 Some(path) => out_path = path,
                 None => usage_error("--out needs a path"),
+            },
+            "--portfolio-out" => match args.next() {
+                Some(path) => portfolio_out_path = path,
+                None => usage_error("--portfolio-out needs a path"),
             },
             "--threads" => match args.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n > 0 => threads = n,
@@ -315,6 +397,29 @@ fn main() {
         ));
     }
 
+    // Portfolio sweep: the single-block hot path, sequential vs.
+    // portfolio at 1 and N threads, identity-checked.
+    let mut portfolio_rows = Vec::new();
+    {
+        let app = rand_block(7, if full { 1600 } else { 800 });
+        portfolio_rows.push(bench_portfolio(
+            &format!("rand{}", if full { 1600 } else { 800 }),
+            &app.blocks()[0],
+            &model,
+            threads,
+        ));
+    }
+    for name in ["aes", "aes128"] {
+        let spec = workload_by_name(name).expect("registry entry");
+        let app = spec.application();
+        portfolio_rows.push(bench_portfolio(
+            spec.name,
+            largest_block(&app),
+            &model,
+            threads,
+        ));
+    }
+
     // ---- render ---------------------------------------------------------
 
     println!("toggle throughput (incremental engine):");
@@ -327,8 +432,9 @@ fn main() {
     println!("K-L bipartition (gain cache):");
     for r in &kl_rows {
         println!(
-            "  {:>8}  n={:<5} {:>8.2} ms  fresh={:<8} cached={:<9} avoided={:>5.1}%  merit={:.2}",
-            r.workload, r.nodes, r.wall_ms, r.fresh_probes, r.cached_probes, r.avoided_pct, r.merit
+            "  {:>8}  n={:<5} {:>8.2} ms  fresh={:<8} cached={:<9} avoided={:>5.1}%  commits={:<6} flushes={} traj={} reuses={}  merit={:.2}",
+            r.workload, r.nodes, r.wall_ms, r.fresh_probes, r.cached_probes, r.avoided_pct,
+            r.commits, r.full_invalidations, r.trajectories, r.arena_reuses, r.merit
         );
     }
     println!("driver (sequential vs batched, {threads} threads):");
@@ -357,6 +463,32 @@ fn main() {
             );
         }
     }
+    println!("portfolio (sequential vs {threads}-thread trajectory fan-out):");
+    for r in &portfolio_rows {
+        println!(
+            "  {:>10}  n={:<5} seq {:>8.2} ms  portfolio@1 {:>8.2} ms ({:+.1}%)  portfolio@{} {:>8.2} ms  {:>4.2}x  identical={}",
+            r.workload,
+            r.nodes,
+            r.sequential_ms,
+            r.portfolio1_ms,
+            r.overhead1_pct,
+            r.threads,
+            r.portfolio_ms,
+            r.speedup,
+            r.identical
+        );
+        for t in &r.trajectories {
+            println!(
+                "      {:>8} seed={:<12} {:>8.2} ms  merit={:<8.2} avoided={:>5.1}%",
+                t.flavour,
+                t.seed.map_or("-".to_string(), |s| s.to_string()),
+                t.wall_ms,
+                t.merit,
+                t.stats.avoided_fraction() * 100.0
+            );
+        }
+        assert!(r.identical, "portfolio diverged on {}", r.workload);
+    }
 
     // ---- JSON -----------------------------------------------------------
 
@@ -384,8 +516,9 @@ fn main() {
     for (i, r) in kl_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"workload\": \"{}\", \"nodes\": {}, \"wall_ms\": {:.3}, \"fresh_probes\": {}, \"cached_probes\": {}, \"probes_avoided_pct\": {:.2}, \"merit\": {:.4}}}{}",
-            r.workload, r.nodes, r.wall_ms, r.fresh_probes, r.cached_probes, r.avoided_pct, r.merit,
+            "    {{\"workload\": \"{}\", \"nodes\": {}, \"wall_ms\": {:.3}, \"fresh_probes\": {}, \"cached_probes\": {}, \"probes_avoided_pct\": {:.2}, \"commits\": {}, \"full_invalidations\": {}, \"trajectories\": {}, \"arena_reuses\": {}, \"merit\": {:.4}}}{}",
+            r.workload, r.nodes, r.wall_ms, r.fresh_probes, r.cached_probes, r.avoided_pct,
+            r.commits, r.full_invalidations, r.trajectories, r.arena_reuses, r.merit,
             if i + 1 < kl_rows.len() { "," } else { "" }
         );
     }
@@ -402,4 +535,53 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write perf report");
     println!("wrote {out_path}");
+
+    // ---- portfolio JSON -------------------------------------------------
+
+    let mut json = String::new();
+    json.push_str("{\n  \"report\": \"isegen portfolio-parallel block search\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",\n  \"threads\": {},\n  \"cpus\": {},",
+        if full { "full" } else { "quick" },
+        threads,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in portfolio_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"nodes\": {}, \"threads\": {}, \"sequential_ms\": {:.3}, \"portfolio1_ms\": {:.3}, \"portfolio_ms\": {:.3}, \"overhead1_pct\": {:.2}, \"speedup\": {:.3}, \"identical\": {}, \"trajectories\": [",
+            r.workload, r.nodes, r.threads, r.sequential_ms, r.portfolio1_ms, r.portfolio_ms,
+            r.overhead1_pct, r.speedup, r.identical
+        );
+        for (j, t) in r.trajectories.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      {{\"flavour\": \"{}\", \"seed\": {}, \"wall_ms\": {:.3}, \"merit\": {:.4}, \"fresh_probes\": {}, \"cached_probes\": {}, \"probes_avoided_pct\": {:.2}}}{}",
+                t.flavour,
+                t.seed.map_or("null".to_string(), |s| s.index().to_string()),
+                t.wall_ms,
+                t.merit,
+                t.stats.fresh_probes,
+                t.stats.cached_probes,
+                t.stats.avoided_fraction() * 100.0,
+                if j + 1 < r.trajectories.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    ]}}{}",
+            if i + 1 < portfolio_rows.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&portfolio_out_path, &json).expect("write portfolio report");
+    println!("wrote {portfolio_out_path}");
 }

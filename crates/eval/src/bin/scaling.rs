@@ -12,11 +12,13 @@
 //! scaling                               # small + medium tiers, scaling-report.json
 //! scaling -- --tier all                 # the whole corpus, crypto included
 //! scaling -- --tier large,huge --threads 8 --out /tmp/report.json
+//! scaling -- --threads 4 --portfolio 4  # also gate portfolio-parallel parity
 //! ```
 
 use isegen_core::{
     generate_batched_with, generate_with, IseConfig, IseSelection, IsegenFinder, SearchConfig,
 };
+
 use isegen_ir::LatencyModel;
 use isegen_workloads::{workloads_in_tiers, SizeTier, WorkloadSpec};
 use std::fmt::Write as _;
@@ -33,13 +35,16 @@ struct Row {
     speedup: f64,
     sequential_ms: f64,
     batched_ms: f64,
+    /// Sequential driver with an intra-block portfolio fan-out
+    /// (`--portfolio N`); NaN when the portfolio gate is off.
+    portfolio_ms: f64,
 }
 
 fn ms(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
-fn run_workload(spec: &WorkloadSpec, threads: usize) -> Row {
+fn run_workload(spec: &WorkloadSpec, threads: usize, portfolio: usize) -> Row {
     let app = spec.application();
     let model = LatencyModel::paper_default();
     let config = IseConfig::paper_default();
@@ -50,7 +55,7 @@ fn run_workload(spec: &WorkloadSpec, threads: usize) -> Row {
     let sequential: IseSelection = generate_with(&mut finder, &app, &model, &config);
     let sequential_ms = ms(start);
 
-    let finder = IsegenFinder::new(search);
+    let finder = IsegenFinder::new(search.clone());
     let start = Instant::now();
     let batched = generate_batched_with(&finder, &app, &model, &config, threads);
     let batched_ms = ms(start);
@@ -62,6 +67,24 @@ fn run_workload(spec: &WorkloadSpec, threads: usize) -> Row {
         "{}: batched driver diverged from sequential at {threads} threads",
         spec.name
     );
+
+    // Portfolio-parity gate: the same driver with every block search
+    // fanned out over `portfolio` intra-block threads must be
+    // byte-identical too.
+    let portfolio_ms = if portfolio > 1 {
+        let mut finder = IsegenFinder::new(search).with_portfolio_threads(portfolio);
+        let start = Instant::now();
+        let fanned = generate_with(&mut finder, &app, &model, &config);
+        let elapsed = ms(start);
+        assert!(
+            sequential == fanned,
+            "{}: portfolio-parallel search diverged from sequential at {portfolio} threads",
+            spec.name
+        );
+        elapsed
+    } else {
+        f64::NAN
+    };
     Row {
         name: spec.name,
         category: spec.category.name(),
@@ -73,14 +96,17 @@ fn run_workload(spec: &WorkloadSpec, threads: usize) -> Row {
         speedup: sequential.speedup(),
         sequential_ms,
         batched_ms,
+        portfolio_ms,
     }
 }
 
-const USAGE: &str = "usage: scaling [--tier LIST|all] [--threads N] [--out PATH]
-  --tier LIST   comma-separated size tiers (small/medium/large/huge) or all
-                (default small,medium)
-  --threads N   batched-driver thread count (default: available parallelism)
-  --out PATH    JSON report path (default scaling-report.json)";
+const USAGE: &str = "usage: scaling [--tier LIST|all] [--threads N] [--portfolio N] [--out PATH]
+  --tier LIST    comma-separated size tiers (small/medium/large/huge) or all
+                 (default small,medium)
+  --threads N    batched-driver thread count (default: available parallelism)
+  --portfolio N  additionally run the sequential driver with N intra-block
+                 portfolio threads and fail on any divergence (default off)
+  --out PATH     JSON report path (default scaling-report.json)";
 
 /// Prints the problem and the usage to stderr, then exits with code 2 —
 /// a CLI mistake is a usage error, never a panic with a backtrace.
@@ -103,6 +129,7 @@ fn parse_tiers(arg: &str) -> Vec<SizeTier> {
 fn main() {
     let mut tiers = vec![SizeTier::Small, SizeTier::Medium];
     let mut out_path = "scaling-report.json".to_string();
+    let mut portfolio = 0usize;
     let mut threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -121,6 +148,10 @@ fn main() {
                 Some(Ok(n)) if n > 0 => threads = n,
                 _ => usage_error("--threads needs a positive integer"),
             },
+            "--portfolio" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => portfolio = n,
+                _ => usage_error("--portfolio needs a positive integer"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -133,16 +164,21 @@ fn main() {
     assert!(!specs.is_empty(), "no workloads in the selected tiers");
     let tier_names: Vec<&str> = tiers.iter().map(|t| t.name()).collect();
     println!(
-        "scaling gate: {} workloads (tiers: {}), {threads} threads",
+        "scaling gate: {} workloads (tiers: {}), {threads} threads, portfolio {}",
         specs.len(),
-        tier_names.join(",")
+        tier_names.join(","),
+        if portfolio > 1 {
+            format!("{portfolio} threads")
+        } else {
+            "off".to_string()
+        }
     );
 
     let mut rows = Vec::with_capacity(specs.len());
     for spec in &specs {
-        let row = run_workload(spec, threads);
+        let row = run_workload(spec, threads, portfolio);
         println!(
-            "  {:>14} [{:>10}/{:<6}] n={:<5} ises={} instances={:<3} speedup={:<5.2} seq {:>9.2} ms  batched {:>9.2} ms",
+            "  {:>14} [{:>10}/{:<6}] n={:<5} ises={} instances={:<3} speedup={:<5.2} seq {:>9.2} ms  batched {:>9.2} ms  portfolio {:>9.2} ms",
             row.name,
             row.category,
             row.tier,
@@ -151,7 +187,8 @@ fn main() {
             row.instances,
             row.speedup,
             row.sequential_ms,
-            row.batched_ms
+            row.batched_ms,
+            row.portfolio_ms
         );
         rows.push(row);
     }
@@ -160,9 +197,10 @@ fn main() {
     json.push_str("{\n  \"report\": \"isegen workload scaling gate\",\n");
     let _ = writeln!(
         json,
-        "  \"tiers\": \"{}\",\n  \"threads\": {},\n  \"cpus\": {},",
+        "  \"tiers\": \"{}\",\n  \"threads\": {},\n  \"portfolio_threads\": {},\n  \"cpus\": {},",
         tier_names.join(","),
         threads,
+        portfolio,
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -171,9 +209,14 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"workload\": \"{}\", \"category\": \"{}\", \"tier\": \"{}\", \"ops\": {}, \"blocks\": {}, \"ises\": {}, \"instances\": {}, \"speedup\": {:.4}, \"sequential_ms\": {:.3}, \"batched_ms\": {:.3}}}{}",
+            "    {{\"workload\": \"{}\", \"category\": \"{}\", \"tier\": \"{}\", \"ops\": {}, \"blocks\": {}, \"ises\": {}, \"instances\": {}, \"speedup\": {:.4}, \"sequential_ms\": {:.3}, \"batched_ms\": {:.3}, \"portfolio_ms\": {}}}{}",
             r.name, r.category, r.tier, r.ops, r.blocks, r.ises, r.instances, r.speedup,
             r.sequential_ms, r.batched_ms,
+            if r.portfolio_ms.is_nan() {
+                "null".to_string()
+            } else {
+                format!("{:.3}", r.portfolio_ms)
+            },
             if i + 1 < rows.len() { "," } else { "" }
         );
     }

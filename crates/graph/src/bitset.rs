@@ -28,6 +28,14 @@ pub struct NodeSet {
     len: usize,
 }
 
+impl Default for NodeSet {
+    /// An empty set of capacity 0 — the placeholder state of pooled
+    /// arena buffers before [`NodeSet::reset`] sizes them to a block.
+    fn default() -> Self {
+        NodeSet::new(0)
+    }
+}
+
 impl NodeSet {
     /// Creates an empty set able to hold node indices `0..capacity`.
     pub fn new(capacity: usize) -> Self {
@@ -149,6 +157,25 @@ impl NodeSet {
             *w = 0;
         }
         self.len = 0;
+    }
+
+    /// Re-initialises the set as empty with a (possibly different)
+    /// capacity, reusing the word buffer — the arena path: resetting to a
+    /// capacity the buffer has already held never allocates.
+    pub fn reset(&mut self, capacity: usize) {
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(WORD_BITS), 0);
+        self.capacity = capacity;
+        self.len = 0;
+    }
+
+    /// Makes `self` an exact copy of `other` (capacity included),
+    /// reusing the word buffer where possible.
+    pub fn copy_from(&mut self, other: &NodeSet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.capacity = other.capacity;
+        self.len = other.len;
     }
 
     /// Inserts every node index in `0..capacity` — the in-place
@@ -554,5 +581,32 @@ mod tests {
         assert_eq!(s.word(0), 1);
         assert_eq!(s.word(1), 1);
         assert_eq!(s.word(2), 2);
+    }
+
+    #[test]
+    fn reset_recapacities_and_empties() {
+        let mut s = NodeSet::from_ids(200, [id(3), id(130)]);
+        s.reset(64);
+        assert_eq!(s.capacity(), 64);
+        assert!(s.is_empty());
+        s.insert(id(63));
+        assert!(s.contains(id(63)));
+        // growing again behaves like a fresh set of the larger capacity
+        s.reset(300);
+        assert_eq!(s.capacity(), 300);
+        assert!(s.is_empty());
+        s.insert(id(299));
+        assert_eq!(s.len(), 1);
+        assert_eq!(NodeSet::default().capacity(), 0);
+    }
+
+    #[test]
+    fn copy_from_matches_assignment() {
+        let src = NodeSet::from_ids(150, [id(0), id(64), id(149)]);
+        let mut dst = NodeSet::from_ids(17, [id(2)]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.capacity(), 150);
+        assert_eq!(dst.len(), 3);
     }
 }

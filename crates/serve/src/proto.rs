@@ -18,9 +18,13 @@
 //! | `shutdown` | —                                       | ack, then the server drains |
 //!
 //! `config` members (all optional): `io` (`[inputs, outputs]`),
-//! `max_ises`, `reuse`, `threads`, `max_passes`, `restarts` and
-//! `weights` (`{"merit":…, "io_penalty":…, "affinity":…, "growth":…,
-//! "independence":…}`). Defaults are the paper's headline configuration.
+//! `max_ises`, `reuse`, `threads`, `portfolio_threads`, `max_passes`,
+//! `restarts` and `weights` (`{"merit":…, "io_penalty":…, "affinity":…,
+//! "growth":…, "independence":…}`). Defaults are the paper's headline
+//! configuration. `threads` is the overall driver budget (block waves ×
+//! intra-block portfolios, split automatically); `portfolio_threads`
+//! additionally floors the intra-block portfolio fan-out — useful when a
+//! request has one huge block and `threads` is left at 1.
 
 use crate::json::Json;
 use isegen_core::{GainWeights, IoConstraints, IseConfig, SearchConfig};
@@ -75,8 +79,15 @@ pub struct RequestConfig {
     pub ise: IseConfig,
     /// K-L search configuration.
     pub search: SearchConfig,
-    /// Driver thread count (1 = sequential driver).
+    /// Driver thread count (1 = sequential driver). The budget is split
+    /// between block-level waves and intra-block portfolios.
     pub threads: usize,
+    /// Floor on the intra-block portfolio thread count (1 = sequential
+    /// portfolio unless the driver assigns more from `threads`). Never
+    /// changes results — portfolio output is byte-identical at every
+    /// thread count — so it is deliberately *not* part of the selection
+    /// memo key.
+    pub portfolio_threads: usize,
 }
 
 impl Default for RequestConfig {
@@ -85,6 +96,7 @@ impl Default for RequestConfig {
             ise: IseConfig::paper_default(),
             search: SearchConfig::default(),
             threads: 1,
+            portfolio_threads: 1,
         }
     }
 }
@@ -148,6 +160,16 @@ pub fn parse_config(config: Option<&Json>) -> Result<RequestConfig, ProtoError> 
             .ok_or_else(|| ProtoError::new("protocol", "config.reuse must be a boolean"))?;
     }
     out.threads = bounded(obj, "threads", out.threads)?;
+    out.portfolio_threads = bounded(obj, "portfolio_threads", out.portfolio_threads)?;
+    // The two thread knobs multiply (wave workers × intra-block
+    // portfolio), so bound the *product*: otherwise a single request
+    // with both at MAX_KNOB could ask the daemon for ~16M OS threads.
+    if out.threads.saturating_mul(out.portfolio_threads) > MAX_KNOB as usize {
+        return Err(ProtoError::new(
+            "protocol",
+            format!("config.threads × config.portfolio_threads must be ≤ {MAX_KNOB}"),
+        ));
+    }
     out.search.max_passes = bounded(obj, "max_passes", out.search.max_passes)?;
     out.search.restarts = bounded(obj, "restarts", out.search.restarts)?;
     if let Some(w) = obj.get("weights") {
@@ -203,7 +225,7 @@ mod tests {
     fn full_config_round_trip() {
         let j = json::parse(
             r#"{"io":[6,3],"max_ises":8,"reuse":false,"threads":4,
-                "max_passes":2,"restarts":1,
+                "portfolio_threads":2,"max_passes":2,"restarts":1,
                 "weights":{"merit":2.0,"io_penalty":10.0}}"#,
         )
         .unwrap();
@@ -212,12 +234,16 @@ mod tests {
         assert_eq!(cfg.ise.max_ises, 8);
         assert!(!cfg.ise.reuse_matching);
         assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.portfolio_threads, 2);
         assert_eq!(cfg.search.max_passes, 2);
         assert_eq!(cfg.search.restarts, 1);
         assert_eq!(cfg.search.weights.merit, 2.0);
         assert_eq!(cfg.search.weights.io_penalty, 10.0);
         // unspecified weights keep their defaults
         assert_eq!(cfg.search.weights.affinity, GainWeights::default().affinity);
+        // absent portfolio knob defaults to a sequential portfolio
+        let j = json::parse(r#"{"threads":8}"#).unwrap();
+        assert_eq!(parse_config(Some(&j)).unwrap().portfolio_threads, 1);
     }
 
     #[test]
@@ -232,6 +258,15 @@ mod tests {
             r#"{"io":[4,-2]}"#,
             r#"{"max_ises":0}"#,
             r#"{"threads":1e9}"#,
+            r#"{"portfolio_threads":0}"#,
+            r#"{"portfolio_threads":-4}"#,
+            r#"{"portfolio_threads":1e9}"#,
+            r#"{"portfolio_threads":"many"}"#,
+            r#"{"portfolio_threads":4294967296}"#,
+            r#"{"portfolio_threads":3.5}"#,
+            // individually legal, jointly a thread bomb
+            r#"{"threads":4096,"portfolio_threads":4096}"#,
+            r#"{"threads":128,"portfolio_threads":64}"#,
             r#"{"max_passes":2.5}"#,
             r#"{"restarts":99999999}"#,
             r#"{"reuse":"yes"}"#,

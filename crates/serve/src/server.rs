@@ -13,14 +13,16 @@
 use crate::cache::{AppEntry, SelectionKey, ServeCache, SubmitError};
 use crate::json::{self, Json};
 use crate::proto::{self, ProtoError, RequestConfig};
-use isegen_core::{generate_batched_in_contexts, generate_in_contexts, IseSelection, IsegenFinder};
+use isegen_core::{
+    generate_batched_in_contexts, generate_in_contexts, CacheStats, IseSelection, IsegenFinder,
+};
 use isegen_ir::LatencyModel;
 use isegen_rtl::AfuLibrary;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Hard cap on one request line (bytes). The largest bundled workload
@@ -58,6 +60,9 @@ pub struct Server {
     requests: AtomicU64,
     errors: AtomicU64,
     connections: AtomicU64,
+    /// K-L probe/arena statistics absorbed from every computed (non-memo)
+    /// selection, surfaced by the `stats` op.
+    search_stats: Mutex<CacheStats>,
 }
 
 impl Server {
@@ -76,6 +81,7 @@ impl Server {
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            search_stats: Mutex::new(CacheStats::default()),
         })
     }
 
@@ -300,13 +306,18 @@ impl Server {
         }
         self.cache.count_selection(false);
         let contexts = entry.contexts();
+        let mut finder = IsegenFinder::new(config.search.clone())
+            .with_portfolio_threads(config.portfolio_threads);
         let selection = if config.threads > 1 {
-            let finder = IsegenFinder::new(config.search.clone());
             generate_batched_in_contexts(&finder, &contexts, &config.ise, config.threads)
         } else {
-            let mut finder = IsegenFinder::new(config.search.clone());
             generate_in_contexts(&mut finder, &contexts, &config.ise)
         };
+        // Worker clones report into the finder's shared accumulator, so
+        // this covers the batched path too.
+        if let Ok(mut acc) = self.search_stats.lock() {
+            acc.absorb(finder.accumulated_stats());
+        }
         let selection = Arc::new(selection);
         entry.store_selection(key, Arc::clone(&selection));
         (selection, false)
@@ -394,6 +405,7 @@ impl Server {
 
     fn op_stats(&self) -> Json {
         let c = self.cache.counters();
+        let s = self.search_stats.lock().map(|s| *s).unwrap_or_default();
         Json::obj([
             ("ok", Json::Bool(true)),
             ("op", "stats".into()),
@@ -408,6 +420,21 @@ impl Server {
             (
                 "connections",
                 self.connections.load(Ordering::Relaxed).into(),
+            ),
+            // K-L search statistics summed over every computed selection:
+            // the service-level view of the gain cache and arena pools.
+            (
+                "search",
+                Json::obj([
+                    ("fresh_probes", s.fresh_probes.into()),
+                    ("cached_probes", s.cached_probes.into()),
+                    ("probes_avoided_pct", (s.avoided_fraction() * 100.0).into()),
+                    ("commits", s.commits.into()),
+                    ("full_invalidations", s.full_invalidations.into()),
+                    ("trajectories", s.trajectories.into()),
+                    ("arena_reuses", s.arena_reuses.into()),
+                    ("arena_allocs", s.arena_allocs.into()),
+                ]),
             ),
         ])
     }

@@ -1,0 +1,233 @@
+//! The portfolio-parallel `bipartition` must be **byte-identical** to
+//! the sequential search at every thread count — intra-block
+//! parallelism is a wall-clock optimisation, never a result change —
+//! and the thread-budget split of the batched driver must preserve the
+//! sequential driver's output exactly (modelled on
+//! `tests/batched_driver.rs`).
+
+use isegen::core::{
+    bipartition, bipartition_portfolio, bipartition_profiled, bipartition_with_stats, generate,
+    generate_batched, generate_batched_with, generate_with, BlockContext, GainWeights,
+    IoConstraints, IseConfig, IsegenFinder, SearchConfig,
+};
+use isegen::ir::LatencyModel;
+use isegen::workloads::{aes, random_application, RandomWorkloadConfig};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn portfolio_parity_on_aes() {
+    let app = aes();
+    let block = app
+        .blocks()
+        .iter()
+        .max_by_key(|b| b.dag().node_count())
+        .expect("aes has blocks");
+    let model = LatencyModel::paper_default();
+    let ctx = BlockContext::new(block, &model);
+    let io = IoConstraints::new(4, 2);
+    let config = SearchConfig::default();
+    let sequential = bipartition(&ctx, io, &config, None);
+    assert!(!sequential.is_empty(), "AES must yield a cut");
+    for threads in THREAD_COUNTS {
+        let parallel = bipartition_portfolio(&ctx, io, &config, None, threads);
+        assert_eq!(
+            parallel, sequential,
+            "portfolio diverged from sequential at {threads} threads on AES"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random DAGs, every thread count, with and without forbidden sets.
+    #[test]
+    fn portfolio_parity_on_random_dags(
+        seed in any::<u64>(),
+        ops in 8usize..80,
+        forbid_stride in 0usize..4,
+    ) {
+        let app = random_application(&RandomWorkloadConfig {
+            seed,
+            blocks: 1,
+            ops_per_block: ops,
+            ..RandomWorkloadConfig::default()
+        });
+        let block = &app.blocks()[0];
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(block, &model);
+        let io = IoConstraints::new(4, 2);
+        let config = SearchConfig::default();
+        let forbidden = (forbid_stride > 0).then(|| {
+            let mut f = isegen::graph::NodeSet::new(ctx.node_count());
+            for (i, v) in ctx.eligible().iter().enumerate() {
+                if i % (forbid_stride + 1) == 0 {
+                    f.insert(v);
+                }
+            }
+            f
+        });
+        let sequential = bipartition(&ctx, io, &config, forbidden.as_ref());
+        for threads in THREAD_COUNTS {
+            let parallel =
+                bipartition_portfolio(&ctx, io, &config, forbidden.as_ref(), threads);
+            prop_assert_eq!(
+                &parallel,
+                &sequential,
+                "portfolio diverged at {} threads (seed {})",
+                threads,
+                seed
+            );
+        }
+    }
+
+    /// Hostile weights (NaN/∞) must not open a thread-count-dependent
+    /// path through the merge: NaN merits lose to the incumbent in the
+    /// same order at every thread count.
+    #[test]
+    fn portfolio_parity_under_hostile_weights(
+        seed in any::<u64>(),
+        ops in 8usize..40,
+    ) {
+        let app = random_application(&RandomWorkloadConfig {
+            seed,
+            blocks: 1,
+            ops_per_block: ops,
+            ..RandomWorkloadConfig::default()
+        });
+        let block = &app.blocks()[0];
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(block, &model);
+        let io = IoConstraints::new(4, 2);
+        let config = SearchConfig {
+            weights: GainWeights {
+                merit: f64::NAN,
+                io_penalty: f64::INFINITY,
+                affinity: f64::NAN,
+                growth: f64::NEG_INFINITY,
+                independence: f64::NAN,
+            },
+            ..SearchConfig::default()
+        };
+        let sequential = bipartition(&ctx, io, &config, None);
+        for threads in THREAD_COUNTS {
+            let parallel = bipartition_portfolio(&ctx, io, &config, None, threads);
+            prop_assert_eq!(&parallel, &sequential, "NaN-weight divergence at {} threads", threads);
+        }
+    }
+}
+
+#[test]
+fn batched_driver_with_budget_split_matches_sequential() {
+    // Multi-block application: the batched driver splits its budget
+    // between waves and portfolios; output must not move.
+    let model = LatencyModel::paper_default();
+    let search = SearchConfig::default();
+    for seed in [3u64, 77] {
+        let app = random_application(&RandomWorkloadConfig {
+            seed,
+            blocks: 6,
+            ops_per_block: 50,
+            ..RandomWorkloadConfig::default()
+        });
+        let config = IseConfig::paper_default();
+        let mut finder = IsegenFinder::new(search.clone());
+        let sequential = generate_with(&mut finder, &app, &model, &config);
+        for threads in THREAD_COUNTS {
+            let batched = generate_batched(&app, &model, &config, &search, threads);
+            assert_eq!(
+                batched, sequential,
+                "seed {seed}: batched driver diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_block_app_gets_portfolio_budget() {
+    // One block, many threads: the whole budget lands on the portfolio
+    // (waves of length 1). Output identical, and the finder with an
+    // explicit portfolio setting agrees too.
+    let app = aes();
+    let model = LatencyModel::paper_default();
+    let config = IseConfig::paper_default();
+    let search = SearchConfig::default();
+    let sequential = generate(&app, &model, &config, &search);
+    for threads in THREAD_COUNTS {
+        let batched = generate_batched(&app, &model, &config, &search, threads);
+        assert_eq!(
+            batched, sequential,
+            "AES batched diverged at {threads} threads"
+        );
+        let finder = IsegenFinder::new(search.clone()).with_portfolio_threads(threads);
+        let portfolio = generate_batched_with(&finder, &app, &model, &config, 1);
+        assert_eq!(
+            portfolio, sequential,
+            "AES portfolio finder diverged at {threads} portfolio threads"
+        );
+    }
+}
+
+#[test]
+fn arena_pool_reuse_is_counted_and_results_unchanged() {
+    // The acceptance assertion for "no per-trajectory allocation":
+    // within one sequential bipartition, only the very first trajectory
+    // builds arena buffers; every later trajectory reuses the pooled
+    // SearchScratch. Across repeated searches on a warm finder the
+    // arenas stay warm (reuses == trajectories).
+    let app = aes();
+    let block = app
+        .blocks()
+        .iter()
+        .max_by_key(|b| b.dag().node_count())
+        .expect("aes has blocks");
+    let model = LatencyModel::paper_default();
+    let ctx = BlockContext::new(block, &model);
+    let io = IoConstraints::new(4, 2);
+    let config = SearchConfig::default();
+
+    let (cut, stats) = bipartition_with_stats(&ctx, io, &config, None);
+    assert!(stats.trajectories >= 2, "portfolio must run: {stats:?}");
+    assert_eq!(
+        stats.arena_allocs, 1,
+        "exactly one cold arena at threads=1: {stats:?}"
+    );
+    assert_eq!(
+        stats.arena_reuses,
+        stats.trajectories - 1,
+        "every later trajectory must reuse the pooled scratch: {stats:?}"
+    );
+
+    // A warm pool carries across calls: second search allocates nothing.
+    let mut pool = Vec::new();
+    let (first, _, _) = bipartition_profiled(&ctx, io, &config, None, 1, &mut pool);
+    let (second, stats2, reports) = bipartition_profiled(&ctx, io, &config, None, 1, &mut pool);
+    assert_eq!(first, cut);
+    assert_eq!(second, cut);
+    assert_eq!(
+        stats2.arena_allocs, 0,
+        "warm pool must not allocate: {stats2:?}"
+    );
+    assert_eq!(stats2.arena_reuses, stats2.trajectories);
+    assert_eq!(reports.len() as u64, stats2.trajectories);
+    assert!(reports.iter().any(|r| r.flavour == "base"));
+    assert!(reports.iter().any(|r| r.flavour == "cohesive"));
+    assert!(reports.iter().all(|r| r.wall_ms >= 0.0));
+}
+
+#[test]
+fn finder_accumulates_stats_across_clones() {
+    let app = aes();
+    let model = LatencyModel::paper_default();
+    let config = IseConfig::paper_default();
+    let finder = IsegenFinder::new(SearchConfig::default());
+    let selection = generate_batched_with(&finder, &app, &model, &config, 4);
+    assert!(!selection.ises.is_empty());
+    let stats = finder.accumulated_stats();
+    assert!(
+        stats.trajectories > 0 && stats.commits > 0,
+        "worker clones must report into the shared accumulator: {stats:?}"
+    );
+}

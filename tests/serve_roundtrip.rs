@@ -173,6 +173,30 @@ fn daemon_matches_library_path_and_serves_from_cache() {
         );
         assert_eq!(hits("entries"), 2, "fir00 + aes cached once each");
         assert_eq!(hits("errors"), 0, "no error responses in the happy path");
+        // The computed selections must have reported their K-L search
+        // counters: portfolio trajectories ran, arenas were pooled, and
+        // the precision invalidation never flushed the gain cache.
+        let search = stats.get("search").expect("search stats object");
+        let skey = |k: &str| search.get(k).and_then(Json::as_u64).unwrap_or(0);
+        assert!(skey("trajectories") > 0, "no trajectories counted: {stats}");
+        assert!(skey("commits") > 0, "no commits counted: {stats}");
+        assert!(
+            skey("arena_reuses") > 0,
+            "arena pool was never reused: {stats}"
+        );
+        assert_eq!(
+            skey("full_invalidations"),
+            0,
+            "a commit flushed the gain cache: {stats}"
+        );
+        assert!(
+            search
+                .get("probes_avoided_pct")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+                > 50.0,
+            "the serve path must keep the cache hot: {stats}"
+        );
 
         client.request(Json::obj([("op", "shutdown".into())]));
         handle
@@ -180,6 +204,58 @@ fn daemon_matches_library_path_and_serves_from_cache() {
             .expect("server thread")
             .expect("clean shutdown");
     });
+}
+
+#[test]
+fn portfolio_config_is_byte_identical_through_the_daemon() {
+    // Two fresh daemons, same program: one selects with the default
+    // sequential config, the other with a threaded driver + portfolio
+    // floor. Identical selection bytes — the thread budget is a latency
+    // knob, never a result knob (which is also why it is excluded from
+    // the selection memo key).
+    let ir = text::write_application(&workload_by_name("fir00").unwrap().application());
+    let run = |config: Option<&str>| -> (Json, Json) {
+        let server = quiet_server();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.run());
+            let mut client = Client::connect(&server);
+            let payload = match config {
+                Some(cfg) => format!(
+                    r#"{{"op":"select","ir":{},"config":{cfg}}}"#,
+                    Json::from(ir.as_str())
+                ),
+                None => format!(r#"{{"op":"select","ir":{}}}"#, Json::from(ir.as_str())),
+            };
+            let response = client.raw(&payload);
+            assert_eq!(
+                response.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "select failed: {response}"
+            );
+            let out = (
+                response.get("ises").cloned().expect("ises"),
+                response.get("speedup").cloned().expect("speedup"),
+            );
+            client.request(Json::obj([("op", "shutdown".into())]));
+            handle
+                .join()
+                .expect("server thread")
+                .expect("clean shutdown");
+            out
+        })
+    };
+    let sequential = run(None);
+    for cfg in [
+        r#"{"threads":4}"#,
+        r#"{"portfolio_threads":4}"#,
+        r#"{"threads":2,"portfolio_threads":3}"#,
+    ] {
+        assert_eq!(
+            run(Some(cfg)),
+            sequential,
+            "config {cfg} changed the selection"
+        );
+    }
 }
 
 #[test]
