@@ -4,8 +4,9 @@
 //! for a selection and the RTL, and verifies the responses **bit for
 //! bit** against the in-process library path (same drivers, same
 //! emitter): speedup, per-ISE shapes and the full Verilog must be
-//! byte-identical, and the repeated selection must be served from the
-//! daemon's memo. Exit code 0 means the service pipeline is equivalent
+//! byte-identical, the repeated selection must be served from the
+//! daemon's memo, and the daemon's `verify` op must report zero
+//! mismatches from its three-way differential oracle. Exit code 0 means the service pipeline is equivalent
 //! to the library pipeline; 1 means divergence; 2 means CLI misuse.
 //!
 //! ```sh
@@ -179,8 +180,28 @@ fn main() {
                 expected_verilog.len()
             ));
         }
+        // The verify op: the daemon must prove the Verilog it just
+        // handed us executes correctly — three-way differential oracle,
+        // zero mismatches.
+        let verify = conn.request(Json::obj([
+            ("op", "verify".into()),
+            ("app", hash.as_str().into()),
+            ("config", request_config.clone()),
+            ("vectors", 32u64.into()),
+        ]));
+        if verify.get("passed").and_then(Json::as_bool) != Some(true) {
+            fail(format!("{name}: verify reported mismatches: {verify}"));
+        }
+        let verified = verify.get("ises").and_then(Json::as_array).unwrap_or(&[]);
+        if verified.len() != expected.ises.len() {
+            fail(format!(
+                "{name}: verify covered {} ISEs, expected {}",
+                verified.len(),
+                expected.ises.len()
+            ));
+        }
         println!(
-            "ised_client: OK {name}: {} ISEs, speedup {speedup:.4}, {} Verilog bytes, cache hit verified",
+            "ised_client: OK {name}: {} ISEs, speedup {speedup:.4}, {} Verilog bytes, cache hit + verify clean",
             ises.len(),
             verilog.len()
         );

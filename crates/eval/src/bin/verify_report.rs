@@ -1,0 +1,219 @@
+//! Corpus-wide RTL verification gate: for every registry workload in
+//! the selected size tiers, run the paper-default selection, emit the
+//! AFU Verilog, parse the emitted *text* back, and drive random
+//! stimulus through the three-way differential oracle
+//! (`ir::interp` ⇔ `Netlist::evaluate` ⇔ Verilog-sim). Writes
+//! per-workload rows (ISEs, vectors, mismatches, toggle coverage) as
+//! JSON.
+//!
+//! This is the CI gate behind the RTL back-end: any mismatch or any
+//! harness failure exits non-zero, so a miscompiled datapath fails the
+//! workflow rather than shipping as "plausible Verilog".
+//!
+//! ```sh
+//! verify_report                             # small + medium, verify-report.json
+//! verify_report -- --tier all --vectors 128
+//! verify_report -- --tier small --seed 7 --out /tmp/report.json
+//! ```
+
+use isegen_core::{generate, IseConfig, SearchConfig};
+use isegen_ir::LatencyModel;
+use isegen_rtl::{verify_selection, VerifyConfig, VerifyReport};
+use isegen_workloads::{workloads_in_tiers, SizeTier, WorkloadSpec};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const USAGE: &str = "usage: verify_report [--tier LIST|all] [--vectors N] [--seed N] [--out PATH]
+  --tier LIST  comma-separated size tiers (small/medium/large/huge) or all
+               (default small,medium)
+  --vectors N  random stimulus vectors per ISE (default 64)
+  --seed N     stimulus seed, for reproducing a CI failure (default 0x5eed)
+  --out PATH   JSON report path (default verify-report.json)";
+
+/// Prints the problem and the usage to stderr, then exits with code 2 —
+/// a CLI mistake is a usage error, never a panic with a backtrace.
+fn usage_error(message: &str) -> ! {
+    eprintln!("verify_report: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_tiers(arg: &str) -> Vec<SizeTier> {
+    if arg == "all" {
+        return SizeTier::ALL.to_vec();
+    }
+    arg.split(',')
+        .map(|t| {
+            SizeTier::parse(t.trim()).unwrap_or_else(|| usage_error(&format!("unknown tier {t:?}")))
+        })
+        .collect()
+}
+
+struct Row {
+    name: &'static str,
+    category: &'static str,
+    tier: &'static str,
+    ops: usize,
+    reports: Vec<VerifyReport>,
+    wall_ms: f64,
+}
+
+fn run_workload(spec: &WorkloadSpec, config: &VerifyConfig) -> Row {
+    let app = spec.application();
+    let model = LatencyModel::paper_default();
+    let selection = generate(
+        &app,
+        &model,
+        &IseConfig::paper_default(),
+        &SearchConfig::default(),
+    );
+    let start = Instant::now();
+    let reports = verify_selection(&app, &selection, config).unwrap_or_else(|e| {
+        eprintln!("verify_report: FAIL {}: harness error: {e}", spec.name);
+        std::process::exit(1);
+    });
+    Row {
+        name: spec.name,
+        category: spec.category.name(),
+        tier: spec.tier().name(),
+        ops: spec.kernel_ops,
+        reports,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn main() {
+    let mut tiers = vec![SizeTier::Small, SizeTier::Medium];
+    let mut out_path = "verify-report.json".to_string();
+    let mut config = VerifyConfig {
+        vectors: 64,
+        ..VerifyConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tier" => match args.next() {
+                Some(list) => tiers = parse_tiers(&list),
+                None => usage_error("--tier needs a list"),
+            },
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => usage_error("--out needs a path"),
+            },
+            "--vectors" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => config.vectors = n,
+                _ => usage_error("--vectors needs a positive integer"),
+            },
+            "--seed" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => config.seed = n,
+                _ => usage_error("--seed needs an unsigned integer"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let specs = workloads_in_tiers(&tiers);
+    assert!(!specs.is_empty(), "no workloads in the selected tiers");
+    let tier_names: Vec<&str> = tiers.iter().map(|t| t.name()).collect();
+    println!(
+        "verify gate: {} workloads (tiers: {}), {} vectors per ISE, seed {:#x}",
+        specs.len(),
+        tier_names.join(","),
+        config.vectors,
+        config.seed
+    );
+
+    let mut rows = Vec::with_capacity(specs.len());
+    let mut total_mismatches = 0usize;
+    let mut total_ises = 0usize;
+    for spec in &specs {
+        let row = run_workload(spec, &config);
+        let mismatches: usize = row.reports.iter().map(|r| r.mismatches).sum();
+        let min_coverage = row
+            .reports
+            .iter()
+            .flat_map(|r| r.output_bits_covered.iter().copied())
+            .min()
+            .unwrap_or(0);
+        println!(
+            "  {:>14} [{:>10}/{:<6}] n={:<5} ises={} vectors={} mismatches={} min_coverage={:<2} {:>9.2} ms{}",
+            row.name,
+            row.category,
+            row.tier,
+            row.ops,
+            row.reports.len(),
+            config.vectors,
+            mismatches,
+            min_coverage,
+            row.wall_ms,
+            if mismatches > 0 { "  ** FAIL **" } else { "" }
+        );
+        for report in row.reports.iter().filter(|r| !r.passed()) {
+            for m in &report.first_mismatches {
+                eprintln!("    {}: {}", report.module, m);
+            }
+        }
+        total_mismatches += mismatches;
+        total_ises += row.reports.len();
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"report\": \"isegen RTL verification gate\",\n");
+    let _ = writeln!(
+        json,
+        "  \"tiers\": \"{}\",\n  \"vectors\": {},\n  \"seed\": {},\n  \"ises\": {},\n  \"mismatches\": {},",
+        tier_names.join(","),
+        config.vectors,
+        config.seed,
+        total_ises,
+        total_mismatches
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let ises: Vec<String> = row
+            .reports
+            .iter()
+            .map(|r| {
+                let coverage: Vec<String> = r
+                    .output_bits_covered
+                    .iter()
+                    .map(u32::to_string)
+                    .collect();
+                format!(
+                    "{{\"module\": \"{}\", \"cells\": {}, \"mismatches\": {}, \"output_bits_covered\": [{}]}}",
+                    r.module,
+                    r.cells,
+                    r.mismatches,
+                    coverage.join(", ")
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"category\": \"{}\", \"tier\": \"{}\", \"ops\": {}, \"wall_ms\": {:.3}, \"ises\": [{}]}}{}",
+            row.name,
+            row.category,
+            row.tier,
+            row.ops,
+            row.wall_ms,
+            ises.join(", "),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write verify report");
+    println!("wrote {out_path}");
+
+    if total_mismatches > 0 {
+        eprintln!("verify_report: FAIL: {total_mismatches} mismatch(es) across the corpus");
+        std::process::exit(1);
+    }
+    println!(
+        "verify_report: all {total_ises} ISE(s) verified across {} workload(s)",
+        rows.len()
+    );
+}

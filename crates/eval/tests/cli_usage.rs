@@ -62,11 +62,25 @@ fn ised_client_rejects_bad_args_with_exit_2() {
 }
 
 #[test]
+fn verify_report_rejects_bad_args_with_exit_2() {
+    let bin = env!("CARGO_BIN_EXE_verify_report");
+    assert_usage_error(bin, &["--frobnicate"]);
+    assert_usage_error(bin, &["--tier"]);
+    assert_usage_error(bin, &["--tier", "enormous"]);
+    assert_usage_error(bin, &["--vectors"]);
+    assert_usage_error(bin, &["--vectors", "0"]);
+    assert_usage_error(bin, &["--vectors", "many"]);
+    assert_usage_error(bin, &["--seed", "-1"]);
+    assert_usage_error(bin, &["--out"]);
+}
+
+#[test]
 fn help_goes_to_stdout_with_exit_0() {
     for bin in [
         env!("CARGO_BIN_EXE_scaling"),
         env!("CARGO_BIN_EXE_perf_report"),
         env!("CARGO_BIN_EXE_ised_client"),
+        env!("CARGO_BIN_EXE_verify_report"),
     ] {
         let (code, stdout, _) = run(bin, &["--help"]);
         assert_eq!(code, Some(0), "{bin} --help");

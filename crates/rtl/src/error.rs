@@ -31,6 +31,22 @@ pub enum RtlError {
         /// Operands the node actually has.
         got: usize,
     },
+    /// An input vector handed to [`crate::Netlist::evaluate`] disagrees
+    /// with the netlist's port count — a malformed stimulus that must
+    /// surface as a structured error on the serve path, never a panic.
+    InputCountMismatch {
+        /// Input ports the netlist has.
+        expected: usize,
+        /// Values the caller supplied.
+        got: usize,
+    },
+    /// A cell references a signal that does not exist (an input port or
+    /// earlier cell index out of range) — a hand-built or corrupted
+    /// netlist that `from_cut` can never produce.
+    DanglingSignal {
+        /// Index of the cell with the dangling operand.
+        cell: usize,
+    },
 }
 
 impl fmt::Display for RtlError {
@@ -49,6 +65,15 @@ impl fmt::Display for RtlError {
                 f,
                 "node {node} ({opcode}) has {got} operands, expected {expected}"
             ),
+            RtlError::InputCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "netlist has {expected} input port(s), got {got} value(s)"
+                )
+            }
+            RtlError::DanglingSignal { cell } => {
+                write!(f, "cell {cell} references a signal that does not exist")
+            }
         }
     }
 }
@@ -80,5 +105,15 @@ mod tests {
             got: 5,
         };
         assert_eq!(e.to_string(), "node n1 (add) has 5 operands, expected 2");
+        let e = RtlError::InputCountMismatch {
+            expected: 2,
+            got: 3,
+        };
+        assert_eq!(e.to_string(), "netlist has 2 input port(s), got 3 value(s)");
+        let e = RtlError::DanglingSignal { cell: 4 };
+        assert_eq!(
+            e.to_string(),
+            "cell 4 references a signal that does not exist"
+        );
     }
 }

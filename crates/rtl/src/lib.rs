@@ -15,6 +15,13 @@
 //!   AFU area estimates next to the latency model's delays.
 //! * [`AfuLibrary`] — bundles a whole [`IseSelection`] into named custom
 //!   instructions with their Verilog, area, delay and instance counts.
+//! * [`sim`] — a parser + evaluator for the emitted Verilog subset, so
+//!   the generated *text* is executed, not just inspected.
+//! * [`verify`] — the three-way differential harness
+//!   (`ir::interp` ⇔ `Netlist::evaluate` ⇔ Verilog-sim) behind the
+//!   `ised` `verify` op and the `verify_report` corpus gate.
+//! * [`emit_testbench`] — a self-checking testbench for external
+//!   simulators, stimulus and expectations baked in.
 //!
 //! # Example
 //!
@@ -35,7 +42,7 @@
 //! let cut = bipartition(&ctx, IoConstraints::new(4, 2), &SearchConfig::default(), None);
 //!
 //! let netlist = Netlist::from_cut(&block, cut.nodes())?;
-//! assert_eq!(netlist.evaluate(&[6, 7]), vec![48]); // (6*7)+6
+//! assert_eq!(netlist.evaluate(&[6, 7])?, vec![48]); // (6*7)+6
 //! let verilog = emit_verilog(&netlist, "mac_afu")?;
 //! assert!(verilog.contains("module mac_afu"));
 //! # Ok(())
@@ -49,10 +56,19 @@ mod afu;
 mod area;
 mod error;
 mod netlist;
+pub mod sim;
+mod testbench;
+pub mod verify;
 mod verilog;
 
 pub use afu::{AfuInstruction, AfuLibrary};
 pub use area::AreaModel;
 pub use error::RtlError;
 pub use netlist::{Cell, Netlist, Signal};
+pub use sim::{parse_module, parse_modules, SimError, VerilogModule};
+pub use testbench::emit_testbench;
+pub use verify::{
+    verify_cut, verify_module, verify_selection, PortMismatch, VerifyConfig, VerifyError,
+    VerifyReport,
+};
 pub use verilog::emit_verilog;

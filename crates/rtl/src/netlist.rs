@@ -179,6 +179,24 @@ impl Netlist {
         self.cells.iter().any(|c| c.opcode == opcode)
     }
 
+    /// Assembles a netlist from raw parts, bypassing `from_cut`'s
+    /// validation — for tests that need malformed netlists to prove the
+    /// fallible paths degrade into structured errors.
+    #[cfg(test)]
+    pub(crate) fn test_only_from_parts(
+        cells: Vec<Cell>,
+        cell_nodes: Vec<NodeId>,
+        input_nodes: Vec<NodeId>,
+        outputs: Vec<u32>,
+    ) -> Netlist {
+        Netlist {
+            cells,
+            cell_nodes,
+            input_nodes,
+            outputs,
+        }
+    }
+
     /// Reference simulation: evaluates the datapath on concrete input
     /// port values and returns the output port values.
     ///
@@ -186,27 +204,60 @@ impl Netlist {
     /// itself cross-checked against the block-level interpreter in
     /// integration tests.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `inputs.len() != self.input_count()`.
-    pub fn evaluate(&self, inputs: &[u32]) -> Vec<u32> {
-        assert_eq!(
-            inputs.len(),
-            self.input_count(),
-            "expected {} input values",
-            self.input_count()
-        );
-        let mut values = Vec::with_capacity(self.cells.len());
-        let mut args: Vec<u32> = Vec::with_capacity(3);
-        for cell in &self.cells {
-            args.clear();
-            args.extend(cell.operands.iter().map(|&s| match s {
-                Signal::Input(i) => inputs[i as usize],
-                Signal::Cell(i) => values[i as usize],
-            }));
-            values.push(eval_opcode(cell.opcode, &args).expect("eligible opcodes only"));
+    /// * [`RtlError::InputCountMismatch`] when `inputs.len()` disagrees
+    ///   with [`Netlist::input_count`].
+    /// * [`RtlError::IneligibleNode`] / [`RtlError::DanglingSignal`]
+    ///   for hand-built netlists `from_cut` would have rejected — the
+    ///   serve path must get a structured error, never a panic.
+    pub fn evaluate(&self, inputs: &[u32]) -> Result<Vec<u32>, RtlError> {
+        if inputs.len() != self.input_count() {
+            return Err(RtlError::InputCountMismatch {
+                expected: self.input_count(),
+                got: inputs.len(),
+            });
         }
-        self.outputs.iter().map(|&c| values[c as usize]).collect()
+        let mut values: Vec<u32> = Vec::with_capacity(self.cells.len());
+        let mut args: Vec<u32> = Vec::with_capacity(3);
+        for (c, cell) in self.cells.iter().enumerate() {
+            args.clear();
+            for &s in &cell.operands {
+                let v = match s {
+                    Signal::Input(i) => inputs.get(i as usize),
+                    Signal::Cell(i) => values.get(i as usize),
+                };
+                args.push(*v.ok_or(RtlError::DanglingSignal { cell: c })?);
+            }
+            let node = self
+                .cell_nodes
+                .get(c)
+                .copied()
+                .unwrap_or_else(|| NodeId::from_index(c));
+            if args.len() != cell.opcode.arity() {
+                return Err(RtlError::ArityMismatch {
+                    node,
+                    opcode: cell.opcode,
+                    expected: cell.opcode.arity(),
+                    got: args.len(),
+                });
+            }
+            values.push(
+                eval_opcode(cell.opcode, &args).ok_or(RtlError::IneligibleNode {
+                    node,
+                    opcode: cell.opcode,
+                })?,
+            );
+        }
+        let mut out = Vec::with_capacity(self.outputs.len());
+        for &c in &self.outputs {
+            out.push(
+                *values
+                    .get(c as usize)
+                    .ok_or(RtlError::DanglingSignal { cell: c as usize })?,
+            );
+        }
+        Ok(out)
     }
 }
 
@@ -249,8 +300,8 @@ mod tests {
         let cut = NodeSet::from_ids(block.dag().node_count(), [m, s]);
         let netlist = Netlist::from_cut(&block, &cut).unwrap();
         // port order = ascending node id = [x, y]
-        assert_eq!(netlist.evaluate(&[6, 7]), vec![48]);
-        assert_eq!(netlist.evaluate(&[0, 0]), vec![0]);
+        assert_eq!(netlist.evaluate(&[6, 7]).unwrap(), vec![48]);
+        assert_eq!(netlist.evaluate(&[0, 0]).unwrap(), vec![0]);
     }
 
     #[test]
@@ -262,7 +313,7 @@ mod tests {
         let cut = NodeSet::from_ids(2, [sq]);
         let netlist = Netlist::from_cut(&block, &cut).unwrap();
         assert_eq!(netlist.input_count(), 1);
-        assert_eq!(netlist.evaluate(&[9]), vec![81]);
+        assert_eq!(netlist.evaluate(&[9]).unwrap(), vec![81]);
     }
 
     #[test]
@@ -336,6 +387,70 @@ mod tests {
     }
 
     #[test]
+    fn evaluate_is_fallible_not_panicking() {
+        let (block, _x, _y, m, s) = mac_block();
+        let cut = NodeSet::from_ids(block.dag().node_count(), [m, s]);
+        let netlist = Netlist::from_cut(&block, &cut).unwrap();
+        // Wrong stimulus length: structured error, the serve contract.
+        assert_eq!(
+            netlist.evaluate(&[1]),
+            Err(RtlError::InputCountMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert!(matches!(
+            netlist.evaluate(&[1, 2, 3]),
+            Err(RtlError::InputCountMismatch { .. })
+        ));
+        // Hand-built netlists with dangling signals / bad arity /
+        // ineligible opcodes all degrade into errors too.
+        let dangling = Netlist::test_only_from_parts(
+            vec![Cell {
+                opcode: Opcode::Add,
+                operands: vec![Signal::Input(0), Signal::Cell(7)],
+            }],
+            vec![NodeId::from_index(1)],
+            vec![NodeId::from_index(0)],
+            vec![0],
+        );
+        assert_eq!(
+            dangling.evaluate(&[5]),
+            Err(RtlError::DanglingSignal { cell: 0 })
+        );
+        let bad_arity = Netlist::test_only_from_parts(
+            vec![Cell {
+                opcode: Opcode::Add,
+                operands: vec![Signal::Input(0)],
+            }],
+            vec![NodeId::from_index(1)],
+            vec![NodeId::from_index(0)],
+            vec![0],
+        );
+        assert!(matches!(
+            bad_arity.evaluate(&[5]),
+            Err(RtlError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+        let ineligible = Netlist::test_only_from_parts(
+            vec![Cell {
+                opcode: Opcode::Load,
+                operands: vec![Signal::Input(0)],
+            }],
+            vec![NodeId::from_index(1)],
+            vec![NodeId::from_index(0)],
+            vec![0],
+        );
+        assert!(matches!(
+            ineligible.evaluate(&[5]),
+            Err(RtlError::IneligibleNode { .. })
+        ));
+    }
+
+    #[test]
     fn multi_output_order_is_stable() {
         let mut b = BlockBuilder::new("t");
         let x = b.input("x");
@@ -345,7 +460,7 @@ mod tests {
         let cut = NodeSet::from_ids(3, [a, c]);
         let netlist = Netlist::from_cut(&block, &cut).unwrap();
         assert_eq!(netlist.output_count(), 2);
-        let out = netlist.evaluate(&[5]);
+        let out = netlist.evaluate(&[5]).unwrap();
         assert_eq!(out, vec![!5u32, 5u32.wrapping_neg()]);
     }
 }

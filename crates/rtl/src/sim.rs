@@ -1,0 +1,1631 @@
+//! A parser and evaluator for the combinational Verilog subset
+//! [`crate::emit_verilog`] produces — the emitted *text* executed on
+//! concrete bit-vectors, independent of the [`crate::Netlist`] it came
+//! from.
+//!
+//! The structural golden model (`Netlist::evaluate`) shares code with
+//! the emitter by construction, so agreement between the two proves
+//! little about the Verilog itself. This module closes that gap: it
+//! re-reads the emitted source like an external simulator would —
+//! module header, port declarations, `wire` declarations, `assign`
+//! continuous assignments, and the behavioural helper `function`s
+//! (`sbox` case table, `xtime`, `gfmul` with its `for` loop) — and
+//! evaluates it with Verilog-2001 width and sign semantics (context
+//! sizing to the widest operand, signed comparison only when every
+//! operand is signed, self-determined shift amounts, zero-filled
+//! oversized shifts).
+//!
+//! Like everything reachable from the `ised` service boundary the
+//! parser and evaluator are panic-free: hostile or corrupted text
+//! produces a line-numbered [`SimError`], bounded loops guard against
+//! runaway `for` statements, and combinational cycles are detected.
+//!
+//! ```
+//! use isegen_graph::NodeSet;
+//! use isegen_ir::{BlockBuilder, Opcode};
+//! use isegen_rtl::{emit_verilog, sim, Netlist};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = BlockBuilder::new("k");
+//! let x = b.input("x");
+//! let y = b.input("y");
+//! let m = b.op(Opcode::Mul, &[x, y])?;
+//! let block = b.build()?;
+//! let netlist = Netlist::from_cut(&block, &NodeSet::from_ids(3, [m]))?;
+//! let text = emit_verilog(&netlist, "mul_afu")?;
+//! let module = sim::parse_module(&text)?;
+//! assert_eq!(module.evaluate(&[6, 7])?, netlist.evaluate(&[6, 7])?);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Hard bound on behavioural statements executed per function call —
+/// `gfmul`'s loop runs 8 iterations of 3 statements, so this is three
+/// orders of magnitude of headroom while keeping a corrupted loop
+/// bound from pinning a worker thread.
+const MAX_FUNCTION_STEPS: usize = 65_536;
+
+/// Maximum nested function-call depth (emitted code never nests calls;
+/// the bound exists so hostile input cannot overflow the stack).
+const MAX_CALL_DEPTH: usize = 16;
+
+/// Maximum expression nesting depth accepted by the parser.
+const MAX_EXPR_DEPTH: usize = 256;
+
+/// A simulation failure: parse errors, unknown signals, combinational
+/// loops, width overflows — always with the source line it was
+/// detected on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// 1-based source line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SimError {
+    fn new(line: usize, message: impl Into<String>) -> SimError {
+        SimError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verilog sim: line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for SimError {}
+
+// ---------------------------------------------------------------------
+// Values: bit-vectors up to 64 bits with Verilog-2001 sign semantics.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Value {
+    bits: u64,
+    width: u32,
+    signed: bool,
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+impl Value {
+    fn new(bits: u64, width: u32, signed: bool) -> Value {
+        Value {
+            bits: bits & mask(width),
+            width: width.min(64),
+            signed,
+        }
+    }
+
+    /// The value's bits zero- or sign-extended (by its *own* top bit)
+    /// to `width`, used once the expression's sign has been decided.
+    fn extended(self, width: u32, signed: bool) -> u64 {
+        if signed && self.width < 64 && self.bits >> (self.width - 1) & 1 == 1 {
+            (self.bits | !mask(self.width)) & mask(width)
+        } else {
+            self.bits
+        }
+    }
+
+    /// Two's-complement interpretation at the value's own width.
+    fn as_i64(self) -> i64 {
+        if self.width < 64 && self.bits >> (self.width - 1) & 1 == 1 {
+            (self.bits | !mask(self.width)) as i64
+        } else {
+            self.bits as i64
+        }
+    }
+
+    fn is_true(self) -> bool {
+        self.bits != 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// Identifier or keyword (includes `$signed`).
+    Ident(String),
+    /// A resolved literal: `8'h1b`, `6'd32`, `1'b0`, bare `42`.
+    Number { bits: u64, width: u32, signed: bool },
+    /// Operator or punctuation, longest-match.
+    Punct(&'static str),
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+}
+
+const PUNCTS: [&str; 28] = [
+    ">>>", "<<", ">>", "==", "!=", "<=", ">=", "(", ")", "[", "]", "{", "}", ",", ";", ":", "?",
+    "=", "+", "-", "*", "~", "&", "|", "^", "<", ">", "!",
+];
+
+fn lex(text: &str) -> Result<Vec<Token>, SimError> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'`' => {
+                // Compiler directives (`timescale …`) span to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'$')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(text[start..i].to_string()),
+                    line,
+                });
+            }
+            b'0'..=b'9' | b'\'' => {
+                let start = i;
+                let mut size_digits = String::new();
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    size_digits.push(bytes[i] as char);
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'\'' {
+                    // Based literal: [size]'[bdh]digits
+                    i += 1;
+                    let width: u32 = if size_digits.is_empty() {
+                        32
+                    } else {
+                        size_digits
+                            .parse()
+                            .map_err(|_| SimError::new(line, "literal size out of range"))?
+                    };
+                    if width == 0 || width > 64 {
+                        return Err(SimError::new(
+                            line,
+                            format!("unsupported literal width {width} (1..=64)"),
+                        ));
+                    }
+                    let radix = match bytes.get(i) {
+                        Some(b'b' | b'B') => 2,
+                        Some(b'd' | b'D') => 10,
+                        Some(b'h' | b'H') => 16,
+                        Some(b'o' | b'O') => 8,
+                        _ => return Err(SimError::new(line, "bad literal base")),
+                    };
+                    i += 1;
+                    let dstart = i;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    let digits: String = text[dstart..i].chars().filter(|&c| c != '_').collect();
+                    if digits.is_empty() {
+                        return Err(SimError::new(line, "literal needs digits"));
+                    }
+                    let bits = u64::from_str_radix(&digits, radix).map_err(|_| {
+                        SimError::new(line, format!("bad literal {:?}", &text[start..i]))
+                    })?;
+                    if width < 64 && bits > mask(width) {
+                        return Err(SimError::new(
+                            line,
+                            format!("literal {:?} does not fit its width", &text[start..i]),
+                        ));
+                    }
+                    tokens.push(Token {
+                        tok: Tok::Number {
+                            bits,
+                            width,
+                            signed: false,
+                        },
+                        line,
+                    });
+                } else {
+                    // Bare decimal: 32-bit signed (Verilog-2001).
+                    let bits: u64 = size_digits
+                        .parse::<u32>()
+                        .map_err(|_| SimError::new(line, "decimal literal out of range"))?
+                        .into();
+                    tokens.push(Token {
+                        tok: Tok::Number {
+                            bits,
+                            width: 32,
+                            signed: true,
+                        },
+                        line,
+                    });
+                }
+            }
+            _ => {
+                for p in PUNCTS {
+                    if text[i..].starts_with(p) {
+                        tokens.push(Token {
+                            tok: Tok::Punct(p),
+                            line,
+                        });
+                        i += p.len();
+                        continue 'outer;
+                    }
+                }
+                return Err(SimError::new(
+                    line,
+                    format!("unexpected character {:?}", c as char),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+// ---------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    Ident(String),
+    Literal {
+        bits: u64,
+        width: u32,
+        signed: bool,
+    },
+    /// `base[high:low]` with constant bounds.
+    Select {
+        base: Box<Expr>,
+        high: u32,
+        low: u32,
+    },
+    /// `base[index]` with a computed index (`b[i]` in `gfmul`'s loop).
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
+    Concat(Vec<Expr>),
+    Unary {
+        op: &'static str,
+        operand: Box<Expr>,
+    },
+    Binary {
+        op: &'static str,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Ternary {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Box<Expr>,
+    },
+    /// `$signed(e)`.
+    Signed(Box<Expr>),
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// `target = expr;` (blocking assignment).
+    Assign {
+        target: String,
+        expr: Expr,
+        line: usize,
+    },
+    If {
+        cond: Expr,
+        then: Box<Stmt>,
+        els: Option<Box<Stmt>>,
+    },
+    For {
+        init: Box<Stmt>,
+        cond: Expr,
+        step: Box<Stmt>,
+        body: Box<Stmt>,
+        line: usize,
+    },
+    Case {
+        scrutinee: Expr,
+        arms: Vec<(Expr, Stmt)>,
+        default: Option<Box<Stmt>>,
+        line: usize,
+    },
+    Block(Vec<Stmt>),
+}
+
+#[derive(Debug, Clone)]
+struct Function {
+    name: String,
+    ret_width: u32,
+    /// `(name, width)` in declaration order.
+    inputs: Vec<(String, u32)>,
+    /// `(name, width, signed)` — `integer` locals are 32-bit signed.
+    locals: Vec<(String, u32, bool)>,
+    body: Vec<Stmt>,
+    line: usize,
+}
+
+/// One parsed combinational module: ports, wires, continuous
+/// assignments and helper functions, ready to evaluate on concrete
+/// input vectors.
+#[derive(Debug, Clone)]
+pub struct VerilogModule {
+    name: String,
+    /// `(port, width)` in declaration order.
+    inputs: Vec<(String, u32)>,
+    outputs: Vec<(String, u32)>,
+    wires: HashMap<String, u32>,
+    /// `target -> (expr, line)`; one driver per net, enforced at parse.
+    assigns: HashMap<String, (Expr, usize)>,
+    functions: HashMap<String, Function>,
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// A literal usable as a constant bit index.
+fn constant_index(e: &Expr) -> Option<u32> {
+    match e {
+        Expr::Literal { bits, .. } if *bits <= 63 => Some(*bits as u32),
+        _ => None,
+    }
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(1, |t| t.line)
+    }
+
+    fn err(&self, message: impl Into<String>) -> SimError {
+        SimError::new(self.line(), message)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Punct(q)) if *q == p)
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), SimError> {
+        if self.at_punct(p) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {p:?}")))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SimError> {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw:?}")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, SimError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn expect_index(&mut self) -> Result<u32, SimError> {
+        match self.bump() {
+            Some(Tok::Number { bits, .. }) if bits <= 63 => Ok(bits as u32),
+            _ => Err(self.err("expected bit index 0..=63")),
+        }
+    }
+
+    /// `[high:low]` (or nothing → scalar width 1).
+    fn range(&mut self) -> Result<u32, SimError> {
+        if !self.at_punct("[") {
+            return Ok(1);
+        }
+        self.pos += 1;
+        let high = self.expect_index()?;
+        self.expect_punct(":")?;
+        let low = self.expect_index()?;
+        self.expect_punct("]")?;
+        if low != 0 || high < low {
+            return Err(self.err("only [N:0] declarations are supported"));
+        }
+        Ok(high - low + 1)
+    }
+
+    // ----- expressions ------------------------------------------------
+
+    fn expr(&mut self, depth: usize) -> Result<Expr, SimError> {
+        if depth > MAX_EXPR_DEPTH {
+            return Err(self.err("expression nesting too deep"));
+        }
+        let cond = self.binary(0, depth)?;
+        if self.at_punct("?") {
+            self.pos += 1;
+            let then = self.expr(depth + 1)?;
+            self.expect_punct(":")?;
+            let els = self.expr(depth + 1)?;
+            return Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            });
+        }
+        Ok(cond)
+    }
+
+    /// Binary operators by precedence level (loosest first).
+    fn binary(&mut self, level: usize, depth: usize) -> Result<Expr, SimError> {
+        const LEVELS: [&[&str]; 6] = [
+            &["|"],
+            &["^"],
+            &["&"],
+            &["==", "!="],
+            &["<", "<=", ">", ">="],
+            &["<<", ">>", ">>>"],
+        ];
+        if level == LEVELS.len() {
+            return self.additive(depth);
+        }
+        let mut lhs = self.binary(level + 1, depth + 1)?;
+        while let Some(Tok::Punct(p)) = self.peek() {
+            let Some(&op) = LEVELS[level].iter().find(|&&q| q == *p) else {
+                break;
+            };
+            self.pos += 1;
+            let rhs = self.binary(level + 1, depth + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self, depth: usize) -> Result<Expr, SimError> {
+        let mut lhs = self.multiplicative(depth)?;
+        while let Some(Tok::Punct(p @ ("+" | "-"))) = self.peek() {
+            let op = *p;
+            self.pos += 1;
+            let rhs = self.multiplicative(depth)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self, depth: usize) -> Result<Expr, SimError> {
+        let mut lhs = self.unary(depth)?;
+        while let Some(Tok::Punct(p @ "*")) = self.peek() {
+            let op = *p;
+            self.pos += 1;
+            let rhs = self.unary(depth)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self, depth: usize) -> Result<Expr, SimError> {
+        if depth > MAX_EXPR_DEPTH {
+            return Err(self.err("expression nesting too deep"));
+        }
+        if let Some(Tok::Punct(p @ ("~" | "-" | "!"))) = self.peek() {
+            let op = *p;
+            self.pos += 1;
+            let operand = self.unary(depth + 1)?;
+            return Ok(Expr::Unary {
+                op,
+                operand: Box::new(operand),
+            });
+        }
+        self.primary(depth)
+    }
+
+    fn primary(&mut self, depth: usize) -> Result<Expr, SimError> {
+        let base = match self.peek().cloned() {
+            Some(Tok::Number {
+                bits,
+                width,
+                signed,
+            }) => {
+                self.pos += 1;
+                Expr::Literal {
+                    bits,
+                    width,
+                    signed,
+                }
+            }
+            Some(Tok::Punct("(")) => {
+                self.pos += 1;
+                let inner = self.expr(depth + 1)?;
+                self.expect_punct(")")?;
+                inner
+            }
+            Some(Tok::Punct("{")) => {
+                self.pos += 1;
+                let mut parts = Vec::new();
+                loop {
+                    parts.push(self.expr(depth + 1)?);
+                    if self.at_punct(",") {
+                        self.pos += 1;
+                        continue;
+                    }
+                    self.expect_punct("}")?;
+                    break;
+                }
+                Expr::Concat(parts)
+            }
+            Some(Tok::Ident(name)) if name == "$signed" => {
+                self.pos += 1;
+                self.expect_punct("(")?;
+                let inner = self.expr(depth + 1)?;
+                self.expect_punct(")")?;
+                Expr::Signed(Box::new(inner))
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                if self.at_punct("(") {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !self.at_punct(")") {
+                        loop {
+                            args.push(self.expr(depth + 1)?);
+                            if self.at_punct(",") {
+                                self.pos += 1;
+                                continue;
+                            }
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                    Expr::Call { name, args }
+                } else {
+                    Expr::Ident(name)
+                }
+            }
+            _ => return Err(self.err("expected expression")),
+        };
+        // Bit / part select on the base.
+        if self.at_punct("[") {
+            self.pos += 1;
+            let first = self.expr(depth + 1)?;
+            if self.at_punct(":") {
+                // Part selects need constant bounds.
+                self.pos += 1;
+                let high =
+                    constant_index(&first).ok_or_else(|| self.err("expected bit index 0..=63"))?;
+                let second = self.expr(depth + 1)?;
+                let low =
+                    constant_index(&second).ok_or_else(|| self.err("expected bit index 0..=63"))?;
+                self.expect_punct("]")?;
+                if high < low {
+                    return Err(self.err("descending part select required"));
+                }
+                return Ok(Expr::Select {
+                    base: Box::new(base),
+                    high,
+                    low,
+                });
+            }
+            self.expect_punct("]")?;
+            // Constant single-bit selects fold to a Select; computed
+            // indices stay dynamic.
+            if let Some(bit) = constant_index(&first) {
+                return Ok(Expr::Select {
+                    base: Box::new(base),
+                    high: bit,
+                    low: bit,
+                });
+            }
+            return Ok(Expr::Index {
+                base: Box::new(base),
+                index: Box::new(first),
+            });
+        }
+        Ok(base)
+    }
+
+    // ----- statements (function bodies) -------------------------------
+
+    fn statement(&mut self, depth: usize) -> Result<Stmt, SimError> {
+        if depth > MAX_EXPR_DEPTH {
+            return Err(self.err("statement nesting too deep"));
+        }
+        let line = self.line();
+        if self.at_keyword("begin") {
+            self.pos += 1;
+            let mut stmts = Vec::new();
+            while !self.at_keyword("end") {
+                if self.peek().is_none() {
+                    return Err(self.err("unterminated begin block"));
+                }
+                stmts.push(self.statement(depth + 1)?);
+            }
+            self.pos += 1; // end
+            return Ok(Stmt::Block(stmts));
+        }
+        if self.at_keyword("if") {
+            self.pos += 1;
+            self.expect_punct("(")?;
+            let cond = self.expr(0)?;
+            self.expect_punct(")")?;
+            let then = Box::new(self.statement(depth + 1)?);
+            let els = if self.at_keyword("else") {
+                self.pos += 1;
+                Some(Box::new(self.statement(depth + 1)?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        if self.at_keyword("for") {
+            self.pos += 1;
+            self.expect_punct("(")?;
+            let init = Box::new(self.simple_assign()?);
+            self.expect_punct(";")?;
+            let cond = self.expr(0)?;
+            self.expect_punct(";")?;
+            let step = Box::new(self.simple_assign()?);
+            self.expect_punct(")")?;
+            let body = Box::new(self.statement(depth + 1)?);
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            });
+        }
+        if self.at_keyword("case") {
+            self.pos += 1;
+            self.expect_punct("(")?;
+            let scrutinee = self.expr(0)?;
+            self.expect_punct(")")?;
+            let mut arms = Vec::new();
+            let mut default = None;
+            while !self.at_keyword("endcase") {
+                if self.peek().is_none() {
+                    return Err(self.err("unterminated case"));
+                }
+                if self.at_keyword("default") {
+                    self.pos += 1;
+                    self.expect_punct(":")?;
+                    default = Some(Box::new(self.statement(depth + 1)?));
+                } else {
+                    let label = self.expr(0)?;
+                    self.expect_punct(":")?;
+                    let body = self.statement(depth + 1)?;
+                    arms.push((label, body));
+                }
+            }
+            self.pos += 1; // endcase
+            return Ok(Stmt::Case {
+                scrutinee,
+                arms,
+                default,
+                line,
+            });
+        }
+        let assign = self.simple_assign()?;
+        self.expect_punct(";")?;
+        Ok(assign)
+    }
+
+    /// `ident = expr` without the trailing semicolon (shared by plain
+    /// statements and `for` headers).
+    fn simple_assign(&mut self) -> Result<Stmt, SimError> {
+        let line = self.line();
+        let target = self.expect_ident()?;
+        self.expect_punct("=")?;
+        let expr = self.expr(0)?;
+        Ok(Stmt::Assign { target, expr, line })
+    }
+
+    // ----- declarations ------------------------------------------------
+
+    fn function(&mut self) -> Result<Function, SimError> {
+        let line = self.line();
+        self.expect_keyword("function")?;
+        let ret_width = self.range()?;
+        let name = self.expect_ident()?;
+        self.expect_punct(";")?;
+        let mut inputs = Vec::new();
+        let mut locals = Vec::new();
+        loop {
+            if self.at_keyword("input") {
+                self.pos += 1;
+                let width = self.range()?;
+                let pname = self.expect_ident()?;
+                self.expect_punct(";")?;
+                inputs.push((pname, width));
+            } else if self.at_keyword("integer") {
+                self.pos += 1;
+                let vname = self.expect_ident()?;
+                self.expect_punct(";")?;
+                locals.push((vname, 32, true));
+            } else if self.at_keyword("reg") {
+                self.pos += 1;
+                let width = self.range()?;
+                let vname = self.expect_ident()?;
+                self.expect_punct(";")?;
+                locals.push((vname, width, false));
+            } else {
+                break;
+            }
+        }
+        let body = match self.statement(0)? {
+            Stmt::Block(stmts) => stmts,
+            other => vec![other],
+        };
+        self.expect_keyword("endfunction")?;
+        if inputs.is_empty() {
+            return Err(SimError::new(
+                line,
+                format!("function {name} has no inputs"),
+            ));
+        }
+        Ok(Function {
+            name,
+            ret_width,
+            inputs,
+            locals,
+            body,
+            line,
+        })
+    }
+
+    fn module(&mut self) -> Result<VerilogModule, SimError> {
+        self.expect_keyword("module")?;
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        loop {
+            let is_input = if self.at_keyword("input") {
+                true
+            } else if self.at_keyword("output") {
+                false
+            } else {
+                return Err(self.err("expected input/output port declaration"));
+            };
+            self.pos += 1;
+            if self.at_keyword("wire") {
+                self.pos += 1;
+            }
+            let width = self.range()?;
+            let pname = self.expect_ident()?;
+            if is_input {
+                inputs.push((pname, width));
+            } else {
+                outputs.push((pname, width));
+            }
+            if self.at_punct(",") {
+                self.pos += 1;
+                continue;
+            }
+            break;
+        }
+        self.expect_punct(")")?;
+        self.expect_punct(";")?;
+
+        let mut wires: HashMap<String, u32> = HashMap::new();
+        let mut assigns: HashMap<String, (Expr, usize)> = HashMap::new();
+        let mut functions: HashMap<String, Function> = HashMap::new();
+        loop {
+            if self.at_keyword("endmodule") {
+                self.pos += 1;
+                break;
+            }
+            if self.at_keyword("function") {
+                let f = self.function()?;
+                let line = f.line;
+                if functions.insert(f.name.clone(), f).is_some() {
+                    return Err(SimError::new(line, "duplicate function"));
+                }
+                continue;
+            }
+            if self.at_keyword("wire") {
+                self.pos += 1;
+                let width = self.range()?;
+                let wname = self.expect_ident()?;
+                let line = self.line();
+                self.expect_punct(";")?;
+                if wires.insert(wname.clone(), width).is_some() {
+                    return Err(SimError::new(line, format!("duplicate wire {wname}")));
+                }
+                continue;
+            }
+            if self.at_keyword("assign") {
+                self.pos += 1;
+                let line = self.line();
+                let target = self.expect_ident()?;
+                self.expect_punct("=")?;
+                let expr = self.expr(0)?;
+                self.expect_punct(";")?;
+                if assigns.insert(target.clone(), (expr, line)).is_some() {
+                    return Err(SimError::new(
+                        line,
+                        format!("multiple drivers for {target}"),
+                    ));
+                }
+                continue;
+            }
+            if self.peek().is_none() {
+                return Err(self.err("unterminated module (missing endmodule)"));
+            }
+            return Err(self.err("expected wire, assign, function or endmodule"));
+        }
+        Ok(VerilogModule {
+            name,
+            inputs,
+            outputs,
+            wires,
+            assigns,
+            functions,
+        })
+    }
+}
+
+/// Parses exactly one module from `text` (leading/trailing comments
+/// allowed, anything else after the module is an error).
+pub fn parse_module(text: &str) -> Result<VerilogModule, SimError> {
+    let mut modules = parse_modules(text)?;
+    match modules.len() {
+        1 => Ok(modules.remove(0)),
+        n => Err(SimError::new(1, format!("expected 1 module, found {n}"))),
+    }
+}
+
+/// Parses every module in `text` — the shape of
+/// [`crate::AfuLibrary::emit_verilog`]'s concatenated output.
+pub fn parse_modules(text: &str) -> Result<Vec<VerilogModule>, SimError> {
+    let tokens = lex(text)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut modules = Vec::new();
+    while parser.peek().is_some() {
+        modules.push(parser.module()?);
+    }
+    if modules.is_empty() {
+        return Err(SimError::new(1, "no module found"));
+    }
+    Ok(modules)
+}
+
+// ---------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------
+
+struct Evaluator<'m> {
+    module: &'m VerilogModule,
+    /// Resolved net values by name (ports seeded, wires memoised).
+    nets: HashMap<String, Value>,
+    /// Nets currently being resolved (combinational-loop detection).
+    resolving: Vec<String>,
+}
+
+impl<'m> Evaluator<'m> {
+    fn net(&mut self, name: &str, line: usize) -> Result<Value, SimError> {
+        if let Some(&v) = self.nets.get(name) {
+            return Ok(v);
+        }
+        if self.resolving.iter().any(|n| n == name) {
+            return Err(SimError::new(
+                line,
+                format!("combinational loop through {name}"),
+            ));
+        }
+        let Some((expr, eline)) = self.module.assigns.get(name) else {
+            return Err(SimError::new(line, format!("undriven signal {name}")));
+        };
+        let width = self
+            .module
+            .wires
+            .get(name)
+            .copied()
+            .or_else(|| {
+                self.module
+                    .outputs
+                    .iter()
+                    .chain(&self.module.inputs)
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, w)| w)
+            })
+            .ok_or_else(|| SimError::new(*eline, format!("undeclared signal {name}")))?;
+        self.resolving.push(name.to_string());
+        let value = self.eval(expr, *eline, 0)?;
+        self.resolving.pop();
+        // Continuous assignment truncates/extends to the net's width.
+        let v = Value::new(value.extended(width, value.signed), width, false);
+        self.nets.insert(name.to_string(), v);
+        Ok(v)
+    }
+
+    fn eval(&mut self, expr: &Expr, line: usize, depth: usize) -> Result<Value, SimError> {
+        if depth > MAX_EXPR_DEPTH {
+            return Err(SimError::new(line, "evaluation too deep"));
+        }
+        match expr {
+            Expr::Literal {
+                bits,
+                width,
+                signed,
+            } => Ok(Value::new(*bits, *width, *signed)),
+            Expr::Ident(name) => self.net(name, line),
+            Expr::Select { base, high, low } => {
+                let v = self.eval(base, line, depth + 1)?;
+                if *high >= 64 {
+                    return Err(SimError::new(line, "part select past bit 63"));
+                }
+                let width = high - low + 1;
+                Ok(Value::new(v.bits >> low, width, false))
+            }
+            Expr::Index { base, index } => {
+                let v = self.eval(base, line, depth + 1)?;
+                let i = self.eval(index, line, depth + 1)?;
+                let bit = if i.bits >= u64::from(v.width) {
+                    0
+                } else {
+                    (v.bits >> i.bits) & 1
+                };
+                Ok(Value::new(bit, 1, false))
+            }
+            Expr::Concat(parts) => {
+                let mut bits = 0u64;
+                let mut width = 0u32;
+                for part in parts {
+                    let v = self.eval(part, line, depth + 1)?;
+                    width += v.width;
+                    if width > 64 {
+                        return Err(SimError::new(line, "concatenation wider than 64 bits"));
+                    }
+                    bits = (bits << v.width) | v.bits;
+                }
+                Ok(Value::new(bits, width, false))
+            }
+            Expr::Signed(inner) => {
+                let v = self.eval(inner, line, depth + 1)?;
+                Ok(Value { signed: true, ..v })
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.eval(operand, line, depth + 1)?;
+                Ok(match *op {
+                    "~" => Value::new(!v.bits, v.width, v.signed),
+                    "-" => Value::new(v.bits.wrapping_neg(), v.width, v.signed),
+                    "!" => Value::new(u64::from(!v.is_true()), 1, false),
+                    _ => return Err(SimError::new(line, "unsupported unary operator")),
+                })
+            }
+            Expr::Ternary { cond, then, els } => {
+                let c = self.eval(cond, line, depth + 1)?;
+                // Both branches are context-sized together; evaluating
+                // only the taken branch is safe because the subset is
+                // side-effect free, but the width must consider both.
+                let t = self.eval(then, line, depth + 1)?;
+                let e = self.eval(els, line, depth + 1)?;
+                let width = t.width.max(e.width);
+                let signed = t.signed && e.signed;
+                let v = if c.is_true() { t } else { e };
+                Ok(Value::new(v.extended(width, signed), width, signed))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.eval(lhs, line, depth + 1)?;
+                let b = self.eval(rhs, line, depth + 1)?;
+                binary_op(op, a, b, line)
+            }
+            Expr::Call { name, args } => {
+                if depth > MAX_CALL_DEPTH * 16 {
+                    return Err(SimError::new(line, "call nesting too deep"));
+                }
+                let mut values = Vec::with_capacity(args.len());
+                for arg in args {
+                    values.push(self.eval(arg, line, depth + 1)?);
+                }
+                self.call(name, &values, line, depth)
+            }
+        }
+    }
+
+    fn call(
+        &mut self,
+        name: &str,
+        args: &[Value],
+        line: usize,
+        depth: usize,
+    ) -> Result<Value, SimError> {
+        let Some(function) = self.module.functions.get(name) else {
+            return Err(SimError::new(line, format!("unknown function {name}")));
+        };
+        if args.len() != function.inputs.len() {
+            return Err(SimError::new(
+                line,
+                format!(
+                    "{name} takes {} argument(s), got {}",
+                    function.inputs.len(),
+                    args.len()
+                ),
+            ));
+        }
+        let mut vars: HashMap<&str, Value> = HashMap::new();
+        for ((pname, width), &arg) in function.inputs.iter().zip(args) {
+            vars.insert(pname, Value::new(arg.bits, *width, false));
+        }
+        for (vname, width, signed) in &function.locals {
+            vars.insert(vname, Value::new(0, *width, *signed));
+        }
+        // The function name is the return variable.
+        vars.insert(&function.name, Value::new(0, function.ret_width, false));
+        let mut steps = 0usize;
+        for stmt in &function.body {
+            self.exec(function, stmt, &mut vars, &mut steps, depth)?;
+        }
+        Ok(vars[function.name.as_str()])
+    }
+
+    /// Evaluates an expression inside a function body: local variables
+    /// shadow module nets.
+    fn eval_in(
+        &mut self,
+        function: &Function,
+        expr: &Expr,
+        vars: &HashMap<&str, Value>,
+        line: usize,
+        depth: usize,
+    ) -> Result<Value, SimError> {
+        match expr {
+            Expr::Ident(name) => {
+                if let Some(&v) = vars.get(name.as_str()) {
+                    return Ok(v);
+                }
+                Err(SimError::new(
+                    line,
+                    format!("unknown variable {name} in function {}", function.name),
+                ))
+            }
+            Expr::Literal { .. } => self.eval(expr, line, depth),
+            Expr::Select { base, high, low } => {
+                let v = self.eval_in(function, base, vars, line, depth + 1)?;
+                if *high >= 64 {
+                    return Err(SimError::new(line, "part select past bit 63"));
+                }
+                Ok(Value::new(v.bits >> low, high - low + 1, false))
+            }
+            Expr::Index { base, index } => {
+                let v = self.eval_in(function, base, vars, line, depth + 1)?;
+                let i = self.eval_in(function, index, vars, line, depth + 1)?;
+                let bit = if i.bits >= u64::from(v.width) {
+                    0
+                } else {
+                    (v.bits >> i.bits) & 1
+                };
+                Ok(Value::new(bit, 1, false))
+            }
+            Expr::Concat(parts) => {
+                let mut bits = 0u64;
+                let mut width = 0u32;
+                for part in parts {
+                    let v = self.eval_in(function, part, vars, line, depth + 1)?;
+                    width += v.width;
+                    if width > 64 {
+                        return Err(SimError::new(line, "concatenation wider than 64 bits"));
+                    }
+                    bits = (bits << v.width) | v.bits;
+                }
+                Ok(Value::new(bits, width, false))
+            }
+            Expr::Signed(inner) => {
+                let v = self.eval_in(function, inner, vars, line, depth + 1)?;
+                Ok(Value { signed: true, ..v })
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.eval_in(function, operand, vars, line, depth + 1)?;
+                Ok(match *op {
+                    "~" => Value::new(!v.bits, v.width, v.signed),
+                    "-" => Value::new(v.bits.wrapping_neg(), v.width, v.signed),
+                    "!" => Value::new(u64::from(!v.is_true()), 1, false),
+                    _ => return Err(SimError::new(line, "unsupported unary operator")),
+                })
+            }
+            Expr::Ternary { cond, then, els } => {
+                let c = self.eval_in(function, cond, vars, line, depth + 1)?;
+                let t = self.eval_in(function, then, vars, line, depth + 1)?;
+                let e = self.eval_in(function, els, vars, line, depth + 1)?;
+                let width = t.width.max(e.width);
+                let signed = t.signed && e.signed;
+                let v = if c.is_true() { t } else { e };
+                Ok(Value::new(v.extended(width, signed), width, signed))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.eval_in(function, lhs, vars, line, depth + 1)?;
+                let b = self.eval_in(function, rhs, vars, line, depth + 1)?;
+                binary_op(op, a, b, line)
+            }
+            Expr::Call { name, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for arg in args {
+                    values.push(self.eval_in(function, arg, vars, line, depth + 1)?);
+                }
+                self.call(name, &values, line, depth + 1)
+            }
+        }
+    }
+
+    fn exec<'f>(
+        &mut self,
+        function: &'f Function,
+        stmt: &'f Stmt,
+        vars: &mut HashMap<&'f str, Value>,
+        steps: &mut usize,
+        depth: usize,
+    ) -> Result<(), SimError> {
+        *steps += 1;
+        if *steps > MAX_FUNCTION_STEPS {
+            return Err(SimError::new(
+                function.line,
+                format!("function {} exceeded the step budget", function.name),
+            ));
+        }
+        match stmt {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec(function, s, vars, steps, depth)?;
+                }
+            }
+            Stmt::Assign { target, expr, line } => {
+                let value = self.eval_in(function, expr, vars, *line, depth)?;
+                let Some(slot) = vars.get_mut(target.as_str()) else {
+                    return Err(SimError::new(
+                        *line,
+                        format!("assignment to unknown variable {target}"),
+                    ));
+                };
+                *slot = Value::new(
+                    value.extended(slot.width, value.signed),
+                    slot.width,
+                    slot.signed,
+                );
+            }
+            Stmt::If { cond, then, els } => {
+                let c = self.eval_in(function, cond, vars, function.line, depth)?;
+                if c.is_true() {
+                    self.exec(function, then, vars, steps, depth)?;
+                } else if let Some(e) = els {
+                    self.exec(function, e, vars, steps, depth)?;
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
+                self.exec(function, init, vars, steps, depth)?;
+                loop {
+                    let c = self.eval_in(function, cond, vars, *line, depth)?;
+                    if !c.is_true() {
+                        break;
+                    }
+                    self.exec(function, body, vars, steps, depth)?;
+                    self.exec(function, step, vars, steps, depth)?;
+                    *steps += 1;
+                    if *steps > MAX_FUNCTION_STEPS {
+                        return Err(SimError::new(
+                            *line,
+                            format!("function {} exceeded the step budget", function.name),
+                        ));
+                    }
+                }
+            }
+            Stmt::Case {
+                scrutinee,
+                arms,
+                default,
+                line,
+            } => {
+                let s = self.eval_in(function, scrutinee, vars, *line, depth)?;
+                for (label, body) in arms {
+                    let l = self.eval_in(function, label, vars, *line, depth)?;
+                    let w = s.width.max(l.width);
+                    if s.extended(w, false) == l.extended(w, false) {
+                        return self.exec(function, body, vars, steps, depth);
+                    }
+                }
+                if let Some(d) = default {
+                    self.exec(function, d, vars, steps, depth)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One Verilog-2001 binary operation with context sizing: the result
+/// is as wide as the wider operand, signed only when both operands are
+/// signed, and operands are sign-extended only in that signed case.
+fn binary_op(op: &str, a: Value, b: Value, line: usize) -> Result<Value, SimError> {
+    match op {
+        "+" | "-" | "*" | "&" | "|" | "^" => {
+            let width = a.width.max(b.width);
+            let signed = a.signed && b.signed;
+            let x = a.extended(width, signed);
+            let y = b.extended(width, signed);
+            let bits = match op {
+                "+" => x.wrapping_add(y),
+                "-" => x.wrapping_sub(y),
+                "*" => x.wrapping_mul(y),
+                "&" => x & y,
+                "|" => x | y,
+                _ => x ^ y,
+            };
+            Ok(Value::new(bits, width, signed))
+        }
+        "==" | "!=" | "<" | "<=" | ">" | ">=" => {
+            let width = a.width.max(b.width);
+            let signed = a.signed && b.signed;
+            let (x, y) = if signed {
+                let ext = |v: Value| {
+                    let e = v.extended(64, true);
+                    e as i64
+                };
+                (ext(a) as i128, ext(b) as i128)
+            } else {
+                (
+                    a.extended(width, false) as i128,
+                    b.extended(width, false) as i128,
+                )
+            };
+            let r = match op {
+                "==" => x == y,
+                "!=" => x != y,
+                "<" => x < y,
+                "<=" => x <= y,
+                ">" => x > y,
+                _ => x >= y,
+            };
+            Ok(Value::new(u64::from(r), 1, false))
+        }
+        "<<" | ">>" | ">>>" => {
+            // The shift amount is self-determined and unsigned.
+            let sh = b.bits;
+            let width = a.width;
+            let bits = match op {
+                "<<" => {
+                    if sh >= 64 {
+                        0
+                    } else {
+                        a.bits << sh
+                    }
+                }
+                ">>" => {
+                    if sh >= 64 {
+                        0
+                    } else {
+                        a.bits >> sh
+                    }
+                }
+                _ => {
+                    // Arithmetic only when the operand is signed.
+                    if a.signed {
+                        let x = a.as_i64();
+                        let s = sh.min(63) as u32;
+                        (x >> s) as u64
+                    } else if sh >= 64 {
+                        0
+                    } else {
+                        a.bits >> sh
+                    }
+                }
+            };
+            Ok(Value::new(bits, width, a.signed))
+        }
+        _ => Err(SimError::new(line, format!("unsupported operator {op:?}"))),
+    }
+}
+
+impl VerilogModule {
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of input ports, in declaration order.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of output ports, in declaration order.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Evaluates the module on one input vector (values bound to input
+    /// ports in declaration order) and returns the output port values
+    /// in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] when the vector length disagrees with the port
+    /// count, a referenced signal has no driver, evaluation finds a
+    /// combinational loop, or a helper function misbehaves — the ways
+    /// corrupted or truncated Verilog text announces itself.
+    pub fn evaluate(&self, inputs: &[u32]) -> Result<Vec<u32>, SimError> {
+        if inputs.len() != self.inputs.len() {
+            return Err(SimError::new(
+                1,
+                format!(
+                    "module {} has {} input port(s), got {} value(s)",
+                    self.name,
+                    self.inputs.len(),
+                    inputs.len()
+                ),
+            ));
+        }
+        let mut evaluator = Evaluator {
+            module: self,
+            nets: HashMap::new(),
+            resolving: Vec::new(),
+        };
+        for ((name, width), &value) in self.inputs.iter().zip(inputs) {
+            evaluator
+                .nets
+                .insert(name.clone(), Value::new(u64::from(value), *width, false));
+        }
+        let mut out = Vec::with_capacity(self.outputs.len());
+        for (name, width) in &self.outputs {
+            let v = evaluator.net(name, 1)?;
+            out.push((v.bits & mask(*width) & mask(32)) as u32);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{emit_verilog, Netlist};
+    use isegen_graph::NodeSet;
+    use isegen_ir::interp::eval_opcode;
+    use isegen_ir::{BlockBuilder, Opcode};
+
+    fn simulate_one(opcode: Opcode, args: &[u32]) -> u32 {
+        let mut b = BlockBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.input("z");
+        let operands = &[x, y, z][..opcode.arity()];
+        let n = b.op(opcode, operands).unwrap();
+        let block = b.build().unwrap();
+        let netlist =
+            Netlist::from_cut(&block, &NodeSet::from_ids(block.dag().node_count(), [n])).unwrap();
+        let text = emit_verilog(&netlist, "one").unwrap();
+        let module = parse_module(&text).unwrap();
+        // The netlist keeps only the ports the cell actually reads.
+        let out = module.evaluate(&args[..netlist.input_count()]).unwrap();
+        out[0]
+    }
+
+    #[test]
+    fn every_opcode_matches_the_interpreter() {
+        let vectors: [[u32; 3]; 8] = [
+            [0, 0, 0],
+            [1, 2, 3],
+            [6, 7, 8],
+            [u32::MAX, 1, 2],
+            [0x8000_0000, 31, 5],
+            [0xdead_beef, 0xcafe_f00d, 0x1234_5678],
+            [0x7fff_ffff, 0xffff_ffff, 1],
+            [0x53, 0x13, 0x80],
+        ];
+        for opcode in Opcode::ALL {
+            if !opcode.is_ise_eligible() {
+                continue;
+            }
+            for args in vectors {
+                let expected = eval_opcode(opcode, &args[..opcode.arity()]).unwrap();
+                let got = simulate_one(opcode, &args[..opcode.arity()]);
+                assert_eq!(got, expected, "{opcode:?} on {args:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_operands_share_one_port() {
+        // x*x: one input port feeds both operands.
+        let mut b = BlockBuilder::new("sq");
+        let x = b.input("x");
+        let sq = b.op(Opcode::Mul, &[x, x]).unwrap();
+        let block = b.build().unwrap();
+        let netlist = Netlist::from_cut(&block, &NodeSet::from_ids(2, [sq])).unwrap();
+        let module = parse_module(&emit_verilog(&netlist, "sq").unwrap()).unwrap();
+        assert_eq!(module.evaluate(&[9]).unwrap(), vec![81]);
+        assert_eq!(module.evaluate(&[65536]).unwrap(), vec![0], "wrapping mul");
+    }
+
+    #[test]
+    fn rotate_by_zero_is_identity() {
+        // The emitted RotL idiom shifts right by 32 when r == 0; in
+        // Verilog that yields 0, keeping the identity. A simulator with
+        // Rust shift semantics would panic or wrap here.
+        assert_eq!(
+            simulate_one(Opcode::RotL, &[0xdead_beef, 0, 0]),
+            0xdead_beef
+        );
+        assert_eq!(
+            simulate_one(Opcode::RotL, &[0xdead_beef, 32, 0]),
+            0xdead_beef
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_line_numbered() {
+        let err =
+            parse_module("module m (\n  input wire [31:0] in0\n);\n  assign ;\n").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn corrupted_text_is_an_error_not_a_panic() {
+        let mut b = BlockBuilder::new("t");
+        let x = b.input("x");
+        let n = b.op(Opcode::Not, &[x]).unwrap();
+        let block = b.build().unwrap();
+        let netlist = Netlist::from_cut(&block, &NodeSet::from_ids(2, [n])).unwrap();
+        let good = emit_verilog(&netlist, "inv").unwrap();
+        // Truncations at every byte boundary (cutting into `endmodule`
+        // at minimum): parse error or evaluation error, never a panic
+        // and never a silently wrong answer.
+        for end in 0..good.trim_end().len() {
+            if let Ok(module) = parse_modules(&good[..end]) {
+                // A prefix that still parses must be missing something.
+                assert!(
+                    module[0].evaluate(&[5]).is_err(),
+                    "truncation at {end} parsed and evaluated"
+                );
+            }
+        }
+        // Random byte corruption either errors or changes no semantics
+        // (e.g. flips inside a comment); it must never panic.
+        let mut corrupted = good.clone().into_bytes();
+        for (i, b) in corrupted.iter_mut().enumerate() {
+            if i % 7 == 0 {
+                *b = b'@';
+            }
+        }
+        let _ = parse_modules(&String::from_utf8_lossy(&corrupted));
+    }
+
+    #[test]
+    fn undriven_and_double_driven_nets_are_errors() {
+        let undriven = "module m (\n  input wire [31:0] in0,\n  output wire [31:0] out0\n);\n  wire [31:0] n0;\n  assign out0 = n0;\nendmodule\n";
+        let module = parse_module(undriven).unwrap();
+        let err = module.evaluate(&[1]).unwrap_err();
+        assert!(err.message.contains("undriven"), "{err}");
+
+        let doubled = "module m (\n  input wire [31:0] in0,\n  output wire [31:0] out0\n);\n  assign out0 = in0;\n  assign out0 = in0;\nendmodule\n";
+        assert!(parse_module(doubled)
+            .unwrap_err()
+            .message
+            .contains("multiple drivers"));
+    }
+
+    #[test]
+    fn combinational_loops_are_detected() {
+        let text = "module m (\n  input wire [31:0] in0,\n  output wire [31:0] out0\n);\n  wire [31:0] a;\n  wire [31:0] b;\n  assign a = b + in0;\n  assign b = a + 1;\n  assign out0 = a;\nendmodule\n";
+        let module = parse_module(text).unwrap();
+        let err = module.evaluate(&[1]).unwrap_err();
+        assert!(err.message.contains("combinational loop"), "{err}");
+    }
+
+    #[test]
+    fn runaway_function_loops_hit_the_step_budget() {
+        let text = "module m (\n  input wire [31:0] in0,\n  output wire [31:0] out0\n);\n  function [7:0] spin;\n    input [7:0] b;\n    integer i;\n    begin\n      for (i = 0; i < 1; i = i - 1) begin\n        spin = b;\n      end\n    end\n  endfunction\n  assign out0 = {24'b0, spin(in0[7:0])};\nendmodule\n";
+        let module = parse_module(text).unwrap();
+        let err = module.evaluate(&[1]).unwrap_err();
+        assert!(err.message.contains("step budget"), "{err}");
+    }
+
+    #[test]
+    fn signedness_follows_verilog_rules() {
+        // $signed compare vs unsigned compare of the same bits.
+        let text = "module m (\n  input wire [31:0] in0,\n  input wire [31:0] in1,\n  output wire [31:0] out0,\n  output wire [31:0] out1\n);\n  assign out0 = {31'b0, $signed(in0) < $signed(in1)};\n  assign out1 = {31'b0, in0 < in1};\nendmodule\n";
+        let module = parse_module(text).unwrap();
+        let out = module.evaluate(&[0xffff_ffff, 1]).unwrap();
+        assert_eq!(out, vec![1, 0], "-1 < 1 signed, 0xffffffff > 1 unsigned");
+        // Bare decimal literals are signed: $signed(x) < 0 is a signed
+        // comparison (the Abs idiom depends on this).
+        let text2 = "module m (\n  input wire [31:0] in0,\n  output wire [31:0] out0\n);\n  assign out0 = ($signed(in0) < 0) ? (32'd0 - in0) : in0;\nendmodule\n";
+        let module2 = parse_module(text2).unwrap();
+        assert_eq!(
+            module2.evaluate(&[0xffff_fffb]).unwrap(),
+            vec![5],
+            "abs(-5)"
+        );
+        assert_eq!(module2.evaluate(&[5]).unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn afu_library_concatenation_parses_as_multiple_modules() {
+        let mut b = BlockBuilder::new("two");
+        let x = b.input("x");
+        let a = b.op(Opcode::Not, &[x]).unwrap();
+        let block = b.build().unwrap();
+        let netlist = Netlist::from_cut(&block, &NodeSet::from_ids(2, [a])).unwrap();
+        let one = emit_verilog(&netlist, "ise0").unwrap();
+        let two = emit_verilog(&netlist, "ise1").unwrap();
+        let both = format!("// banner\n{one}\n{two}");
+        let modules = parse_modules(&both).unwrap();
+        assert_eq!(modules.len(), 2);
+        assert_eq!(modules[0].name(), "ise0");
+        assert_eq!(modules[1].name(), "ise1");
+        assert_eq!(modules[1].evaluate(&[0]).unwrap(), vec![u32::MAX]);
+    }
+}

@@ -14,6 +14,7 @@
 //! | `submit`   | `ir` (text IR)                          | app hash + shape |
 //! | `select`   | `app` (hash) or `ir`, optional `config` | selection summary |
 //! | `rtl`      | `app` (hash) or `ir`, optional `config` | Verilog + area |
+//! | `verify`   | `app` (hash) or `ir`, optional `config`, `vectors`, `seed` | differential-test report |
 //! | `stats`    | —                                       | cache/request counters |
 //! | `shutdown` | —                                       | ack, then the server drains |
 //!
@@ -191,6 +192,35 @@ pub fn parse_config(config: Option<&Json>) -> Result<RequestConfig, ProtoError> 
     Ok(out)
 }
 
+/// Parses the optional `vectors` / `seed` members of a `verify`
+/// request, returning `(vectors, seed)`.
+///
+/// `vectors` defaults to 32 and is bounded by [`MAX_KNOB`] — a verify
+/// request runs three evaluators per vector per ISE, so an unbounded
+/// count would be a cheap way to pin a worker. `seed` is any u64
+/// (defaults to the harness default) so CI can reproduce a failure.
+pub fn parse_verify_params(request: &Json) -> Result<(usize, u64), ProtoError> {
+    let vectors = match request.get("vectors") {
+        None => 32,
+        Some(v) => match v.as_u64() {
+            Some(n) if (1..=MAX_KNOB).contains(&n) => n as usize,
+            _ => {
+                return Err(ProtoError::new(
+                    "protocol",
+                    format!("vectors must be an integer in 1..={MAX_KNOB}"),
+                ))
+            }
+        },
+    };
+    let seed = match request.get("seed") {
+        None => 0x5eed,
+        Some(v) => v.as_u64().ok_or_else(|| {
+            ProtoError::new("protocol", "seed must be an unsigned 64-bit integer")
+        })?,
+    };
+    Ok((vectors, seed))
+}
+
 /// Formats an application hash the way the protocol exchanges it.
 pub fn format_hash(hash: u64) -> String {
     format!("{hash:016x}")
@@ -282,6 +312,29 @@ mod tests {
         // daemon must not be the layer that decides they are wrong.
         let j = json::parse(r#"{"weights":{"merit":null}}"#).unwrap();
         assert!(parse_config(Some(&j)).is_err(), "null is not a number");
+    }
+
+    #[test]
+    fn verify_params_bounds() {
+        let ok = json::parse(r#"{"op":"verify","vectors":64,"seed":7}"#).unwrap();
+        assert_eq!(parse_verify_params(&ok).unwrap(), (64, 7));
+        let defaults = json::parse(r#"{"op":"verify"}"#).unwrap();
+        assert_eq!(parse_verify_params(&defaults).unwrap(), (32, 0x5eed));
+        for text in [
+            r#"{"vectors":0}"#,
+            r#"{"vectors":-1}"#,
+            r#"{"vectors":1e9}"#,
+            r#"{"vectors":"lots"}"#,
+            r#"{"vectors":2.5}"#,
+            r#"{"vectors":4097}"#,
+            r#"{"seed":"abc"}"#,
+            r#"{"seed":-1}"#,
+            r#"{"seed":1.5}"#,
+        ] {
+            let j = json::parse(text).unwrap();
+            let err = parse_verify_params(&j).unwrap_err();
+            assert_eq!(err.kind, "protocol", "{text}");
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use isegen_core::{
     generate_batched_in_contexts, generate_in_contexts, CacheStats, IseSelection, IsegenFinder,
 };
 use isegen_ir::LatencyModel;
-use isegen_rtl::AfuLibrary;
+use isegen_rtl::{verify_selection, AfuLibrary, VerifyConfig};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -60,6 +60,10 @@ pub struct Server {
     requests: AtomicU64,
     errors: AtomicU64,
     connections: AtomicU64,
+    /// `verify` requests served and total stimulus vectors they drove
+    /// through the three-way oracle (vectors × ISEs), for `stats`.
+    verifications: AtomicU64,
+    verified_vectors: AtomicU64,
     /// K-L probe/arena statistics absorbed from every computed (non-memo)
     /// selection, surfaced by the `stats` op.
     search_stats: Mutex<CacheStats>,
@@ -81,6 +85,8 @@ impl Server {
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            verifications: AtomicU64::new(0),
+            verified_vectors: AtomicU64::new(0),
             search_stats: Mutex::new(CacheStats::default()),
         })
     }
@@ -217,6 +223,7 @@ impl Server {
             "submit" => self.op_submit(&request),
             "select" => self.op_select(&request),
             "rtl" => self.op_rtl(&request),
+            "verify" => self.op_verify(&request),
             "stats" => Ok(self.op_stats()),
             "shutdown" => {
                 self.log("shutdown requested");
@@ -228,7 +235,7 @@ impl Server {
             }
             other => Err(ProtoError::new(
                 "protocol",
-                format!("unknown op {other:?} (ping/submit/select/rtl/stats/shutdown)"),
+                format!("unknown op {other:?} (ping/submit/select/rtl/verify/stats/shutdown)"),
             )),
         }
     }
@@ -403,6 +410,61 @@ impl Server {
         ]))
     }
 
+    /// Runs the three-way differential oracle (interpreter ⇔ netlist ⇔
+    /// parsed-and-simulated emitted Verilog) over every selected ISE.
+    fn op_verify(&self, request: &Json) -> Result<Json, ProtoError> {
+        let (hash, entry) = self.resolve_app(request)?;
+        let config = proto::parse_config(request.get("config"))?;
+        let (vectors, seed) = proto::parse_verify_params(request)?;
+        let (selection, hit) = self.selection(&entry, &config);
+        let verify_config = VerifyConfig { vectors, seed };
+        let reports = verify_selection(&entry.app, &selection, &verify_config)
+            .map_err(|e| ProtoError::new("rtl", e.to_string()))?;
+        let mismatches: usize = reports.iter().map(|r| r.mismatches).sum();
+        self.verifications.fetch_add(1, Ordering::Relaxed);
+        self.verified_vectors.fetch_add(
+            (vectors as u64).saturating_mul(reports.len() as u64),
+            Ordering::Relaxed,
+        );
+        self.log(format!(
+            "verify {} → {} ISEs × {} vectors, {} mismatch(es)",
+            proto::format_hash(hash),
+            reports.len(),
+            vectors,
+            mismatches
+        ));
+        let ises: Vec<Json> = reports
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("name", r.module.as_str().into()),
+                    ("cells", r.cells.into()),
+                    ("vectors", r.vectors.into()),
+                    ("mismatches", r.mismatches.into()),
+                    (
+                        "output_bits_covered",
+                        Json::Arr(
+                            r.output_bits_covered
+                                .iter()
+                                .map(|&b| u64::from(b).into())
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", "verify".into()),
+            ("app", proto::format_hash(hash).into()),
+            ("vectors_per_ise", vectors.into()),
+            ("mismatches", mismatches.into()),
+            ("passed", Json::Bool(mismatches == 0)),
+            ("ises", Json::Arr(ises)),
+            ("cache", if hit { "hit" } else { "miss" }.into()),
+        ]))
+    }
+
     fn op_stats(&self) -> Json {
         let c = self.cache.counters();
         let s = self.search_stats.lock().map(|s| *s).unwrap_or_default();
@@ -420,6 +482,14 @@ impl Server {
             (
                 "connections",
                 self.connections.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "verifications",
+                self.verifications.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "verified_vectors",
+                self.verified_vectors.load(Ordering::Relaxed).into(),
             ),
             // K-L search statistics summed over every computed selection:
             // the service-level view of the gain cache and arena pools.

@@ -48,11 +48,15 @@ fn main() {
             .iter()
             .map(|p| values[p.index()])
             .collect();
-        let out = netlist.evaluate(&ports);
+        let out = netlist.evaluate(&ports).expect("port vector matches");
         for (port, &cell) in netlist.output_cells().iter().enumerate() {
             let node = netlist.cell_nodes()[cell as usize];
             assert_eq!(out[port], values[node.index()], "golden-model mismatch");
         }
+        // Third leg of the oracle: execute the emitted Verilog text.
+        let module = isegen::rtl::sim::parse_module(&inst.verilog).expect("emitted text parses");
+        let sim_out = module.evaluate(&ports).expect("simulates");
+        assert_eq!(sim_out, out, "emitted Verilog diverged from the netlist");
         eprintln!(
             "verified {}: {} ops, {:.0} gates, {} instance(s)",
             inst.name,

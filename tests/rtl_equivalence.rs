@@ -2,62 +2,86 @@
 //! AFU datapath must compute exactly what the software operations it
 //! replaces compute — the correctness condition of ISE deployment.
 //!
-//! The netlist simulator is driven with random input vectors; its
-//! outputs are compared against the whole-block interpreter's values at
-//! the cut's output nodes.
+//! Every check here goes through the three-way differential harness
+//! (`isegen::rtl::verify_cut` / `verify_selection`): the whole-block
+//! interpreter, the structural netlist simulator, and the
+//! parsed-and-executed emitted Verilog *text* must agree bit-for-bit on
+//! random stimulus. The sweep covers the complete small + medium tiers
+//! of the workload registry — every kernel the CI scaling gate selects
+//! ISEs for also has its emitted RTL executed and checked here.
+//!
+//! Stimulus volume follows `PROPTEST_CASES` (the same knob the vendored
+//! proptest shim honours), so CI pins it and local runs can crank it.
 
-use isegen::core::{bipartition, BlockContext, IoConstraints, SearchConfig};
-use isegen::graph::NodeId;
-use isegen::ir::{interp, LatencyModel, Opcode};
-use isegen::rtl::Netlist;
-use isegen::workloads::{aes, autcor00, fft00, random_application, viterb00, RandomWorkloadConfig};
+use isegen::core::{bipartition, generate, BlockContext, IoConstraints, IseConfig, SearchConfig};
+use isegen::ir::LatencyModel;
+use isegen::rtl::{verify_cut, verify_selection, Netlist, VerifyConfig};
+use isegen::workloads::{random_application, workloads_in_tiers, RandomWorkloadConfig, SizeTier};
 use proptest::prelude::*;
-use std::collections::BTreeMap;
 
-/// Runs the block in software with pseudo-random inputs and checks the
-/// netlist against the values at the cut boundary.
-fn check_equivalence(block: &isegen::ir::BasicBlock, netlist: &Netlist, seed: u64) {
-    let dag = block.dag();
-    // Bind every input node to a deterministic pseudo-random value.
-    let mut inputs: BTreeMap<NodeId, u32> = BTreeMap::new();
-    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
-    let mut next = || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        (state >> 16) as u32
-    };
-    for (id, op) in dag.nodes() {
-        if op.opcode() == Opcode::Input {
-            inputs.insert(id, next());
-        }
-    }
-    let mut memory = BTreeMap::new();
-    let values = interp::execute(block, &inputs, &mut memory).expect("all inputs bound");
-
-    // Feed the netlist the block-computed values of its input producers.
-    let port_values: Vec<u32> = netlist
-        .input_nodes()
-        .iter()
-        .map(|p| values[p.index()])
-        .collect();
-    let afu_out = netlist.evaluate(&port_values);
-
-    // Compare with the block-computed values of the output nodes.
-    for (port, &cell) in netlist.output_cells().iter().enumerate() {
-        let node = netlist.cell_nodes()[cell as usize];
-        assert_eq!(
-            afu_out[port],
-            values[node.index()],
-            "output port {port} (node {node}) diverged"
-        );
-    }
+/// Vectors per module, from `PROPTEST_CASES` (default 32, floor 4 so a
+/// `PROPTEST_CASES=1` smoke run still toggles some bits).
+fn vectors_per_module() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(32)
+        .max(4)
 }
 
 #[test]
-fn selected_cuts_are_equivalent_on_real_workloads() {
+fn every_registry_selection_is_equivalent_on_small_and_medium_tiers() {
     let model = LatencyModel::paper_default();
-    for app in [autcor00(), viterb00(), fft00(), aes()] {
+    let config = VerifyConfig {
+        vectors: vectors_per_module(),
+        ..VerifyConfig::default()
+    };
+    let specs = workloads_in_tiers(&[SizeTier::Small, SizeTier::Medium]);
+    assert!(specs.len() >= 10, "registry shrank? {} specs", specs.len());
+    let mut verified_ises = 0usize;
+    for spec in &specs {
+        let app = spec.application();
+        let selection = generate(
+            &app,
+            &model,
+            &IseConfig::paper_default(),
+            &SearchConfig::default(),
+        );
+        let reports = verify_selection(&app, &selection, &config)
+            .unwrap_or_else(|e| panic!("{}: harness failed: {e}", spec.name));
+        assert_eq!(reports.len(), selection.ises.len(), "{}", spec.name);
+        for report in &reports {
+            assert!(
+                report.passed(),
+                "{}/{}: {} mismatch(es), first: {:?}",
+                spec.name,
+                report.module,
+                report.mismatches,
+                report.first_mismatches
+            );
+        }
+        verified_ises += reports.len();
+    }
+    // The corpus reliably yields ISEs; a sweep that verified nothing
+    // would be a silently green no-op.
+    assert!(
+        verified_ises >= specs.len(),
+        "only {verified_ises} ISEs across {} workloads",
+        specs.len()
+    );
+}
+
+#[test]
+fn hand_constrained_cuts_are_equivalent_across_io_budgets() {
+    // Tighter and looser I/O budgets than the paper default exercise
+    // cut shapes `generate` would not pick on its own.
+    let model = LatencyModel::paper_default();
+    let config = VerifyConfig {
+        vectors: vectors_per_module(),
+        ..VerifyConfig::default()
+    };
+    for spec in workloads_in_tiers(&[SizeTier::Small]) {
+        let app = spec.application();
         let block = app.critical_block().expect("has blocks");
         let ctx = BlockContext::new(block, &model);
         for (i, o) in [(2u32, 1u32), (4, 2), (8, 4)] {
@@ -70,10 +94,18 @@ fn selected_cuts_are_equivalent_on_real_workloads() {
             if cut.is_empty() {
                 continue;
             }
-            let netlist = Netlist::from_cut(block, cut.nodes()).expect("eligible cut");
-            for seed in 0..8 {
-                check_equivalence(block, &netlist, seed);
-            }
+            // The cut must still be netlistable before the harness runs
+            // it — keeps the failure message pointed at extraction.
+            Netlist::from_cut(block, cut.nodes()).expect("eligible cut");
+            let name = format!("{}_{i}x{o}", spec.name);
+            let report = verify_cut(block, cut.nodes(), &name, &config)
+                .unwrap_or_else(|e| panic!("{name}: harness failed: {e}"));
+            assert!(
+                report.passed(),
+                "{name}: {} mismatch(es), first: {:?}",
+                report.mismatches,
+                report.first_mismatches
+            );
         }
     }
 }
@@ -96,9 +128,15 @@ proptest! {
         let ctx = BlockContext::new(block, &model);
         let cut = bipartition(&ctx, IoConstraints::new(4, 2), &SearchConfig::default(), None);
         prop_assume!(!cut.is_empty());
-        let netlist = Netlist::from_cut(block, cut.nodes()).expect("eligible cut");
-        for s in 0..4u64 {
-            check_equivalence(block, &netlist, seed ^ s);
-        }
+        let config = VerifyConfig { vectors: 4, seed };
+        let report = verify_cut(block, cut.nodes(), "rand", &config)
+            .unwrap_or_else(|e| panic!("seed {seed}: harness failed: {e}"));
+        prop_assert!(
+            report.passed(),
+            "seed {}: {} mismatch(es), first: {:?}",
+            seed,
+            report.mismatches,
+            report.first_mismatches
+        );
     }
 }

@@ -139,6 +139,41 @@ fn verify_workload(client: &mut Client, name: &str) {
             .map(<[_]>::len),
         Some(expected_afu.instructions().len())
     );
+
+    // The verify op: three-way differential oracle over the daemon,
+    // served from the selection memo (select/rtl above warmed it).
+    let verify = client.request(Json::obj([
+        ("op", "verify".into()),
+        ("app", hash.as_str().into()),
+        ("vectors", 16u64.into()),
+        ("seed", 42u64.into()),
+    ]));
+    assert_eq!(
+        verify.get("passed").and_then(Json::as_bool),
+        Some(true),
+        "{name}: emitted Verilog diverged: {verify}"
+    );
+    assert_eq!(verify.get("mismatches").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        verify.get("vectors_per_ise").and_then(Json::as_u64),
+        Some(16)
+    );
+    assert_eq!(verify.get("cache").and_then(Json::as_str), Some("hit"));
+    let reports = verify.get("ises").and_then(Json::as_array).expect("ises");
+    assert_eq!(reports.len(), expected.ises.len(), "{name}");
+    for r in reports {
+        assert_eq!(r.get("mismatches").and_then(Json::as_u64), Some(0));
+        assert_eq!(r.get("vectors").and_then(Json::as_u64), Some(16));
+        let coverage = r
+            .get("output_bits_covered")
+            .and_then(Json::as_array)
+            .expect("coverage array");
+        assert!(!coverage.is_empty(), "{name}: an ISE with no outputs");
+        for bits in coverage {
+            let b = bits.as_u64().expect("coverage is numeric");
+            assert!(b <= 32, "{name}: coverage over 32 bits");
+        }
+    }
 }
 
 #[test]
@@ -173,6 +208,11 @@ fn daemon_matches_library_path_and_serves_from_cache() {
         );
         assert_eq!(hits("entries"), 2, "fir00 + aes cached once each");
         assert_eq!(hits("errors"), 0, "no error responses in the happy path");
+        assert_eq!(hits("verifications"), 2, "one verify per workload");
+        assert!(
+            hits("verified_vectors") >= 32,
+            "16 vectors × ≥1 ISE × 2 workloads: {stats}"
+        );
         // The computed selections must have reported their K-L search
         // counters: portfolio trajectories ran, arenas were pooled, and
         // the precision invalidation never flushed the gain cache.
@@ -286,6 +326,22 @@ fn hostile_requests_get_structured_errors_not_dead_connections() {
                 "protocol",
             ),
             (r#"{"op":"rtl","ir":"truncated"#, "parse"),
+            // verify-specific abuse: bad vector counts, bad seeds,
+            // unknown apps — all structured errors.
+            (r#"{"op":"verify"}"#, "protocol"),
+            (r#"{"op":"verify","app":"0123456789abcdef"}"#, "not_found"),
+            (
+                r#"{"op":"verify","ir":"app a\nblock b\n  x = in\n  y = add x x\nend\n","vectors":0}"#,
+                "protocol",
+            ),
+            (
+                r#"{"op":"verify","ir":"app a\nblock b\n  x = in\n  y = add x x\nend\n","vectors":1000000000}"#,
+                "protocol",
+            ),
+            (
+                r#"{"op":"verify","ir":"app a\nblock b\n  x = in\n  y = add x x\nend\n","seed":"tuesday"}"#,
+                "protocol",
+            ),
         ];
         for (line, kind) in abuses {
             let response = client.raw(line);
