@@ -78,6 +78,24 @@ impl Cut {
         }
     }
 
+    /// Reconstructs a previously-evaluated cut from its saved parts —
+    /// the deserialization path of the `ised` disk cache tier, which
+    /// must reproduce the searched cut *bit for bit* (re-running
+    /// [`Cut::evaluate`] would recompute `hw_latency` along a different
+    /// float summation order than the incremental engine used).
+    ///
+    /// The counts are trusted as given; callers replaying untrusted
+    /// bytes should validate `nodes.capacity()` against the block.
+    pub fn from_saved(
+        nodes: NodeSet,
+        inputs: u32,
+        outputs: u32,
+        sw_latency: u64,
+        hw_latency: f64,
+    ) -> Cut {
+        Cut::from_parts(nodes, inputs, outputs, sw_latency, hw_latency)
+    }
+
     pub(crate) fn from_parts(
         nodes: NodeSet,
         inputs: u32,

@@ -75,12 +75,27 @@ fn verify_report_rejects_bad_args_with_exit_2() {
 }
 
 #[test]
+fn fleet_soak_rejects_bad_args_with_exit_2() {
+    let bin = env!("CARGO_BIN_EXE_fleet_soak");
+    assert_usage_error(bin, &["--frobnicate"]);
+    assert_usage_error(bin, &["--shards"]);
+    assert_usage_error(bin, &["--shards", "0"]);
+    assert_usage_error(bin, &["--clients", "many"]);
+    assert_usage_error(bin, &["--requests", "0"]);
+    assert_usage_error(bin, &["--kill-every", "-1"]);
+    assert_usage_error(bin, &["--tier", "enormous"]);
+    assert_usage_error(bin, &["--ised"]);
+    assert_usage_error(bin, &["--out"]);
+}
+
+#[test]
 fn help_goes_to_stdout_with_exit_0() {
     for bin in [
         env!("CARGO_BIN_EXE_scaling"),
         env!("CARGO_BIN_EXE_perf_report"),
         env!("CARGO_BIN_EXE_ised_client"),
         env!("CARGO_BIN_EXE_verify_report"),
+        env!("CARGO_BIN_EXE_fleet_soak"),
     ] {
         let (code, stdout, _) = run(bin, &["--help"]);
         assert_eq!(code, Some(0), "{bin} --help");

@@ -4,6 +4,7 @@
 //! ised                         # 127.0.0.1:9417, cache capacity 64
 //! ised --addr 0.0.0.0:7000 --cache 256
 //! ised --addr 127.0.0.1:0      # ephemeral port, printed on stdout
+//! ised --disk-cache /var/lib/ised/cache.log   # crash-warm cache
 //! ```
 //!
 //! Logs go to stderr; the "listening on" line goes to stdout so
@@ -11,11 +12,16 @@
 
 use isegen_serve::{Server, ServerConfig};
 use std::io::Write as _;
+use std::time::Duration;
 
-const USAGE: &str = "usage: ised [--addr HOST:PORT] [--cache N] [--quiet]
-  --addr HOST:PORT  listen address (default 127.0.0.1:9417; port 0 = ephemeral)
-  --cache N         LRU capacity in applications (default 64)
-  --quiet           suppress per-request logging on stderr";
+const USAGE: &str = "usage: ised [--addr HOST:PORT] [--cache N] [--disk-cache PATH]
+            [--idle-timeout MS] [--read-deadline MS] [--quiet]
+  --addr HOST:PORT    listen address (default 127.0.0.1:9417; port 0 = ephemeral)
+  --cache N           LRU capacity in applications (default 64)
+  --disk-cache PATH   append-only cache log, replayed on boot (crash-warm restarts)
+  --idle-timeout MS   close connections idle for MS milliseconds
+  --read-deadline MS  a started request must arrive fully within MS milliseconds
+  --quiet             suppress per-request logging on stderr";
 
 /// Prints usage and exits with code 2 — the CLI-contract shared with the
 /// eval binaries: bad arguments are a usage error, not a panic.
@@ -24,10 +30,16 @@ fn usage_error(message: &str) -> ! {
     std::process::exit(2);
 }
 
+fn parse_millis(flag: &str, value: Option<String>) -> Duration {
+    match value.map(|v| v.parse::<u64>()) {
+        Some(Ok(ms)) if ms > 0 => Duration::from_millis(ms),
+        _ => usage_error(&format!("{flag} needs a positive millisecond count")),
+    }
+}
+
 fn main() {
     let mut addr = "127.0.0.1:9417".to_string();
-    let mut cache = 64usize;
-    let mut verbose = true;
+    let mut config = ServerConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,10 +48,20 @@ fn main() {
                 None => usage_error("--addr needs HOST:PORT"),
             },
             "--cache" => match args.next().map(|v| v.parse::<usize>()) {
-                Some(Ok(n)) if n > 0 => cache = n,
+                Some(Ok(n)) if n > 0 => config.cache_capacity = n,
                 _ => usage_error("--cache needs a positive integer"),
             },
-            "--quiet" => verbose = false,
+            "--disk-cache" => match args.next() {
+                Some(p) if !p.is_empty() => config.disk_path = Some(p.into()),
+                _ => usage_error("--disk-cache needs a file path"),
+            },
+            "--idle-timeout" => {
+                config.idle_timeout = Some(parse_millis("--idle-timeout", args.next()));
+            }
+            "--read-deadline" => {
+                config.read_deadline = Some(parse_millis("--read-deadline", args.next()));
+            }
+            "--quiet" => config.verbose = false,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -48,13 +70,7 @@ fn main() {
         }
     }
 
-    let server = match Server::bind(
-        &addr,
-        ServerConfig {
-            cache_capacity: cache,
-            verbose,
-        },
-    ) {
+    let server = match Server::bind(&addr, config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("ised: cannot bind {addr}: {e}");

@@ -1,0 +1,131 @@
+//! `isegen-router` — fault-tolerant sharded front over N supervised
+//! `ised` backends.
+//!
+//! ```sh
+//! isegen-router --shards 3 --state-dir /var/lib/ised-fleet
+//! isegen-router --addr 127.0.0.1:0 --ised target/release/ised
+//! ```
+//!
+//! Speaks the same wire protocol as `ised` (plus `drain` with a
+//! `"shard"` index); consistent-hashes requests by canonical-IR key;
+//! retries, fails over and degrades to an in-process engine when the
+//! whole fleet is down. The "listening on" line goes to stdout so
+//! supervisors can scrape the bound address.
+
+use isegen_serve::fleet::{Fleet, FleetConfig, Router};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "usage: isegen-router [--addr HOST:PORT] [--shards N] [--ised PATH]
+                     [--state-dir DIR] [--cache N] [--request-timeout MS]
+                     [--health-interval MS] [--idle-timeout MS]
+                     [--read-deadline MS] [--quiet]
+  --addr HOST:PORT     listen address (default 127.0.0.1:9418; port 0 = ephemeral)
+  --shards N           number of ised backends to spawn (default 3)
+  --ised PATH          ised binary (default: next to this binary, else PATH)
+  --state-dir DIR      per-shard disk caches and logs (default ised-fleet)
+  --cache N            LRU capacity per shard (default 64)
+  --request-timeout MS per-attempt response deadline (default 120000)
+  --health-interval MS health-check cadence (default 250)
+  --idle-timeout MS    close idle client connections after MS
+  --read-deadline MS   client requests must arrive fully within MS
+  --quiet              suppress routing logs on stderr";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("isegen-router: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_millis(flag: &str, value: Option<String>) -> Duration {
+    match value.map(|v| v.parse::<u64>()) {
+        Some(Ok(ms)) if ms > 0 => Duration::from_millis(ms),
+        _ => usage_error(&format!("{flag} needs a positive millisecond count")),
+    }
+}
+
+/// The `ised` binary shipped alongside this one, falling back to PATH
+/// lookup — covers both `target/release` layouts and installed trees.
+fn sibling_ised() -> PathBuf {
+    if let Ok(me) = std::env::current_exe() {
+        if let Some(dir) = me.parent() {
+            let candidate = dir.join("ised");
+            if candidate.is_file() {
+                return candidate;
+            }
+        }
+    }
+    PathBuf::from("ised")
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:9418".to_string();
+    let mut config = FleetConfig {
+        ised_bin: sibling_ised(),
+        ..FleetConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => usage_error("--addr needs HOST:PORT"),
+            },
+            "--shards" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => config.shards = n,
+                _ => usage_error("--shards needs a positive integer"),
+            },
+            "--ised" => match args.next() {
+                Some(p) if !p.is_empty() => config.ised_bin = p.into(),
+                _ => usage_error("--ised needs a path"),
+            },
+            "--state-dir" => match args.next() {
+                Some(p) if !p.is_empty() => config.state_dir = p.into(),
+                _ => usage_error("--state-dir needs a directory path"),
+            },
+            "--cache" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => config.cache_capacity = n,
+                _ => usage_error("--cache needs a positive integer"),
+            },
+            "--request-timeout" => {
+                config.request_timeout = parse_millis("--request-timeout", args.next());
+            }
+            "--health-interval" => {
+                config.health_interval = parse_millis("--health-interval", args.next());
+            }
+            "--idle-timeout" => {
+                config.idle_timeout = Some(parse_millis("--idle-timeout", args.next()));
+            }
+            "--read-deadline" => {
+                config.read_deadline = Some(parse_millis("--read-deadline", args.next()));
+            }
+            "--quiet" => config.verbose = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let fleet = match Fleet::start(config) {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            eprintln!("isegen-router: cannot start fleet: {e}");
+            std::process::exit(1);
+        }
+    };
+    let router = match Router::bind(&addr, fleet) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("isegen-router: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("isegen-router listening on {}", router.local_addr());
+    let _ = std::io::stdout().flush();
+    if let Err(e) = router.run() {
+        eprintln!("isegen-router: router error: {e}");
+        std::process::exit(1);
+    }
+}

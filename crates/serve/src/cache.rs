@@ -6,6 +6,7 @@
 //! builds; requesting the same selection twice costs a map lookup. Both
 //! hit/miss pairs are counted and exposed through the `stats` request.
 
+use crate::disk::{DiskLog, Record};
 use isegen_core::{BlockContext, ContextData, IseConfig, IseSelection, SearchConfig};
 use isegen_ir::{text, Application, LatencyModel, TextError};
 use std::collections::{HashMap, VecDeque};
@@ -62,13 +63,13 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// so one memoised selection serves them all.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SelectionKey {
-    io: (u32, u32),
-    max_ises: usize,
-    reuse_matching: bool,
-    max_passes: usize,
-    restarts: usize,
+    pub(crate) io: (u32, u32),
+    pub(crate) max_ises: usize,
+    pub(crate) reuse_matching: bool,
+    pub(crate) max_passes: usize,
+    pub(crate) restarts: usize,
     /// Gain weights by bit pattern (exact, NaN included).
-    weights: [u64; 5],
+    pub(crate) weights: [u64; 5],
 }
 
 impl SelectionKey {
@@ -140,9 +141,14 @@ impl AppEntry {
 
     /// Memoises `selection` under `key` (first writer wins; the race can
     /// only store identical values because the drivers are
-    /// deterministic).
-    pub fn store_selection(&self, key: SelectionKey, selection: Arc<IseSelection>) {
-        lock(&self.selections).entry(key).or_insert(selection);
+    /// deterministic). Returns whether this call was the first writer.
+    pub fn store_selection(&self, key: SelectionKey, selection: Arc<IseSelection>) -> bool {
+        let mut selections = lock(&self.selections);
+        if selections.contains_key(&key) {
+            return false;
+        }
+        selections.insert(key, selection);
+        true
     }
 }
 
@@ -163,6 +169,26 @@ pub struct CacheCounters {
     pub entries: usize,
 }
 
+/// Whether a replayed selection's shape still matches the application
+/// it claims to memoise: every block index in range and every node set
+/// sized exactly to its block's DAG. Anything else would feed the
+/// search structures sets of the wrong capacity.
+fn selection_fits(entry: &AppEntry, selection: &IseSelection) -> bool {
+    let blocks = entry.app.blocks();
+    let fits = |block_index: usize, nodes: &isegen_graph::NodeSet| {
+        blocks
+            .get(block_index)
+            .is_some_and(|b| b.dag().node_count() == nodes.capacity())
+    };
+    selection.ises.iter().all(|ise| {
+        fits(ise.block_index, ise.cut.nodes())
+            && ise
+                .instances
+                .iter()
+                .all(|inst| fits(inst.block_index, &inst.nodes))
+    })
+}
+
 #[derive(Default)]
 struct Lru {
     map: HashMap<u64, Arc<AppEntry>>,
@@ -179,11 +205,43 @@ impl Lru {
     }
 }
 
+/// A snapshot of the disk-tier counters, present when the cache was
+/// opened with a log path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskCounters {
+    /// Records successfully appended (and fsync'd) this run.
+    pub appends: u64,
+    /// Append attempts that failed at the I/O layer (the cache keeps
+    /// serving from memory; the log may miss those records).
+    pub append_errors: u64,
+    /// Applications rebuilt from the log on boot.
+    pub replayed_apps: u64,
+    /// Selection memos rebuilt from the log on boot.
+    pub replayed_selections: u64,
+    /// Replayed records skipped because they no longer validate against
+    /// their application (shape mismatch after a format change).
+    pub skipped_records: u64,
+    /// Bytes of corrupt tail truncated on boot (torn write recovery).
+    pub truncated_bytes: u64,
+}
+
+/// Mutable state behind the disk tier.
+struct DiskTier {
+    log: DiskLog,
+    appends: AtomicU64,
+    append_errors: AtomicU64,
+    replayed_apps: u64,
+    replayed_selections: u64,
+    skipped_records: u64,
+    truncated_bytes: u64,
+}
+
 /// The LRU-bounded application cache shared by every worker thread.
 pub struct ServeCache {
     capacity: usize,
     model: LatencyModel,
     lru: Mutex<Lru>,
+    disk: Option<DiskTier>,
     context_hits: AtomicU64,
     context_misses: AtomicU64,
     selection_hits: AtomicU64,
@@ -198,11 +256,144 @@ impl ServeCache {
             capacity: capacity.max(1),
             model,
             lru: Mutex::new(Lru::default()),
+            disk: None,
             context_hits: AtomicU64::new(0),
             context_misses: AtomicU64::new(0),
             selection_hits: AtomicU64::new(0),
             selection_misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by the append-only log at `path`: the log's valid
+    /// prefix is replayed into memory (warm restart) and every fresh
+    /// submit / computed selection is appended and fsync'd from then on.
+    ///
+    /// Replay is two-pass (applications first, then selections), so log
+    /// record order across threads never loses a memo. Records that no
+    /// longer validate — unknown app hash, block index or node-set shape
+    /// out of range — are counted in
+    /// [`DiskCounters::skipped_records`] and ignored.
+    pub fn with_disk(
+        capacity: usize,
+        model: LatencyModel,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<ServeCache> {
+        let (log, report) = DiskLog::open(path)?;
+        let mut cache = ServeCache::new(capacity, model);
+        let mut replayed_apps = 0u64;
+        let mut replayed_selections = 0u64;
+        let mut skipped = 0u64;
+        {
+            let mut lru = lock(&cache.lru);
+            for record in &report.records {
+                let Record::App { hash, canonical } = record else {
+                    continue;
+                };
+                if lru.map.contains_key(hash) {
+                    continue;
+                }
+                match AppEntry::build(canonical, &cache.model) {
+                    Ok(entry) if fnv1a(entry.canonical.as_bytes()) == *hash => {
+                        lru.map.insert(*hash, Arc::new(entry));
+                        lru.touch(*hash);
+                        replayed_apps += 1;
+                    }
+                    _ => skipped += 1,
+                }
+            }
+            for record in report.records {
+                let Record::Selection {
+                    app_hash,
+                    key,
+                    selection,
+                } = record
+                else {
+                    continue;
+                };
+                let Some(entry) = lru.map.get(&app_hash) else {
+                    skipped += 1;
+                    continue;
+                };
+                if !selection_fits(entry, &selection) {
+                    skipped += 1;
+                    continue;
+                }
+                if entry.store_selection(key, Arc::new(selection)) {
+                    replayed_selections += 1;
+                }
+            }
+            // Replaying more applications than the LRU bound keeps the
+            // most recently logged ones, like any other insertion burst.
+            while lru.map.len() > cache.capacity {
+                if let Some(oldest) = lru.order.pop_front() {
+                    lru.map.remove(&oldest);
+                }
+            }
+        }
+        cache.disk = Some(DiskTier {
+            log,
+            appends: AtomicU64::new(0),
+            append_errors: AtomicU64::new(0),
+            replayed_apps,
+            replayed_selections,
+            skipped_records: skipped,
+            truncated_bytes: report.truncated_bytes,
+        });
+        Ok(cache)
+    }
+
+    /// Appends `record`, counting instead of failing: a full or broken
+    /// disk degrades the warm-restart guarantee, never live serving.
+    fn disk_append(&self, record: &Record) {
+        if let Some(disk) = &self.disk {
+            match disk.log.append(record) {
+                Ok(()) => {
+                    disk.appends.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    disk.append_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Memoises a *computed* selection and writes it through to the
+    /// disk log (replayed selections and memo-hit races append nothing).
+    pub fn record_selection(
+        &self,
+        hash: u64,
+        entry: &AppEntry,
+        key: SelectionKey,
+        selection: Arc<IseSelection>,
+    ) {
+        if entry.store_selection(key.clone(), Arc::clone(&selection)) {
+            self.disk_append(&Record::Selection {
+                app_hash: hash,
+                key,
+                selection: (*selection).clone(),
+            });
+        }
+    }
+
+    /// Snapshot of the disk-tier counters (`None` without a disk tier).
+    pub fn disk_counters(&self) -> Option<DiskCounters> {
+        self.disk.as_ref().map(|d| DiskCounters {
+            appends: d.appends.load(Ordering::Relaxed),
+            append_errors: d.append_errors.load(Ordering::Relaxed),
+            replayed_apps: d.replayed_apps,
+            replayed_selections: d.replayed_selections,
+            skipped_records: d.skipped_records,
+            truncated_bytes: d.truncated_bytes,
+        })
+    }
+
+    /// Forces the disk log to stable storage (no-op without a disk
+    /// tier). Returns whether the sync succeeded.
+    pub fn sync_disk(&self) -> bool {
+        match &self.disk {
+            Some(d) => d.log.sync().is_ok(),
+            None => true,
         }
     }
 
@@ -239,6 +430,13 @@ impl ServeCache {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
+        drop(lru);
+        // Write-through outside the LRU lock: replay is two-pass, so a
+        // selection append racing ahead of this app record is harmless.
+        self.disk_append(&Record::App {
+            hash,
+            canonical: entry.canonical.clone(),
+        });
         Ok((hash, entry, true))
     }
 

@@ -1,0 +1,159 @@
+//! A per-shard circuit breaker: after a run of transport failures the
+//! shard is taken out of the routing preference for a cool-down, then a
+//! single half-open probe decides whether it rejoins.
+//!
+//! States follow the classic pattern:
+//!
+//! * **Closed** — routing normally, counting consecutive failures.
+//! * **Open** — all traffic routed around the shard until `open_for`
+//!   elapses.
+//! * **Half-open** — cool-down over; the next request is the probe. A
+//!   success closes the breaker, a failure re-opens it.
+//!
+//! The breaker can also be [`Breaker::trip`]ped administratively (a
+//! drain in progress, a child that failed to spawn): that holds it open
+//! until an explicit [`Breaker::reset`].
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Closed { failures: u32 },
+    Open { until: Option<Instant> },
+    HalfOpen,
+}
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct Breaker {
+    threshold: u32,
+    open_for: Duration,
+    state: Mutex<State>,
+}
+
+impl Breaker {
+    /// Opens after `threshold` consecutive failures, for `open_for`.
+    pub fn new(threshold: u32, open_for: Duration) -> Breaker {
+        Breaker {
+            threshold: threshold.max(1),
+            open_for,
+            state: Mutex::new(State::Closed { failures: 0 }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// May this shard receive a request right now? An expired open
+    /// breaker transitions to half-open and admits one probe.
+    pub fn allow(&self) -> bool {
+        let mut state = self.lock();
+        match *state {
+            State::Closed { .. } | State::HalfOpen => true,
+            State::Open { until: None } => false,
+            State::Open { until: Some(t) } => {
+                if Instant::now() >= t {
+                    *state = State::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A request (or health probe) succeeded: close the breaker.
+    pub fn on_success(&self) {
+        *self.lock() = State::Closed { failures: 0 };
+    }
+
+    /// A transport failure. Enough of them in a row — or one while
+    /// half-open — opens the breaker.
+    pub fn on_failure(&self) {
+        let mut state = self.lock();
+        *state = match *state {
+            State::Closed { failures } if failures + 1 < self.threshold => State::Closed {
+                failures: failures + 1,
+            },
+            // An administrative hold stays a hold.
+            State::Open { until: None } => State::Open { until: None },
+            _ => State::Open {
+                until: Some(Instant::now() + self.open_for),
+            },
+        };
+    }
+
+    /// Holds the breaker open until [`Self::reset`] — used while a
+    /// shard is draining or failed to spawn.
+    pub fn trip(&self) {
+        *self.lock() = State::Open { until: None };
+    }
+
+    /// Force-closes the breaker (a shard came back up).
+    pub fn reset(&self) {
+        *self.lock() = State::Closed { failures: 0 };
+    }
+
+    /// `"closed"`, `"open"` or `"half-open"`, for stats.
+    pub fn state_name(&self) -> &'static str {
+        match *self.lock() {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = Breaker::new(3, Duration::from_secs(60));
+        b.on_failure();
+        b.on_failure();
+        assert!(b.allow(), "below threshold stays closed");
+        b.on_failure();
+        assert!(!b.allow(), "third consecutive failure opens");
+        assert_eq!(b.state_name(), "open");
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let b = Breaker::new(2, Duration::from_secs(60));
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        assert!(b.allow(), "run was broken by the success");
+    }
+
+    #[test]
+    fn half_open_probe_closes_or_reopens() {
+        let b = Breaker::new(1, Duration::from_millis(1));
+        b.on_failure();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.allow(), "cool-down over: admit the probe");
+        assert_eq!(b.state_name(), "half-open");
+        b.on_failure();
+        assert!(!b.allow(), "failed probe re-opens");
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.allow());
+        b.on_success();
+        assert_eq!(b.state_name(), "closed");
+    }
+
+    #[test]
+    fn trip_holds_until_reset() {
+        let b = Breaker::new(3, Duration::from_millis(1));
+        b.trip();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!b.allow(), "administrative hold has no cool-down");
+        b.on_failure();
+        assert!(!b.allow(), "failures do not demote the hold to timed-open");
+        b.reset();
+        assert!(b.allow());
+    }
+}

@@ -1,0 +1,36 @@
+//! The `isegen-router` fleet: a fault-tolerant sharded front over N
+//! supervised `ised` backends.
+//!
+//! The router consistent-hashes each request's canonical-IR FNV key
+//! across the shards of a [`ring::Ring`], so every application lands on
+//! a stable backend whose caches (in-memory and disk) stay hot for it.
+//! Around that core sit the reliability layers:
+//!
+//! * **Supervision** ([`backend::Backend`]): each shard is a spawned
+//!   `ised` child with its own append-only disk cache and stderr log. A
+//!   health loop pings every shard, restarts dead ones with bounded
+//!   exponential backoff, and a kill -9'd shard comes back *warm*
+//!   because its disk log is replayed on boot.
+//! * **Retries and failover** ([`router::Fleet`]): transport failures
+//!   retry on the same shard with backoff, then fail over along the
+//!   ring's preference order; if a failover shard has never seen the
+//!   application, the router heals the `not_found` by re-submitting the
+//!   canonical IR it remembers.
+//! * **Circuit breaking** ([`breaker::Breaker`]): a flapping backend is
+//!   routed around until a cool-down passes; a half-open probe decides
+//!   whether it rejoins.
+//! * **Graceful degradation**: when every shard is unreachable the
+//!   router answers from an in-process [`crate::Service`] — same engine,
+//!   same bytes, no fleet required.
+//! * **Drain** (`{"op":"drain","shard":k}`): stop routing to a shard,
+//!   ask it to flush its disk log and exit, then respawn it warm.
+
+pub mod backend;
+pub mod breaker;
+pub mod ring;
+pub mod router;
+
+pub use backend::{Backend, BackendConfig, BackendError};
+pub use breaker::Breaker;
+pub use ring::Ring;
+pub use router::{Fleet, FleetConfig, Router};

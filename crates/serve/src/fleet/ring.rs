@@ -1,0 +1,123 @@
+//! Consistent-hash ring over the fleet's shards.
+//!
+//! Each shard owns [`VNODES_PER_SHARD`] points on a 64-bit ring (the
+//! FNV-1a hashes of `shard-<i>/vnode-<v>`); a request key routes to the
+//! shard owning the first point at or after it. Virtual nodes keep the
+//! load split even for small fleets, and the failover order for a key —
+//! the distinct shards met walking the ring — is deterministic, so
+//! retries from different router threads agree on where to go next.
+
+use crate::cache::fnv1a;
+
+/// Ring points per shard. 64 keeps the per-shard load within a few
+/// percent of even for fleets of 2–16 shards.
+pub const VNODES_PER_SHARD: usize = 64;
+
+/// The placement function of the fleet; see the module docs.
+#[derive(Debug)]
+pub struct Ring {
+    /// `(point, shard)` sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl Ring {
+    /// A ring over `shards` shards (at least one).
+    pub fn new(shards: usize) -> Ring {
+        let shards = shards.max(1);
+        let mut points = Vec::with_capacity(shards * VNODES_PER_SHARD);
+        for shard in 0..shards {
+            for vnode in 0..VNODES_PER_SHARD {
+                let label = format!("shard-{shard}/vnode-{vnode}");
+                points.push((fnv1a(label.as_bytes()), shard));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Index of the first ring point at or after `key` (wrapping).
+    fn first_point(&self, key: u64) -> usize {
+        match self.points.binary_search_by(|&(p, _)| p.cmp(&key)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0,
+            Err(i) => i,
+        }
+    }
+
+    /// The shard a key routes to when everything is healthy.
+    pub fn shard_for(&self, key: u64) -> usize {
+        self.points[self.first_point(key)].1
+    }
+
+    /// All shards in failover order for `key`: the distinct shards met
+    /// walking the ring clockwise from the key's point. Always has
+    /// exactly [`Self::shards`] entries, the primary first.
+    pub fn preference(&self, key: u64) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.shards);
+        let start = self.first_point(key);
+        for offset in 0..self.points.len() {
+            let shard = self.points[(start + offset) % self.points.len()].1;
+            if !order.contains(&shard) {
+                order.push(shard);
+                if order.len() == self.shards {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preference_lists_every_shard_once_primary_first() {
+        let ring = Ring::new(5);
+        for key in [0u64, 1, u64::MAX, fnv1a(b"some app")] {
+            let order = ring.preference(key);
+            assert_eq!(order.len(), 5);
+            assert_eq!(order[0], ring.shard_for(key));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_even() {
+        let ring = Ring::new(3);
+        let mut counts = [0usize; 3];
+        for i in 0..3000u64 {
+            counts[ring.shard_for(fnv1a(&i.to_le_bytes()))] += 1;
+        }
+        for &c in &counts {
+            // Within a factor of two of the fair share of 1000.
+            assert!((500..=2000).contains(&c), "skewed split: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn placement_is_stable_across_identical_rings() {
+        let a = Ring::new(4);
+        let b = Ring::new(4);
+        for i in 0..100u64 {
+            let key = fnv1a(&i.to_le_bytes());
+            assert_eq!(a.preference(key), b.preference(key));
+        }
+    }
+
+    #[test]
+    fn single_shard_ring_routes_everything_to_it() {
+        let ring = Ring::new(1);
+        assert_eq!(ring.shard_for(12345), 0);
+        assert_eq!(ring.preference(12345), vec![0]);
+    }
+}

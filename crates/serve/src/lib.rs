@@ -56,10 +56,16 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod disk;
+pub mod fleet;
 pub mod json;
 pub mod proto;
 mod server;
+mod service;
+pub mod wire;
 
-pub use cache::{AppEntry, CacheCounters, SelectionKey, ServeCache, SubmitError};
+pub use cache::{AppEntry, CacheCounters, DiskCounters, SelectionKey, ServeCache, SubmitError};
 pub use proto::{ProtoError, RequestConfig};
-pub use server::{Server, ServerConfig, MAX_LINE_BYTES};
+pub use server::{Server, ServerConfig};
+pub use service::Service;
+pub use wire::{Framing, WireLimits, MAX_FRAME_BYTES, MAX_LINE_BYTES};

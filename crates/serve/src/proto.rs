@@ -1,12 +1,21 @@
-//! The `ised` wire protocol: newline-delimited JSON requests and
-//! responses, plus the bounds-checked translation from request fields to
-//! library configuration.
+//! The `ised` wire protocol: framed JSON requests and responses, plus
+//! the bounds-checked translation from request fields to library
+//! configuration.
 //!
-//! Every request is one JSON object on one line with an `"op"` member;
-//! every response is one JSON object on one line with an `"ok"` member.
-//! Failures carry `"error"` (human-readable) and `"kind"` (stable
-//! machine-readable tag) — a malformed or hostile request can never kill
-//! the connection, let alone the worker thread.
+//! Every request is one JSON object with an `"op"` member; every
+//! response is one JSON object with an `"ok"` member. Failures carry
+//! `"error"` (human-readable) and `"kind"` (stable machine-readable
+//! tag) — a malformed or hostile request can never kill the connection,
+//! let alone the worker thread.
+//!
+//! Two framings share a connection and may interleave (see
+//! [`crate::wire`]); each response uses its request's framing:
+//!
+//! - **Line** (legacy): one JSON document per `\n`-terminated line,
+//!   capped at [`crate::wire::MAX_LINE_BYTES`].
+//! - **Length-prefixed**: `#<decimal byte count>\n`, the payload, `\n`.
+//!   Carries documents with embedded newlines and payloads up to
+//!   [`crate::wire::MAX_FRAME_BYTES`].
 //!
 //! | op         | request fields                          | response |
 //! |------------|-----------------------------------------|----------|
@@ -16,7 +25,15 @@
 //! | `rtl`      | `app` (hash) or `ir`, optional `config` | Verilog + area |
 //! | `verify`   | `app` (hash) or `ir`, optional `config`, `vectors`, `seed` | differential-test report |
 //! | `stats`    | —                                       | cache/request counters |
+//! | `drain`    | — (`ised`) / `shard` index (router)     | durability receipt; `ised` exits, the router recycles the shard warm |
 //! | `shutdown` | —                                       | ack, then the server drains |
+//!
+//! `isegen-router` speaks the same protocol on behalf of a shard fleet:
+//! `ping` and `stats` are answered by the router itself (`stats`
+//! aggregates per-shard health and counters), `drain` takes a numeric
+//! `"shard"` and restarts that shard warm from its disk log, `shutdown`
+//! stops the fleet, and everything else is consistent-hash routed by
+//! canonical-IR key with retries, failover and an in-process fallback.
 //!
 //! `config` members (all optional): `io` (`[inputs, outputs]`),
 //! `max_ises`, `reuse`, `threads`, `portfolio_threads`, `max_passes`,

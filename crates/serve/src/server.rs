@@ -1,6 +1,6 @@
-//! The long-lived `ised` server: accepts TCP connections, speaks the
-//! newline-delimited JSON protocol of [`crate::proto`], and serves every
-//! request from the shared [`ServeCache`].
+//! The long-lived `ised` server: accepts TCP connections, frames the
+//! JSON protocol of [`crate::proto`] with [`crate::wire`], and serves
+//! every request from the embedded [`Service`].
 //!
 //! Concurrency is hand-rolled on scoped threads (no async runtime in the
 //! image): the acceptor polls a non-blocking listener so it can observe
@@ -9,26 +9,28 @@
 //! every library error is mapped to a structured error response — and a
 //! `catch_unwind` backstop turns anything that slips through into an
 //! `"internal"` error response instead of a dead connection.
+//!
+//! Shutdown is event-driven, not poll-bound: every accepted connection
+//! registers a handle, and [`Server::request_stop`] half-closes the read
+//! side of all of them, so blocked workers observe EOF immediately
+//! instead of waiting out a read-timeout poll. In-flight responses still
+//! go out — only the read direction is closed.
 
-use crate::cache::{AppEntry, SelectionKey, ServeCache, SubmitError};
 use crate::json::{self, Json};
-use crate::proto::{self, ProtoError, RequestConfig};
-use isegen_core::{
-    generate_batched_in_contexts, generate_in_contexts, CacheStats, IseSelection, IsegenFinder,
-};
+use crate::proto::ProtoError;
+use crate::service::Service;
+use crate::wire::{self, FrameRead, Framing, WireLimits};
 use isegen_ir::LatencyModel;
-use isegen_rtl::{verify_selection, AfuLibrary, VerifyConfig};
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use std::time::Duration;
 
-/// Hard cap on one request line (bytes). The largest bundled workload
-/// serializes to well under 1 MiB of text IR; 16 MiB leaves room for
-/// far bigger programs while bounding per-connection memory.
-pub const MAX_LINE_BYTES: usize = 16 << 20;
+use crate::cache::ServeCache;
 
 /// How the server is set up; see [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -37,6 +39,15 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Log requests and connections to stderr.
     pub verbose: bool,
+    /// Append-only disk tier for the cache: replayed on boot, written
+    /// through on every submit/selection, so a restarted process comes
+    /// back warm. `None` keeps the cache purely in-memory.
+    pub disk_path: Option<PathBuf>,
+    /// Close a connection that does not start a request within this.
+    pub idle_timeout: Option<Duration>,
+    /// Once a request's first byte arrived, the complete frame must
+    /// arrive within this (slowloris protection).
+    pub read_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -44,50 +55,53 @@ impl Default for ServerConfig {
         ServerConfig {
             cache_capacity: 64,
             verbose: true,
+            disk_path: None,
+            idle_timeout: None,
+            read_deadline: None,
         }
     }
 }
 
 /// The `ised` daemon. Construct with [`Server::bind`], run with
-/// [`Server::run`] (blocks until a `shutdown` request or
+/// [`Server::run`] (blocks until a `shutdown`/`drain` request or
 /// [`Server::request_stop`]).
 pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
-    cache: ServeCache,
+    service: Service,
     config: ServerConfig,
     stop: AtomicBool,
-    requests: AtomicU64,
-    errors: AtomicU64,
     connections: AtomicU64,
-    /// `verify` requests served and total stimulus vectors they drove
-    /// through the three-way oracle (vectors × ISEs), for `stats`.
-    verifications: AtomicU64,
-    verified_vectors: AtomicU64,
-    /// K-L probe/arena statistics absorbed from every computed (non-memo)
-    /// selection, surfaced by the `stats` op.
-    search_stats: Mutex<CacheStats>,
+    /// Read-half handles of live connections, so `request_stop` can
+    /// unblock every worker instantly. Keyed by a connection id because
+    /// workers unregister themselves on exit.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
 }
 
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port) with the
-    /// paper-default latency model.
+    /// paper-default latency model. With `config.disk_path` set, the
+    /// cache log is replayed before the first connection is accepted.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let model = LatencyModel::paper_default();
+        let cache = match &config.disk_path {
+            Some(path) => ServeCache::with_disk(config.cache_capacity, model, path)?,
+            None => ServeCache::new(config.cache_capacity, model),
+        };
+        let service = Service::new(cache, "ised", config.verbose);
         Ok(Server {
             listener,
             local_addr,
-            cache: ServeCache::new(config.cache_capacity, LatencyModel::paper_default()),
+            service,
             config,
             stop: AtomicBool::new(false),
-            requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
             connections: AtomicU64::new(0),
-            verifications: AtomicU64::new(0),
-            verified_vectors: AtomicU64::new(0),
-            search_stats: Mutex::new(CacheStats::default()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
         })
     }
 
@@ -98,12 +112,25 @@ impl Server {
 
     /// The shared cache (exposed for in-process tests and stats).
     pub fn cache(&self) -> &ServeCache {
-        &self.cache
+        self.service.cache()
     }
 
-    /// Asks the accept loop to drain and return. Safe from any thread.
+    /// The embedded request engine.
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Asks the accept loop to drain and return, and half-closes the
+    /// read side of every live connection so blocked workers wake
+    /// immediately. Safe from any thread.
     pub fn request_stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
+        if let Ok(conns) = self.conns.lock() {
+            for stream in conns.values() {
+                // In-flight responses still go out on the write half.
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
     }
 
     fn log(&self, message: impl AsRef<str>) {
@@ -129,11 +156,19 @@ impl Server {
                     Ok((stream, peer)) => {
                         self.connections.fetch_add(1, Ordering::Relaxed);
                         self.log(format!("connection from {peer}"));
+                        let conn_id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                        if let (Ok(clone), Ok(mut conns)) = (stream.try_clone(), self.conns.lock())
+                        {
+                            conns.insert(conn_id, clone);
+                        }
                         scope.spawn(move || {
                             if let Err(e) = self.handle_connection(stream) {
                                 self.log(format!("connection {peer} closed: {e}"));
                             } else {
                                 self.log(format!("connection {peer} closed"));
+                            }
+                            if let Ok(mut conns) = self.conns.lock() {
+                                conns.remove(&conn_id);
                             }
                         });
                     }
@@ -154,46 +189,120 @@ impl Server {
                 }
             }
         });
+        // Flush the disk tier so a clean exit never loses the tail.
+        self.cache().sync_disk();
         self.log("shutdown complete");
         Ok(())
     }
 
     fn handle_connection(&self, stream: TcpStream) -> io::Result<()> {
-        // Short read timeouts let workers notice the shutdown flag; a
-        // timed-out read just polls again (inside `read_line_capped`,
-        // which keeps any partial line intact across timeouts).
-        stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+        // A short socket timeout keeps the frame reader's idle/deadline
+        // and stop checks responsive; `request_stop` additionally
+        // half-closes the socket so waiting here ends instantly.
+        stream.set_read_timeout(Some(wire::POLL_INTERVAL))?;
         stream.set_write_timeout(Some(Duration::from_secs(30)))?;
         let mut writer = stream.try_clone()?;
         let mut reader = BufReader::new(stream);
+        let limits = WireLimits {
+            idle: self.config.idle_timeout,
+            deadline: self.config.read_deadline,
+            ..WireLimits::default()
+        };
         let mut bytes = Vec::new();
         loop {
-            bytes.clear();
-            match read_line_capped(&mut reader, &mut bytes, MAX_LINE_BYTES, &self.stop)? {
-                LineRead::Eof | LineRead::Stopped => return Ok(()),
-                LineRead::Line => {}
-                LineRead::TooLong => {
-                    // The line was drained; answer and keep serving.
-                    let err = ProtoError::new(
-                        "protocol",
-                        format!("request exceeds {MAX_LINE_BYTES} bytes"),
-                    );
-                    self.errors.fetch_add(1, Ordering::Relaxed);
-                    writeln!(writer, "{}", err.to_response())?;
-                    writer.flush()?;
-                    continue;
+            let framing = match wire::read_frame(&mut reader, &mut bytes, &limits, &self.stop)? {
+                FrameRead::Frame(framing) => framing,
+                FrameRead::Eof | FrameRead::Stopped => return Ok(()),
+                FrameRead::TooLong(framing) => {
+                    let cap = match framing {
+                        Framing::Line => limits.max_line,
+                        Framing::Prefixed => limits.max_frame,
+                    };
+                    self.service.count_error_request();
+                    let err = ProtoError::new("protocol", format!("request exceeds {cap} bytes"));
+                    self.respond(&mut writer, &err.to_response(), framing)?;
+                    match framing {
+                        // The oversized line was drained; keep serving.
+                        Framing::Line => continue,
+                        // An unread prefixed body desynchronizes the
+                        // stream; nothing to do but close.
+                        Framing::Prefixed => return Ok(()),
+                    }
                 }
-            }
-            // Invalid UTF-8 degrades into replacement characters and
-            // then a structured JSON parse error — never a panic.
-            let line = String::from_utf8_lossy(&bytes);
-            if line.trim().is_empty() {
+                FrameRead::IdleTimeout => {
+                    self.log("closing idle connection");
+                    return Ok(());
+                }
+                FrameRead::DeadlineExceeded => {
+                    self.service.count_error_request();
+                    let err = ProtoError::new(
+                        "timeout",
+                        "request did not complete within the read deadline",
+                    );
+                    // Best effort: a slowloris peer may not read it.
+                    let _ = self.respond(&mut writer, &err.to_response(), Framing::Line);
+                    return Ok(());
+                }
+                FrameRead::Malformed(why) => {
+                    self.service.count_error_request();
+                    let err = ProtoError::new("protocol", why);
+                    let _ = self.respond(&mut writer, &err.to_response(), Framing::Line);
+                    return Ok(());
+                }
+            };
+            let text = String::from_utf8_lossy(&bytes);
+            let trimmed = text.trim();
+            if trimmed.is_empty() {
                 continue;
             }
-            self.requests.fetch_add(1, Ordering::Relaxed);
+            let request = match json::parse(trimmed) {
+                Ok(request) => request,
+                Err(e) => {
+                    self.service.count_error_request();
+                    let err = ProtoError::new("parse", e.to_string());
+                    self.log(format!("error response: {err}"));
+                    self.respond(&mut writer, &err.to_response(), framing)?;
+                    continue;
+                }
+            };
+            // Transport-level ops stay with the server; everything else
+            // goes through the shared service engine.
+            match request.get("op").and_then(Json::as_str) {
+                Some("shutdown") => {
+                    self.service.count_control_request();
+                    self.log("shutdown requested");
+                    let response = Json::obj([("ok", Json::Bool(true)), ("op", "shutdown".into())]);
+                    self.respond(&mut writer, &response, framing)?;
+                    self.request_stop();
+                    return Ok(());
+                }
+                Some("drain") => {
+                    // Graceful stop with a durability receipt: sync the
+                    // disk log, then acknowledge with the counters a
+                    // supervisor needs to confirm nothing was dropped.
+                    self.service.count_control_request();
+                    self.log("drain requested");
+                    let synced = self.cache().sync_disk();
+                    let mut response = Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("op", "drain".into()),
+                        ("requests", self.service.request_count().into()),
+                        ("synced", Json::Bool(synced)),
+                    ]);
+                    if let Some(d) = self.cache().disk_counters() {
+                        if let Json::Obj(members) = &mut response {
+                            members.push(("disk_appends".to_string(), d.appends.into()));
+                        }
+                    }
+                    self.respond(&mut writer, &response, framing)?;
+                    self.request_stop();
+                    return Ok(());
+                }
+                _ => {}
+            }
             // The backstop: a panic anywhere in dispatch becomes an
             // "internal" error response, not a dead worker thread.
-            let response = catch_unwind(AssertUnwindSafe(|| self.dispatch(&line)))
+            let response = catch_unwind(AssertUnwindSafe(|| self.service.handle(&request)))
                 .unwrap_or_else(|_| {
                     Err(ProtoError::new(
                         "internal",
@@ -201,374 +310,30 @@ impl Server {
                     ))
                 })
                 .unwrap_or_else(|e| {
-                    self.errors.fetch_add(1, Ordering::Relaxed);
                     self.log(format!("error response: {e}"));
                     e.to_response()
                 });
-            writeln!(writer, "{response}")?;
-            writer.flush()?;
+            let response = self.augment_stats(&request, response);
+            self.respond(&mut writer, &response, framing)?;
         }
     }
 
-    /// Parses and executes one request line.
-    fn dispatch(&self, line: &str) -> Result<Json, ProtoError> {
-        let request =
-            json::parse(line.trim()).map_err(|e| ProtoError::new("parse", e.to_string()))?;
-        let op = request
-            .get("op")
-            .and_then(Json::as_str)
-            .ok_or_else(|| ProtoError::new("protocol", "request needs a string \"op\""))?;
-        match op {
-            "ping" => Ok(Json::obj([("ok", Json::Bool(true)), ("op", "pong".into())])),
-            "submit" => self.op_submit(&request),
-            "select" => self.op_select(&request),
-            "rtl" => self.op_rtl(&request),
-            "verify" => self.op_verify(&request),
-            "stats" => Ok(self.op_stats()),
-            "shutdown" => {
-                self.log("shutdown requested");
-                self.request_stop();
-                Ok(Json::obj([
-                    ("ok", Json::Bool(true)),
-                    ("op", "shutdown".into()),
-                ]))
-            }
-            other => Err(ProtoError::new(
-                "protocol",
-                format!("unknown op {other:?} (ping/submit/select/rtl/verify/stats/shutdown)"),
-            )),
-        }
-    }
-
-    fn op_submit(&self, request: &Json) -> Result<Json, ProtoError> {
-        let (hash, entry, fresh) = self.submit_ir(request)?;
-        self.log(format!(
-            "submit {} → {} ({})",
-            entry.app.name(),
-            proto::format_hash(hash),
-            if fresh { "new" } else { "cached" }
-        ));
-        Ok(Json::obj([
-            ("ok", Json::Bool(true)),
-            ("op", "submit".into()),
-            ("app", proto::format_hash(hash).into()),
-            ("name", entry.app.name().into()),
-            ("blocks", entry.app.blocks().len().into()),
-            (
-                "ops",
-                entry
-                    .app
-                    .blocks()
-                    .iter()
-                    .map(|b| b.operation_count())
-                    .sum::<usize>()
-                    .into(),
-            ),
-            ("cached", Json::Bool(!fresh)),
-        ]))
-    }
-
-    /// Resolves the application of a request: `app` (a hash from an
-    /// earlier submit) or inline `ir`.
-    fn resolve_app(&self, request: &Json) -> Result<(u64, Arc<AppEntry>), ProtoError> {
-        if let Some(hash) = request.get("app") {
-            let hash = hash
-                .as_str()
-                .ok_or_else(|| ProtoError::new("protocol", "\"app\" must be a hash string"))
-                .and_then(proto::parse_hash)?;
-            let entry = self.cache.get(hash).ok_or_else(|| {
-                ProtoError::new(
-                    "not_found",
-                    format!(
-                        "no app {} in cache (submit it first)",
-                        proto::format_hash(hash)
-                    ),
-                )
-            })?;
-            return Ok((hash, entry));
-        }
-        let (hash, entry, _) = self.submit_ir(request)?;
-        Ok((hash, entry))
-    }
-
-    fn submit_ir(&self, request: &Json) -> Result<(u64, Arc<AppEntry>, bool), ProtoError> {
-        let ir = request.get("ir").and_then(Json::as_str).ok_or_else(|| {
-            ProtoError::new("protocol", "request needs \"ir\" text or an \"app\" hash")
-        })?;
-        self.cache.submit(ir).map_err(|e| {
-            let kind = match e {
-                SubmitError::Ir(_) => "ir",
-                SubmitError::HashCollision => "collision",
-            };
-            ProtoError::new(kind, e.to_string())
-        })
-    }
-
-    /// Computes (or recalls) the selection for `entry` under `config`.
-    fn selection(&self, entry: &AppEntry, config: &RequestConfig) -> (Arc<IseSelection>, bool) {
-        let key = SelectionKey::new(&config.ise, &config.search);
-        if let Some(found) = entry.cached_selection(&key) {
-            self.cache.count_selection(true);
-            return (found, true);
-        }
-        self.cache.count_selection(false);
-        let contexts = entry.contexts();
-        let mut finder = IsegenFinder::new(config.search.clone())
-            .with_portfolio_threads(config.portfolio_threads);
-        let selection = if config.threads > 1 {
-            generate_batched_in_contexts(&finder, &contexts, &config.ise, config.threads)
-        } else {
-            generate_in_contexts(&mut finder, &contexts, &config.ise)
-        };
-        // Worker clones report into the finder's shared accumulator, so
-        // this covers the batched path too.
-        if let Ok(mut acc) = self.search_stats.lock() {
-            acc.absorb(finder.accumulated_stats());
-        }
-        let selection = Arc::new(selection);
-        entry.store_selection(key, Arc::clone(&selection));
-        (selection, false)
-    }
-
-    fn op_select(&self, request: &Json) -> Result<Json, ProtoError> {
-        let (hash, entry) = self.resolve_app(request)?;
-        let config = proto::parse_config(request.get("config"))?;
-        let (selection, hit) = self.selection(&entry, &config);
-        self.log(format!(
-            "select {} → {} ISEs ({})",
-            proto::format_hash(hash),
-            selection.ises.len(),
-            if hit { "memo hit" } else { "computed" }
-        ));
-        let ises: Vec<Json> = selection
-            .ises
-            .iter()
-            .map(|ise| {
-                Json::obj([
-                    ("block", ise.block_index.into()),
-                    (
-                        "block_name",
-                        entry.app.blocks()[ise.block_index].name().into(),
-                    ),
-                    ("nodes", ise.cut.nodes().len().into()),
-                    ("inputs", u64::from(ise.cut.input_count()).into()),
-                    ("outputs", u64::from(ise.cut.output_count()).into()),
-                    ("saved_per_execution", ise.saved_per_execution.into()),
-                    ("instances", ise.instances.len().into()),
-                ])
-            })
-            .collect();
-        Ok(Json::obj([
-            ("ok", Json::Bool(true)),
-            ("op", "select".into()),
-            ("app", proto::format_hash(hash).into()),
-            ("speedup", selection.speedup().into()),
-            ("total_sw_cycles", selection.total_sw_cycles.into()),
-            ("saved_cycles", selection.saved_cycles.into()),
-            ("instances", selection.instance_count().into()),
-            ("ises", Json::Arr(ises)),
-            ("cache", if hit { "hit" } else { "miss" }.into()),
-        ]))
-    }
-
-    fn op_rtl(&self, request: &Json) -> Result<Json, ProtoError> {
-        let (hash, entry) = self.resolve_app(request)?;
-        let config = proto::parse_config(request.get("config"))?;
-        let (selection, hit) = self.selection(&entry, &config);
-        let library = AfuLibrary::from_selection(&entry.app, self.cache.model(), &selection)
-            .map_err(|e| ProtoError::new("rtl", e.to_string()))?;
-        self.log(format!(
-            "rtl {} → {} instructions, {:.0} gates",
-            proto::format_hash(hash),
-            library.instructions().len(),
-            library.total_gates()
-        ));
-        let instructions: Vec<Json> = library
-            .instructions()
-            .iter()
-            .map(|inst| {
-                Json::obj([
-                    ("name", inst.name.as_str().into()),
-                    ("cells", inst.netlist.cell_count().into()),
-                    ("inputs", inst.netlist.input_count().into()),
-                    ("outputs", inst.netlist.output_count().into()),
-                    ("gates", inst.gates.into()),
-                    ("delay", inst.delay.into()),
-                    ("saved_per_execution", inst.saved_per_execution.into()),
-                    ("instances", inst.instance_count.into()),
-                ])
-            })
-            .collect();
-        Ok(Json::obj([
-            ("ok", Json::Bool(true)),
-            ("op", "rtl".into()),
-            ("app", proto::format_hash(hash).into()),
-            ("gates", library.total_gates().into()),
-            ("instructions", Json::Arr(instructions)),
-            ("verilog", library.emit_verilog().into()),
-            ("cache", if hit { "hit" } else { "miss" }.into()),
-        ]))
-    }
-
-    /// Runs the three-way differential oracle (interpreter ⇔ netlist ⇔
-    /// parsed-and-simulated emitted Verilog) over every selected ISE.
-    fn op_verify(&self, request: &Json) -> Result<Json, ProtoError> {
-        let (hash, entry) = self.resolve_app(request)?;
-        let config = proto::parse_config(request.get("config"))?;
-        let (vectors, seed) = proto::parse_verify_params(request)?;
-        let (selection, hit) = self.selection(&entry, &config);
-        let verify_config = VerifyConfig { vectors, seed };
-        let reports = verify_selection(&entry.app, &selection, &verify_config)
-            .map_err(|e| ProtoError::new("rtl", e.to_string()))?;
-        let mismatches: usize = reports.iter().map(|r| r.mismatches).sum();
-        self.verifications.fetch_add(1, Ordering::Relaxed);
-        self.verified_vectors.fetch_add(
-            (vectors as u64).saturating_mul(reports.len() as u64),
-            Ordering::Relaxed,
-        );
-        self.log(format!(
-            "verify {} → {} ISEs × {} vectors, {} mismatch(es)",
-            proto::format_hash(hash),
-            reports.len(),
-            vectors,
-            mismatches
-        ));
-        let ises: Vec<Json> = reports
-            .iter()
-            .map(|r| {
-                Json::obj([
-                    ("name", r.module.as_str().into()),
-                    ("cells", r.cells.into()),
-                    ("vectors", r.vectors.into()),
-                    ("mismatches", r.mismatches.into()),
-                    (
-                        "output_bits_covered",
-                        Json::Arr(
-                            r.output_bits_covered
-                                .iter()
-                                .map(|&b| u64::from(b).into())
-                                .collect(),
-                        ),
-                    ),
-                ])
-            })
-            .collect();
-        Ok(Json::obj([
-            ("ok", Json::Bool(true)),
-            ("op", "verify".into()),
-            ("app", proto::format_hash(hash).into()),
-            ("vectors_per_ise", vectors.into()),
-            ("mismatches", mismatches.into()),
-            ("passed", Json::Bool(mismatches == 0)),
-            ("ises", Json::Arr(ises)),
-            ("cache", if hit { "hit" } else { "miss" }.into()),
-        ]))
-    }
-
-    fn op_stats(&self) -> Json {
-        let c = self.cache.counters();
-        let s = self.search_stats.lock().map(|s| *s).unwrap_or_default();
-        Json::obj([
-            ("ok", Json::Bool(true)),
-            ("op", "stats".into()),
-            ("entries", c.entries.into()),
-            ("context_hits", c.context_hits.into()),
-            ("context_misses", c.context_misses.into()),
-            ("selection_hits", c.selection_hits.into()),
-            ("selection_misses", c.selection_misses.into()),
-            ("evictions", c.evictions.into()),
-            ("requests", self.requests.load(Ordering::Relaxed).into()),
-            ("errors", self.errors.load(Ordering::Relaxed).into()),
-            (
-                "connections",
-                self.connections.load(Ordering::Relaxed).into(),
-            ),
-            (
-                "verifications",
-                self.verifications.load(Ordering::Relaxed).into(),
-            ),
-            (
-                "verified_vectors",
-                self.verified_vectors.load(Ordering::Relaxed).into(),
-            ),
-            // K-L search statistics summed over every computed selection:
-            // the service-level view of the gain cache and arena pools.
-            (
-                "search",
-                Json::obj([
-                    ("fresh_probes", s.fresh_probes.into()),
-                    ("cached_probes", s.cached_probes.into()),
-                    ("probes_avoided_pct", (s.avoided_fraction() * 100.0).into()),
-                    ("commits", s.commits.into()),
-                    ("full_invalidations", s.full_invalidations.into()),
-                    ("trajectories", s.trajectories.into()),
-                    ("arena_reuses", s.arena_reuses.into()),
-                    ("arena_allocs", s.arena_allocs.into()),
-                ]),
-            ),
-        ])
-    }
-}
-
-enum LineRead {
-    Line,
-    Eof,
-    TooLong,
-    Stopped,
-}
-
-/// Reads one `\n`-terminated line into `buf`, bounding growth: past
-/// `cap` bytes the rest of the line is drained and discarded so the
-/// connection can keep being served. Read timeouts poll `stop` and
-/// otherwise retry with the partial line intact.
-fn read_line_capped(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    cap: usize,
-    stop: &AtomicBool,
-) -> io::Result<LineRead> {
-    let mut overflow = false;
-    loop {
-        let chunk = match reader.fill_buf() {
-            Ok(chunk) => chunk,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if stop.load(Ordering::SeqCst) {
-                    return Ok(LineRead::Stopped);
-                }
-                continue;
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        };
-        if chunk.is_empty() {
-            return Ok(if overflow {
-                LineRead::TooLong
-            } else if buf.is_empty() {
-                LineRead::Eof
-            } else {
-                LineRead::Line
-            });
-        }
-        let (take, done) = match chunk.iter().position(|&b| b == b'\n') {
-            Some(i) => (i + 1, true),
-            None => (chunk.len(), false),
-        };
-        if !overflow {
-            buf.extend_from_slice(&chunk[..take]);
-            if buf.len() > cap {
-                overflow = true;
-                buf.clear();
+    /// Adds the transport-level `connections` counter to `stats`
+    /// responses; every other response passes through untouched.
+    fn augment_stats(&self, request: &Json, mut response: Json) -> Json {
+        if request.get("op").and_then(Json::as_str) == Some("stats") {
+            if let Json::Obj(members) = &mut response {
+                members.push((
+                    "connections".to_string(),
+                    self.connections.load(Ordering::Relaxed).into(),
+                ));
             }
         }
-        reader.consume(take);
-        if done {
-            return Ok(if overflow {
-                LineRead::TooLong
-            } else {
-                LineRead::Line
-            });
-        }
+        response
+    }
+
+    /// Serializes and writes one response in the request's framing.
+    fn respond(&self, writer: &mut TcpStream, response: &Json, framing: Framing) -> io::Result<()> {
+        wire::write_frame(writer, response.to_string().as_bytes(), framing)
     }
 }

@@ -14,11 +14,16 @@ struct Daemon {
 
 impl Daemon {
     fn spawn() -> Daemon {
+        Daemon::spawn_with(&[])
+    }
+
+    fn spawn_with(extra: &[&str]) -> Daemon {
         // --quiet: per-request logging off, so the undrained stderr pipe
         // can never fill and block the daemon mid-test. Panic messages
         // bypass the logger and still land on stderr for the final grep.
         let mut child = Command::new(env!("CARGO_BIN_EXE_ised"))
             .args(["--addr", "127.0.0.1:0", "--quiet"])
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
             .spawn()
@@ -129,4 +134,71 @@ fn binary_serves_submit_select_and_shuts_down_without_panicking() {
         !log.contains("panicked"),
         "server log shows a panic:\n{log}"
     );
+}
+
+/// SIGKILL the daemon mid-life and restart it on the same `--disk-cache`
+/// log: the replacement must replay the log and answer the first select
+/// as a cache hit, with the replay visible in its stats.
+#[test]
+fn killed_daemon_restarts_warm_from_its_disk_cache() {
+    let disk = std::env::temp_dir().join(format!(
+        "isegen-ised-warm-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos()
+    ));
+    let disk_arg = disk.to_str().expect("utf8 temp path").to_string();
+
+    let mut daemon = Daemon::spawn_with(&["--disk-cache", &disk_arg]);
+    let mut conn = daemon.connect();
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let ir = "app demo\\nblock hot freq 100\\n  a = in\\n  b = in\\n  m = mul a b\\n  s = add m a\\nend\\n";
+    let first = roundtrip(
+        &mut conn,
+        &mut reader,
+        &format!(r#"{{"op":"select","ir":"{ir}"}}"#),
+    );
+    assert_eq!(first.get("cache").and_then(Json::as_str), Some("miss"));
+    let app = first
+        .get("app")
+        .and_then(Json::as_str)
+        .expect("hash")
+        .to_string();
+    drop(conn);
+    drop(reader);
+
+    // The crash: no drain, no graceful flush — the append-time fsync is
+    // all the durability the log gets.
+    daemon.child.kill().expect("SIGKILL");
+    daemon.child.wait().expect("reap");
+
+    let daemon = Daemon::spawn_with(&["--disk-cache", &disk_arg]);
+    let mut conn = daemon.connect();
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let warm = roundtrip(
+        &mut conn,
+        &mut reader,
+        &format!(r#"{{"op":"select","app":"{app}"}}"#),
+    );
+    assert_eq!(
+        warm.get("cache").and_then(Json::as_str),
+        Some("hit"),
+        "restarted daemon is not warm: {warm}"
+    );
+
+    let stats = roundtrip(&mut conn, &mut reader, r#"{"op":"stats"}"#);
+    let disk_stats = stats.get("disk").expect("disk stats present");
+    assert_eq!(
+        disk_stats.get("replayed_apps").and_then(Json::as_u64),
+        Some(1),
+        "{stats}"
+    );
+    assert_eq!(
+        disk_stats.get("replayed_selections").and_then(Json::as_u64),
+        Some(1),
+        "{stats}"
+    );
+    std::fs::remove_file(&disk).ok();
 }

@@ -377,6 +377,75 @@ fn hostile_requests_get_structured_errors_not_dead_connections() {
     });
 }
 
+#[test]
+fn length_prefixed_framing_round_trips_through_the_daemon() {
+    use std::io::Read as _;
+
+    let server = quiet_server();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run());
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+        fn prefixed(
+            stream: &mut TcpStream,
+            reader: &mut BufReader<TcpStream>,
+            payload: &str,
+        ) -> Json {
+            let mut frame = format!("#{}\n", payload.len()).into_bytes();
+            frame.extend_from_slice(payload.as_bytes());
+            frame.push(b'\n');
+            stream.write_all(&frame).expect("send prefixed frame");
+            let mut header = String::new();
+            reader.read_line(&mut header).expect("read header");
+            let len: usize = header
+                .trim()
+                .strip_prefix('#')
+                .expect("response uses the request's framing")
+                .parse()
+                .expect("decimal length");
+            let mut body = vec![0u8; len + 1];
+            reader.read_exact(&mut body).expect("read body");
+            assert_eq!(body.pop(), Some(b'\n'));
+            json::parse(&String::from_utf8_lossy(&body)).expect("payload is JSON")
+        }
+
+        // A multi-line payload the legacy line protocol cannot carry.
+        let pong = prefixed(&mut stream, &mut reader, "{\n  \"op\": \"ping\"\n}");
+        assert_eq!(pong.get("op").and_then(Json::as_str), Some("pong"));
+
+        let ir = text::write_application(&workload_by_name("fir00").unwrap().application());
+        let select = prefixed(
+            &mut stream,
+            &mut reader,
+            &Json::obj([("op", "select".into()), ("ir", ir.as_str().into())]).to_string(),
+        );
+        assert_eq!(select.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(select.get("cache").and_then(Json::as_str), Some("miss"));
+
+        // Legacy framing interleaves on the same connection and sees the
+        // same cache.
+        writeln!(
+            stream,
+            "{}",
+            Json::obj([("op", "select".into()), ("ir", ir.as_str().into())])
+        )
+        .expect("send line request");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read line response");
+        let again = json::parse(line.trim()).expect("line response is JSON");
+        assert_eq!(again.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(again.get("ises"), select.get("ises"));
+
+        let bye = prefixed(&mut stream, &mut reader, r#"{"op":"shutdown"}"#);
+        assert_eq!(bye.get("ok").and_then(Json::as_bool), Some(true));
+        handle
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+    });
+}
+
 // ---- text-IR fuzzing ----------------------------------------------------
 
 /// Tiny deterministic generator for mutation fuzzing (no shrinking
