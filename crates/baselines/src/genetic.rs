@@ -1,5 +1,5 @@
 use isegen_core::{
-    generate_with, BlockContext, Cut, CutFinder, IoConstraints, IseConfig, IseSelection,
+    BlockContext, Cut, CutFinder, Generator, IoConstraints, IseConfig, IseSelection,
 };
 use isegen_graph::{convex, NodeId, NodeSet};
 use isegen_ir::{Application, LatencyModel};
@@ -250,8 +250,9 @@ pub fn run_genetic(
     config: &IseConfig,
     genetic: &GeneticConfig,
 ) -> IseSelection {
-    let mut finder = GeneticFinder::new(*genetic);
-    generate_with(&mut finder, app, model, config)
+    Generator::new(*config)
+        .finder(GeneticFinder::new(*genetic))
+        .run_sequential(app, model)
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 use crate::{exact_single_cut, BaselineError, ExactConfig};
 use isegen_core::{
-    generate_with, BlockContext, Cut, CutFinder, IoConstraints, IseConfig, IseSelection,
+    BlockContext, Cut, CutFinder, Generator, IoConstraints, IseConfig, IseSelection,
 };
 use isegen_graph::NodeSet;
 use isegen_ir::{Application, LatencyModel};
@@ -74,9 +74,9 @@ pub fn run_iterative(
     config: &IseConfig,
     exact: &ExactConfig,
 ) -> Result<IseSelection, BaselineError> {
-    let mut finder = IterativeExactFinder::new(*exact);
-    let sel = generate_with(&mut finder, app, model, config);
-    match finder.error() {
+    let mut gen = Generator::new(*config).finder(IterativeExactFinder::new(*exact));
+    let sel = gen.run_sequential(app, model);
+    match gen.finder_ref().error() {
         Some(e) => Err(e),
         None => Ok(sel),
     }

@@ -2,7 +2,7 @@
 //! component (quality numbers come from `isegen-eval --bin ablation`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use isegen_core::{bipartition, BlockContext, IoConstraints, SearchConfig};
+use isegen_core::{BlockContext, IoConstraints, Search, SearchConfig};
 use isegen_eval::experiments::ablation::Variant;
 use isegen_ir::LatencyModel;
 use isegen_workloads::autcor00;
@@ -18,14 +18,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
     group.sample_size(20);
     for variant in Variant::ALL {
-        let search = SearchConfig {
-            weights: variant.weights(),
-            ..SearchConfig::default()
-        };
+        let search = Search::new(SearchConfig::new().with_weights(variant.weights()));
         group.bench_with_input(
             BenchmarkId::new("autcor00", variant.label()),
             &search,
-            |b, s| b.iter(|| black_box(bipartition(&ctx, io, s, None))),
+            |b, s| b.iter(|| black_box(s.run(&ctx, io).cut)),
         );
     }
     group.finish();

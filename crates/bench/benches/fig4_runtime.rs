@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use isegen_baselines::{exact_single_cut, ExactConfig, GeneticFinder};
 use isegen_bench::bench_genetic;
-use isegen_core::{bipartition, BlockContext, CutFinder, IoConstraints, SearchConfig};
+use isegen_core::{BlockContext, CutFinder, IoConstraints, Search};
 use isegen_ir::LatencyModel;
 use isegen_workloads::mediabench_eembc_suite;
 use std::hint::black_box;
@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
         let ctx = BlockContext::new(&block, &model);
 
         group.bench_with_input(BenchmarkId::new("isegen", nodes), &nodes, |b, _| {
-            b.iter(|| black_box(bipartition(&ctx, io, &SearchConfig::default(), None)))
+            b.iter(|| black_box(Search::default().run(&ctx, io).cut))
         });
         // the exhaustive search explodes with size; keep it to small blocks
         if nodes <= 25 {

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use isegen_baselines::{run_genetic, run_iterative, ExactConfig};
 use isegen_bench::{bench_genetic, paper_ise_config};
-use isegen_core::{generate, SearchConfig};
+use isegen_core::Generator;
 use isegen_ir::LatencyModel;
 use isegen_workloads::{autcor00, conven00, fft00};
 use std::hint::black_box;
@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
         ("fft00", fft00()),
     ] {
         group.bench_function(format!("isegen/{name}"), |b| {
-            b.iter(|| black_box(generate(&app, &model, &config, &SearchConfig::default())))
+            b.iter(|| black_box(Generator::new(config).run(&app, &model)))
         });
         group.bench_function(format!("iterative/{name}"), |b| {
             b.iter(|| {

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use isegen_baselines::run_genetic;
 use isegen_bench::bench_genetic;
-use isegen_core::{generate, IoConstraints, IseConfig, SearchConfig};
+use isegen_core::{Generator, IoConstraints, IseConfig};
 use isegen_ir::LatencyModel;
 use isegen_workloads::aes;
 use std::hint::black_box;
@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("isegen", format!("({i},{o})")),
             &config,
-            |b, cfg| b.iter(|| black_box(generate(&app, &model, cfg, &SearchConfig::default()))),
+            |b, cfg| b.iter(|| black_box(Generator::new(*cfg).run(&app, &model))),
         );
     }
     let config = IseConfig {

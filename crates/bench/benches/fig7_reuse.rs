@@ -3,7 +3,7 @@
 //! reusability counts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use isegen_core::{bipartition, BlockContext, IoConstraints, SearchConfig};
+use isegen_core::{BlockContext, IoConstraints, Search};
 use isegen_ir::LatencyModel;
 use isegen_match::{find_disjoint_instances, Pattern};
 use isegen_workloads::aes;
@@ -14,12 +14,7 @@ fn bench(c: &mut Criterion) {
     let app = aes();
     let block = app.critical_block().expect("has blocks");
     let ctx = BlockContext::new(block, &model);
-    let cut = bipartition(
-        &ctx,
-        IoConstraints::new(4, 2),
-        &SearchConfig::default(),
-        None,
-    );
+    let cut = Search::default().run(&ctx, IoConstraints::new(4, 2)).cut;
     assert!(!cut.is_empty());
     let pattern = Pattern::extract(block, cut.nodes());
 

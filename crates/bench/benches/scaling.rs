@@ -2,7 +2,7 @@
 //! random DFGs — the O(n²) claim.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use isegen_core::{bipartition, BlockContext, IoConstraints, SearchConfig};
+use isegen_core::{BlockContext, IoConstraints, Search, SearchConfig};
 use isegen_ir::LatencyModel;
 use isegen_workloads::{random_application, RandomWorkloadConfig};
 use std::hint::black_box;
@@ -11,10 +11,7 @@ fn bench(c: &mut Criterion) {
     let model = LatencyModel::paper_default();
     let io = IoConstraints::new(4, 2);
     // a single trajectory isolates the per-pass complexity
-    let search = SearchConfig {
-        restarts: 1,
-        ..SearchConfig::default()
-    };
+    let search = Search::new(SearchConfig::new().with_restarts(1));
     let mut group = c.benchmark_group("scaling");
     group.sample_size(10);
     for nodes in [50usize, 100, 200, 400, 800] {
@@ -28,7 +25,7 @@ fn bench(c: &mut Criterion) {
         let ctx = BlockContext::new(&block, &model);
         group.throughput(Throughput::Elements(nodes as u64));
         group.bench_with_input(BenchmarkId::new("bipartition", nodes), &nodes, |b, _| {
-            b.iter(|| black_box(bipartition(&ctx, io, &search, None)))
+            b.iter(|| black_box(search.run(&ctx, io).cut))
         });
     }
     group.finish();

@@ -78,6 +78,34 @@ pub struct CacheStats {
     /// Trajectory setups that had to build their arena buffers fresh
     /// (at most one per portfolio worker per process in steady state).
     pub arena_allocs: u64,
+    /// Lazy-queue entries popped during max-gain selection (including
+    /// superseded and already-marked entries discarded unexamined).
+    pub queue_pops: u64,
+    /// Live popped entries re-validated against the exact cached gain —
+    /// the only gain evaluations the queue's entering side performs per
+    /// step. The queue's win condition is this staying ≪
+    /// candidates-per-commit.
+    pub queue_stale_revalidations: u64,
+    /// Entries pushed after the initial heap build: dirty-set reinserts
+    /// after commits and pop-loop loser restores.
+    pub queue_reinsertions: u64,
+}
+
+/// The cached per-node gain terms of an entering candidate, as returned
+/// by [`GainCache::entering_terms`] — the raw material of the lazy
+/// selection queue's frame-free heap keys.
+#[derive(Debug, Clone, Copy)]
+pub struct EnteringTerms {
+    /// ΔI: input count after the toggle minus the current input count.
+    pub di: i32,
+    /// ΔO: likewise for outputs.
+    pub dout: i32,
+    /// Distinct neighbours currently in the cut (`N(v, C)`).
+    pub neighbors_in_cut: u32,
+    /// Cone-local half of the entering-convexity test.
+    pub local_convex: bool,
+    /// Longest hardware path through the candidate.
+    pub through: f64,
 }
 
 impl CacheStats {
@@ -100,6 +128,9 @@ impl CacheStats {
         self.trajectories += other.trajectories;
         self.arena_reuses += other.arena_reuses;
         self.arena_allocs += other.arena_allocs;
+        self.queue_pops += other.queue_pops;
+        self.queue_stale_revalidations += other.queue_stale_revalidations;
+        self.queue_reinsertions += other.queue_reinsertions;
     }
 }
 
@@ -157,6 +188,23 @@ impl GainCache {
     pub fn commit(&mut self, engine: &mut ToggleEngine<'_, '_>, v: NodeId) -> bool {
         self.stats.commits += 1;
         engine.toggle_and_mark(v, &mut self.dirty);
+        engine.cut().contains(v)
+    }
+
+    /// [`GainCache::commit`], additionally leaving this commit's dirty
+    /// delta in `touched` (reset to the cache's capacity first). The lazy
+    /// selection queue uses the delta for targeted reinsertion; the
+    /// cache's own accumulated dirty set absorbs it as usual.
+    pub fn commit_tracked(
+        &mut self,
+        engine: &mut ToggleEngine<'_, '_>,
+        v: NodeId,
+        touched: &mut NodeSet,
+    ) -> bool {
+        self.stats.commits += 1;
+        touched.reset(self.entries.len());
+        engine.toggle_and_mark(v, touched);
+        self.dirty.union_with(touched);
         engine.cut().contains(v)
     }
 
@@ -239,6 +287,29 @@ impl GainCache {
         weights.combine(engine.ctx(), io, v, &probe)
     }
 
+    /// The cached per-node terms of an **entering** node's gain —
+    /// everything in the recombination that is *not* a global engine
+    /// count or latency — refreshed from a live probe first if `v` is
+    /// dirty. The lazy selection queue builds its frame-free heap keys
+    /// from these: together with the per-step global offsets they bound
+    /// the exact [`GainCache::gain`] from above.
+    pub fn entering_terms(&mut self, engine: &ToggleEngine<'_, '_>, v: NodeId) -> EnteringTerms {
+        if self.dirty.contains(v) {
+            let _ = self.probe(engine, v);
+        } else {
+            self.stats.cached_probes += 1;
+        }
+        let e = self.entries[v.index()];
+        debug_assert!(e.entering, "key terms are entering-only");
+        EnteringTerms {
+            di: e.di,
+            dout: e.dout,
+            neighbors_in_cut: e.neighbors_in_cut,
+            local_convex: e.local_convex,
+            through: e.through,
+        }
+    }
+
     /// Probe-count statistics accumulated so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -293,6 +364,9 @@ mod tests {
             trajectories: 1,
             arena_reuses: 0,
             arena_allocs: 1,
+            queue_pops: 4,
+            queue_stale_revalidations: 1,
+            queue_reinsertions: 2,
         };
         let b = CacheStats {
             cached_probes: 1,
@@ -302,6 +376,9 @@ mod tests {
             trajectories: 2,
             arena_reuses: 2,
             arena_allocs: 0,
+            queue_pops: 6,
+            queue_stale_revalidations: 2,
+            queue_reinsertions: 3,
         };
         a.absorb(b);
         assert_eq!(a.cached_probes, 4);
@@ -311,6 +388,9 @@ mod tests {
         assert_eq!(a.trajectories, 3);
         assert_eq!(a.arena_reuses, 2);
         assert_eq!(a.arena_allocs, 1);
+        assert_eq!(a.queue_pops, 10);
+        assert_eq!(a.queue_stale_revalidations, 3);
+        assert_eq!(a.queue_reinsertions, 5);
         assert!((a.avoided_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(CacheStats::default().avoided_fraction(), 0.0);
     }

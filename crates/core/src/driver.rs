@@ -6,7 +6,7 @@ use isegen_ir::{Application, LatencyModel};
 use isegen_match::{find_disjoint_instances, Pattern};
 
 /// A single-cut identification algorithm, pluggable into the
-/// whole-application driver ([`generate_with`]).
+/// whole-application driver ([`Generator`]).
 ///
 /// ISEGEN ([`IsegenFinder`]), the exhaustive baselines and the genetic
 /// baseline all implement this trait, so every algorithm is compared under
@@ -120,19 +120,8 @@ impl IseSelection {
     }
 }
 
-/// Runs ISEGEN end to end on an application: block ranking, up to
-/// `N_ISE` bi-partitions, optional instance reuse.
-pub fn generate(
-    app: &Application,
-    model: &LatencyModel,
-    config: &IseConfig,
-    search: &SearchConfig,
-) -> IseSelection {
-    let mut finder = IsegenFinder::new(search.clone());
-    generate_with(&mut finder, app, model, config)
-}
-
-/// Runs the Problem-2 driver with any [`CutFinder`].
+/// Builder-style entry point for whole-application ISE generation —
+/// the Problem-2 driver.
 ///
 /// Per iteration the driver ranks blocks by *speedup potential*
 /// (`frequency × software latency of the still-uncovered eligible nodes`,
@@ -141,6 +130,148 @@ pub fn generate(
 /// then — if [`IseConfig::reuse_matching`] — matches the cut across the
 /// whole application and accelerates every valid, node-disjoint instance
 /// with the same AFU. Selected nodes are locked away from later ISEs.
+///
+/// ```no_run
+/// # use isegen_core::{Generator, IseConfig, SearchConfig};
+/// # fn demo(app: &isegen_ir::Application, model: &isegen_ir::LatencyModel) {
+/// let selection = Generator::new(IseConfig::paper_default())
+///     .search(SearchConfig::default())
+///     .threads(8)
+///     .run(app, model);
+/// println!("speedup {:.2}×", selection.speedup());
+/// # }
+/// ```
+///
+/// The defaults run ISEGEN ([`IsegenFinder`]) sequentially; swap the
+/// algorithm with [`Generator::finder`] (any [`CutFinder`]) and fan
+/// block searches out with [`Generator::threads`]. With more than one
+/// thread the driver batches: cut memoisation plus speculative search
+/// waves, byte-identical to the sequential driver at every thread count
+/// (see [`Generator::run`] for the exact guarantee).
+#[derive(Debug, Clone)]
+pub struct Generator<F = IsegenFinder> {
+    config: IseConfig,
+    finder: F,
+    threads: usize,
+}
+
+impl Generator<IsegenFinder> {
+    /// A sequential ISEGEN generator with default search settings.
+    pub fn new(config: IseConfig) -> Self {
+        Generator {
+            config,
+            finder: IsegenFinder::default(),
+            threads: 1,
+        }
+    }
+
+    /// Replaces the ISEGEN search configuration (resets the finder).
+    pub fn search(mut self, search: SearchConfig) -> Self {
+        self.finder = IsegenFinder::new(search);
+        self
+    }
+}
+
+impl<F: CutFinder> Generator<F> {
+    /// Swaps in a different cut-identification algorithm, e.g. one of
+    /// the baseline finders.
+    pub fn finder<G: CutFinder>(self, finder: G) -> Generator<G> {
+        Generator {
+            config: self.config,
+            finder,
+            threads: self.threads,
+        }
+    }
+
+    /// Thread budget for the batched driver (`1`, the default, runs the
+    /// sequential driver; `0` is treated as `1`). The budget feeds both
+    /// block-level waves and each block's intra-block portfolio.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &IseConfig {
+        &self.config
+    }
+
+    /// Borrows the finder, e.g. to read accumulated statistics after a
+    /// run ([`IsegenFinder::accumulated_stats`]).
+    pub fn finder_ref(&self) -> &F {
+        &self.finder
+    }
+
+    /// Consumes the generator and returns the finder.
+    pub fn into_finder(self) -> F {
+        self.finder
+    }
+
+    /// Runs the sequential driver regardless of the thread budget — the
+    /// entry point for finders that are not `Clone + Send + Sync`.
+    pub fn run_sequential(&mut self, app: &Application, model: &LatencyModel) -> IseSelection {
+        let contexts: Vec<BlockContext<'_>> = app
+            .blocks()
+            .iter()
+            .map(|b| BlockContext::new(b, model))
+            .collect();
+        run_sequential_in_contexts(&mut self.finder, &contexts, &self.config)
+    }
+}
+
+impl<F: CutFinder + Clone + Send + Sync> Generator<F> {
+    /// Runs the driver end to end on an application: block ranking, up
+    /// to `N_ISE` cut searches, optional instance reuse.
+    ///
+    /// With `threads > 1` the batched driver runs; its output is
+    /// **byte-identical to the sequential driver** for any finder whose
+    /// `find_cut_budget` is a pure function of `(ctx, io, forbidden)` —
+    /// true of every finder in this workspace.
+    pub fn run(&mut self, app: &Application, model: &LatencyModel) -> IseSelection {
+        let contexts: Vec<BlockContext<'_>> = app
+            .blocks()
+            .iter()
+            .map(|b| BlockContext::new(b, model))
+            .collect();
+        self.run_in_contexts(&contexts)
+    }
+
+    /// [`Generator::run`] over prebuilt block contexts (one per block,
+    /// in block order; each context's [`BlockContext::block`] is the
+    /// block it searches). This is the entry point for callers that
+    /// cache contexts across runs — e.g. the `ised` service, which
+    /// reattaches cached [`crate::ContextData`] instead of recomputing
+    /// transitive closures per request.
+    pub fn run_in_contexts(&mut self, contexts: &[BlockContext<'_>]) -> IseSelection {
+        if self.threads > 1 {
+            run_batched_in_contexts(&self.finder, contexts, &self.config, self.threads)
+        } else {
+            run_sequential_in_contexts(&mut self.finder, contexts, &self.config)
+        }
+    }
+}
+
+/// See [`Generator`] — this shim runs
+/// `Generator::new(*config).search(search.clone()).run(app, model)`.
+#[deprecated(note = "use `Generator::new(config).search(search).run(app, model)`")]
+pub fn generate(
+    app: &Application,
+    model: &LatencyModel,
+    config: &IseConfig,
+    search: &SearchConfig,
+) -> IseSelection {
+    let mut finder = IsegenFinder::new(search.clone());
+    let contexts: Vec<BlockContext<'_>> = app
+        .blocks()
+        .iter()
+        .map(|b| BlockContext::new(b, model))
+        .collect();
+    run_sequential_in_contexts(&mut finder, &contexts, config)
+}
+
+/// See [`Generator`] — custom finders plug in via [`Generator::finder`]
+/// (or [`Generator::run_sequential`] for non-`Clone` finders).
+#[deprecated(note = "use `Generator::new(config).finder(finder).run_sequential(app, model)`")]
 pub fn generate_with<F: CutFinder + ?Sized>(
     finder: &mut F,
     app: &Application,
@@ -152,16 +283,22 @@ pub fn generate_with<F: CutFinder + ?Sized>(
         .iter()
         .map(|b| BlockContext::new(b, model))
         .collect();
-    generate_in_contexts(finder, &contexts, config)
+    run_sequential_in_contexts(finder, &contexts, config)
 }
 
-/// [`generate_with`] over prebuilt block contexts (one per block, in
-/// block order; each context's [`BlockContext::block`] is the block it
-/// searches). This is the entry point for callers that cache contexts
-/// across runs — e.g. the `ised` service, which reattaches cached
-/// [`crate::ContextData`] instead of recomputing transitive closures per
-/// request.
+/// See [`Generator`] — prebuilt contexts go through
+/// [`Generator::run_in_contexts`].
+#[deprecated(note = "use `Generator::new(config).finder(finder).run_in_contexts(contexts)`")]
 pub fn generate_in_contexts<F: CutFinder + ?Sized>(
+    finder: &mut F,
+    contexts: &[BlockContext<'_>],
+    config: &IseConfig,
+) -> IseSelection {
+    run_sequential_in_contexts(finder, contexts, config)
+}
+
+/// The sequential Problem-2 driver under [`Generator`].
+fn run_sequential_in_contexts<F: CutFinder + ?Sized>(
     finder: &mut F,
     contexts: &[BlockContext<'_>],
     config: &IseConfig,
@@ -215,11 +352,49 @@ pub fn generate_in_contexts<F: CutFinder + ?Sized>(
     }
 }
 
-/// Runs the Problem-2 driver with block searches fanned out over
-/// `threads` hand-rolled scoped threads — the ROADMAP's *batched
-/// multi-block driver*.
+/// See [`Generator`] — the batched driver is what
+/// [`Generator::run`] uses when [`Generator::threads`] exceeds one.
+#[deprecated(note = "use `Generator::new(config).finder(finder).threads(threads).run(app, model)`")]
+pub fn generate_batched_with<F>(
+    finder: &F,
+    app: &Application,
+    model: &LatencyModel,
+    config: &IseConfig,
+    threads: usize,
+) -> IseSelection
+where
+    F: CutFinder + Clone + Send + Sync,
+{
+    let contexts: Vec<BlockContext<'_>> = app
+        .blocks()
+        .iter()
+        .map(|b| BlockContext::new(b, model))
+        .collect();
+    run_batched_in_contexts(finder, &contexts, config, threads)
+}
+
+/// See [`Generator`] — prebuilt contexts with a thread budget go
+/// through [`Generator::threads`] + [`Generator::run_in_contexts`].
+#[deprecated(
+    note = "use `Generator::new(config).finder(finder).threads(threads).run_in_contexts(contexts)`"
+)]
+pub fn generate_batched_in_contexts<F>(
+    finder: &F,
+    contexts: &[BlockContext<'_>],
+    config: &IseConfig,
+    threads: usize,
+) -> IseSelection
+where
+    F: CutFinder + Clone + Send + Sync,
+{
+    run_batched_in_contexts(finder, contexts, config, threads)
+}
+
+/// The batched Problem-2 driver under [`Generator`]: block searches fan
+/// out over `threads` hand-rolled scoped threads — the ROADMAP's
+/// *batched multi-block driver*.
 ///
-/// Two mechanisms stack on top of the sequential [`generate_with`]:
+/// Two mechanisms stack on top of the sequential driver:
 ///
 /// * **Cut memoisation.** A cut found for block `b` stays valid until an
 ///   accepted ISE claims nodes in `b`, so blocks the sequential driver
@@ -245,29 +420,7 @@ pub fn generate_in_contexts<F: CutFinder + ?Sized>(
 /// budget and of any retained working state. True of every finder in
 /// this workspace: [`IsegenFinder`] keeps search *arenas* between
 /// calls, but resets them before every trajectory.
-pub fn generate_batched_with<F>(
-    finder: &F,
-    app: &Application,
-    model: &LatencyModel,
-    config: &IseConfig,
-    threads: usize,
-) -> IseSelection
-where
-    F: CutFinder + Clone + Send + Sync,
-{
-    let contexts: Vec<BlockContext<'_>> = app
-        .blocks()
-        .iter()
-        .map(|b| BlockContext::new(b, model))
-        .collect();
-    generate_batched_in_contexts(finder, &contexts, config, threads)
-}
-
-/// [`generate_batched_with`] over prebuilt block contexts — the batched
-/// counterpart of [`generate_in_contexts`], with the same output
-/// guarantee: byte-identical to the sequential driver at any thread
-/// count.
-pub fn generate_batched_in_contexts<F>(
+fn run_batched_in_contexts<F>(
     finder: &F,
     contexts: &[BlockContext<'_>],
     config: &IseConfig,
@@ -348,8 +501,9 @@ where
     }
 }
 
-/// [`generate_batched_with`] running ISEGEN (the batched counterpart of
-/// [`generate`]).
+/// See [`Generator`] — this shim runs
+/// `Generator::new(*config).search(search.clone()).threads(threads).run(app, model)`.
+#[deprecated(note = "use `Generator::new(config).search(search).threads(threads).run(app, model)`")]
 pub fn generate_batched(
     app: &Application,
     model: &LatencyModel,
@@ -358,7 +512,12 @@ pub fn generate_batched(
     threads: usize,
 ) -> IseSelection {
     let finder = IsegenFinder::new(search.clone());
-    generate_batched_with(&finder, app, model, config, threads)
+    let contexts: Vec<BlockContext<'_>> = app
+        .blocks()
+        .iter()
+        .map(|b| BlockContext::new(b, model))
+        .collect();
+    run_batched_in_contexts(&finder, &contexts, config, threads)
 }
 
 /// Total dynamic software latency `Σ_b frequency(b) · software_latency(b)`
@@ -559,7 +718,7 @@ mod tests {
             max_ises: 1,
             reuse_matching: true,
         };
-        let sel = generate(&app, &model, &config, &SearchConfig::default());
+        let sel = Generator::new(config).run(&app, &model);
         assert_eq!(sel.ises.len(), 1);
         assert_eq!(
             sel.ises[0].instances.len(),
@@ -579,29 +738,21 @@ mod tests {
             max_ises: 1,
             reuse_matching: false,
         };
-        let one = generate(&app, &model, &base, &SearchConfig::default());
-        let two = generate(
-            &app,
-            &model,
-            &IseConfig {
-                max_ises: 2,
-                ..base
-            },
-            &SearchConfig::default(),
-        );
+        let one = Generator::new(base).run(&app, &model);
+        let two = Generator::new(IseConfig {
+            max_ises: 2,
+            ..base
+        })
+        .run(&app, &model);
         assert_eq!(one.instance_count(), 1);
         assert_eq!(two.instance_count(), 2);
         assert!(two.speedup() > one.speedup());
         // reuse with 1 AFU matches no-reuse with 2 AFUs on this workload
-        let reuse = generate(
-            &app,
-            &model,
-            &IseConfig {
-                reuse_matching: true,
-                ..base
-            },
-            &SearchConfig::default(),
-        );
+        let reuse = Generator::new(IseConfig {
+            reuse_matching: true,
+            ..base
+        })
+        .run(&app, &model);
         assert!((reuse.speedup() - two.speedup()).abs() < 1e-12);
     }
 
@@ -615,7 +766,7 @@ mod tests {
             max_ises: 8,
             reuse_matching: false,
         };
-        let sel = generate(&app, &model, &config, &SearchConfig::default());
+        let sel = Generator::new(config).run(&app, &model);
         assert!(sel.ises.len() <= 8);
         // all instance node sets within a block must be pairwise disjoint
         for i in 0..sel.ises.len() {
@@ -636,12 +787,7 @@ mod tests {
     fn empty_application() {
         let app = Application::new("empty");
         let model = LatencyModel::paper_default();
-        let sel = generate(
-            &app,
-            &model,
-            &IseConfig::paper_default(),
-            &SearchConfig::default(),
-        );
+        let sel = Generator::new(IseConfig::paper_default()).run(&app, &model);
         assert!(sel.ises.is_empty());
         assert_eq!(sel.speedup(), 1.0);
     }
@@ -659,10 +805,9 @@ mod tests {
                 max_ises: 5,
                 reuse_matching: reuse,
             };
-            let sequential = generate(&app, &model, &config, &SearchConfig::default());
+            let sequential = Generator::new(config).run(&app, &model);
             for threads in [1usize, 2, 4, 8] {
-                let batched =
-                    generate_batched(&app, &model, &config, &SearchConfig::default(), threads);
+                let batched = Generator::new(config).threads(threads).run(&app, &model);
                 assert_eq!(
                     batched, sequential,
                     "batched ({threads} threads, reuse={reuse}) diverged from sequential"
@@ -677,8 +822,8 @@ mod tests {
         app.push_block(twin_block(10));
         let model = LatencyModel::paper_default();
         let config = IseConfig::paper_default();
-        let sequential = generate(&app, &model, &config, &SearchConfig::default());
-        let batched = generate_batched(&app, &model, &config, &SearchConfig::default(), 4);
+        let sequential = Generator::new(config).run(&app, &model);
+        let batched = Generator::new(config).threads(4).run(&app, &model);
         assert_eq!(batched, sequential);
     }
 
@@ -693,7 +838,7 @@ mod tests {
             max_ises: 1,
             reuse_matching: false,
         };
-        let sel = generate(&app, &model, &config, &SearchConfig::default());
+        let sel = Generator::new(config).run(&app, &model);
         assert_eq!(sel.ises[0].block_index, 1, "hot block first");
     }
 }

@@ -32,6 +32,13 @@ pub struct ToggleEngine<'c, 'a> {
     ctx: &'c BlockContext<'a>,
     cut: NodeSet,
     fanout_to_cut: Vec<u32>,
+    /// Number of edges from in-cut producers into each node — the
+    /// consumer-side mirror of `fanout_to_cut`.
+    indeg_from_cut: Vec<u32>,
+    /// `{p : fanout_to_cut[p] > 0}` as a word-parallel set.
+    feeds_cut: NodeSet,
+    /// `{u : indeg_from_cut[u] > 0}` as a word-parallel set.
+    fed_by_cut: NodeSet,
     input_count: u32,
     output_count: u32,
     sw_sum: u64,
@@ -68,6 +75,10 @@ pub struct ToggleEngine<'c, 'a> {
     changed_up: Vec<NodeId>,
     changed_down: Vec<NodeId>,
     bfs_visited: NodeSet,
+    /// Rank-ordered worklist of the longest-path propagation
+    /// ([`ToggleEngine::refresh_entering`]); keys are topological ranks
+    /// (complemented for the ascending `up` sweep).
+    prop_heap: std::collections::BinaryHeap<(u32, u32)>,
 }
 
 /// The owned buffers of a [`ToggleEngine`], detached from any block —
@@ -84,6 +95,9 @@ pub struct ToggleEngine<'c, 'a> {
 pub struct EngineArena {
     cut: NodeSet,
     fanout_to_cut: Vec<u32>,
+    indeg_from_cut: Vec<u32>,
+    feeds_cut: NodeSet,
+    fed_by_cut: NodeSet,
     up: Vec<f64>,
     down: Vec<f64>,
     below: NodeSet,
@@ -101,6 +115,7 @@ pub struct EngineArena {
     changed_up: Vec<NodeId>,
     changed_down: Vec<NodeId>,
     bfs_visited: NodeSet,
+    prop_heap: std::collections::BinaryHeap<(u32, u32)>,
 }
 
 /// The predicted effect of toggling one node, produced by
@@ -160,6 +175,9 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
             ctx,
             cut: arena.cut,
             fanout_to_cut: arena.fanout_to_cut,
+            indeg_from_cut: arena.indeg_from_cut,
+            feeds_cut: arena.feeds_cut,
+            fed_by_cut: arena.fed_by_cut,
             input_count: 0,
             output_count: 0,
             sw_sum: 0,
@@ -185,6 +203,7 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
             changed_up: arena.changed_up,
             changed_down: arena.changed_down,
             bfs_visited: arena.bfs_visited,
+            prop_heap: arena.prop_heap,
         };
         engine.reset_from_cut(cut);
         engine
@@ -204,10 +223,19 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
         self.cut.copy_from(cut);
         self.fanout_to_cut.clear();
         self.fanout_to_cut.resize(n, 0);
+        self.indeg_from_cut.clear();
+        self.indeg_from_cut.resize(n, 0);
+        self.feeds_cut.reset(n);
+        self.fed_by_cut.reset(n);
         let dag = self.ctx.block().dag();
         for v in self.cut.iter() {
             for &p in dag.preds(v) {
                 self.fanout_to_cut[p.index()] += 1;
+                self.feeds_cut.insert(p);
+            }
+            for &s in dag.succs(v) {
+                self.indeg_from_cut[s.index()] += 1;
+                self.fed_by_cut.insert(s);
             }
         }
         self.up.clear();
@@ -235,6 +263,7 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
         self.changed_up.clear();
         self.changed_down.clear();
         self.bfs_visited.reset(n);
+        self.prop_heap.clear();
         self.recount_io();
         self.refresh_full();
     }
@@ -245,6 +274,9 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
         EngineArena {
             cut: self.cut,
             fanout_to_cut: self.fanout_to_cut,
+            indeg_from_cut: self.indeg_from_cut,
+            feeds_cut: self.feeds_cut,
+            fed_by_cut: self.fed_by_cut,
             up: self.up,
             down: self.down,
             below: self.below,
@@ -262,6 +294,7 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
             changed_up: self.changed_up,
             changed_down: self.changed_down,
             bfs_visited: self.bfs_visited,
+            prop_heap: self.prop_heap,
         }
     }
 
@@ -376,12 +409,28 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
             self.cut.insert(v);
             for &p in dag.preds(v) {
                 self.fanout_to_cut[p.index()] += 1;
+                self.feeds_cut.insert(p);
+            }
+            for &s in dag.succs(v) {
+                self.indeg_from_cut[s.index()] += 1;
+                self.fed_by_cut.insert(s);
             }
             self.sw_sum += self.ctx.sw_cycles(v) as u64;
         } else {
             self.cut.remove(v);
             for &p in dag.preds(v) {
-                self.fanout_to_cut[p.index()] -= 1;
+                let pi = p.index();
+                self.fanout_to_cut[pi] -= 1;
+                if self.fanout_to_cut[pi] == 0 {
+                    self.feeds_cut.remove(p);
+                }
+            }
+            for &s in dag.succs(v) {
+                let si = s.index();
+                self.indeg_from_cut[si] -= 1;
+                if self.indeg_from_cut[si] == 0 {
+                    self.fed_by_cut.remove(s);
+                }
             }
             self.sw_sum -= self.ctx.sw_cycles(v) as u64;
         }
@@ -418,8 +467,9 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
     /// * hull shrink — `v` itself left `below_ext`/`above_ext`; that can
     ///   flip `entering_hull_ok(u)` only where the intersection was
     ///   exactly `{v}`, which forces every `v → u` path interior into
-    ///   the cut — a BFS from `v` through cut members reaches all such
-    ///   `u` at its non-cut frontier;
+    ///   the cut — so `u` is a non-cut descendant/ancestor of `v` with
+    ///   an in-cut neighbour, a superset three word-ops per word wide
+    ///   (`desc(v) ∩ fed_by_cut \ cut`, resp. `anc ∩ feeds_cut \ cut`);
     /// * longest paths — neighbours of cut nodes whose `up`/`down`
     ///   values actually moved (`entering_through` reads them);
     /// * leave terms — cut members inside `v`'s cones
@@ -485,13 +535,30 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
             }
         }
 
-        // Hull shrink: v left the ext masks. Reach the affected frontier
-        // through cut-interior paths.
+        // Hull shrink: v left the ext masks. The affected nodes sit at
+        // the non-cut frontier of cut-interior paths from v — every one
+        // is a descendant (resp. ancestor) of v, outside the cut, with
+        // an in-cut producer (resp. consumer). That superset is three
+        // word-ops per word, with no per-commit walk of the cut.
         if was_below_ext {
-            self.mark_through_cut_frontier(v, dirty, true);
+            let fed = &self.fed_by_cut;
+            let cut = &self.cut;
+            reach.descendants(v).for_each_word(|wi, w| {
+                let m = w & fed.word(wi) & !cut.word(wi);
+                if m != 0 {
+                    dirty.union_word(wi, m);
+                }
+            });
         }
         if was_above_ext {
-            self.mark_through_cut_frontier(v, dirty, false);
+            let feeds = &self.feeds_cut;
+            let cut = &self.cut;
+            reach.ancestors(v).for_each_word(|wi, w| {
+                let m = w & feeds.word(wi) & !cut.word(wi);
+                if m != 0 {
+                    dirty.union_word(wi, m);
+                }
+            });
         }
 
         // Longest-path moves: `entering_through(u)` reads the up/down
@@ -512,48 +579,17 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
         {
             let cut = &self.cut;
             reach.descendants(v).for_each_word(|wi, w| {
-                let mut m = w & cut.word(wi);
-                while m != 0 {
-                    let b = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    dirty.insert(NodeId::from_index(wi * 64 + b));
+                let m = w & cut.word(wi);
+                if m != 0 {
+                    dirty.union_word(wi, m);
                 }
             });
             reach.ancestors(v).for_each_word(|wi, w| {
-                let mut m = w & cut.word(wi);
-                while m != 0 {
-                    let b = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    dirty.insert(NodeId::from_index(wi * 64 + b));
+                let m = w & cut.word(wi);
+                if m != 0 {
+                    dirty.union_word(wi, m);
                 }
             });
-        }
-    }
-
-    /// Marks the non-cut frontier reachable from `v` through cut-member
-    /// interiors, walking successors (`downward`) or predecessors. These
-    /// are exactly the nodes whose `entering_hull_ok` can flip when `v`
-    /// leaves a hull ext mask: any other affected node would need a
-    /// second ext-mask witness on the path, which the emptiness test
-    /// already accounted for. Allocation-free (reuses the BFS buffers).
-    fn mark_through_cut_frontier(&mut self, v: NodeId, dirty: &mut NodeSet, downward: bool) {
-        let dag = self.ctx.block().dag();
-        self.bfs_visited.reset(self.ctx.node_count());
-        self.queue_scratch.clear();
-        self.queue_scratch.push(v);
-        self.bfs_visited.insert(v);
-        while let Some(x) = self.queue_scratch.pop() {
-            let next = if downward { dag.succs(x) } else { dag.preds(x) };
-            for &u in next {
-                if !self.bfs_visited.insert(u) {
-                    continue;
-                }
-                if self.cut.contains(u) {
-                    self.queue_scratch.push(u);
-                } else {
-                    dirty.insert(u);
-                }
-            }
         }
     }
 
@@ -657,6 +693,22 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
             0 => true,
             1 => self.violators.contains(v),
             _ => false,
+        }
+    }
+
+    /// A fingerprint of the state [`ToggleEngine::entering_gate`] reads:
+    /// while it is unchanged between two commits, `entering_gate(v)` is
+    /// unchanged for **every** node. Violator sets of ≥ 2 nodes collapse
+    /// to one signature — the gate is `false` for all nodes regardless of
+    /// which nodes violate. The lazy selection queue reads this each
+    /// step to pick the heap whose gate assumption is live (and, for a
+    /// sole violator, which node to evaluate outside the heaps).
+    #[inline]
+    pub(crate) fn gate_signature(&self) -> (u8, u32) {
+        match self.violators.len() {
+            0 => (0, 0),
+            1 => (1, self.violators.first_set().unwrap_or(0) as u32),
+            _ => (2, 0),
         }
     }
 
@@ -804,37 +856,63 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
         self.below.union_with(reach.descendants(v));
         self.above.union_with(reach.ancestors(v));
 
-        // Longest paths: `up` changes only for v and cut ∩ desc(v)
-        // (processed in topological order, v strictly first), `down` only
-        // for v and cut ∩ anc(v) (reverse order, v first).
-        self.collect_cut_members_by_rank(reach.descendants(v), true);
+        // Longest paths: an entering toggle only *lengthens* in-cut
+        // paths, so instead of recomputing every cut member in v's
+        // cones, propagate the increase outward from v and stop where a
+        // value is unchanged. The rank-ordered worklist guarantees a
+        // node is recomputed only after all of its moved predecessors
+        // settled (`up`: ascending topological rank; `down`:
+        // descending), so each affected node is recomputed exactly once
+        // and the resulting values are identical to the full sweep.
+        let dag = ctx.block().dag();
+        let topo = ctx.topo();
         self.recompute_up(v);
-        let affected_up = std::mem::take(&mut self.order_scratch);
         self.changed_up.clear();
-        for &w in &affected_up {
+        self.prop_heap.clear();
+        self.bfs_visited.reset(ctx.node_count());
+        for &s in dag.succs(v) {
+            if self.cut.contains(s) && self.bfs_visited.insert(s) {
+                self.prop_heap.push((!topo.rank(s), s.index() as u32));
+            }
+        }
+        while let Some((_, wi)) = self.prop_heap.pop() {
+            let w = NodeId::from_index(wi as usize);
             let old = self.up[w.index()];
             self.recompute_up(w);
-            if self.track_deltas && self.up[w.index()] != old {
+            if self.up[w.index()] != old {
                 self.changed_up.push(w);
+                for &s in dag.succs(w) {
+                    if self.cut.contains(s) && self.bfs_visited.insert(s) {
+                        self.prop_heap.push((!topo.rank(s), s.index() as u32));
+                    }
+                }
             }
         }
-        self.order_scratch = affected_up;
 
-        self.collect_cut_members_by_rank(reach.ancestors(v), false);
         self.recompute_down(v);
-        let affected_down = std::mem::take(&mut self.order_scratch);
         self.changed_down.clear();
-        for &w in &affected_down {
+        self.prop_heap.clear();
+        self.bfs_visited.reset(ctx.node_count());
+        for &p in dag.preds(v) {
+            if self.cut.contains(p) && self.bfs_visited.insert(p) {
+                self.prop_heap.push((topo.rank(p), p.index() as u32));
+            }
+        }
+        while let Some((_, wi)) = self.prop_heap.pop() {
+            let w = NodeId::from_index(wi as usize);
             let old = self.down[w.index()];
             self.recompute_down(w);
-            if self.track_deltas && self.down[w.index()] != old {
+            if self.down[w.index()] != old {
                 self.changed_down.push(w);
+                for &p in dag.preds(w) {
+                    if self.cut.contains(p) && self.bfs_visited.insert(p) {
+                        self.prop_heap.push((topo.rank(p), p.index() as u32));
+                    }
+                }
             }
         }
-        self.order_scratch = affected_down;
 
         // Components: v attaches to the components of its cut neighbours.
-        let dag = ctx.block().dag();
         let mut first_label = OUTSIDE;
         let mut merges = false;
         for &w in dag.preds(v).iter().chain(dag.succs(v)) {
@@ -850,15 +928,41 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
             }
         }
         if merges {
+            // Label renumbering invalidates the per-component maxima.
             self.rebuild_components();
-        } else if first_label == OUTSIDE {
-            self.comp_label[v.index()] = self.comp_count as u32;
-            self.comp_count += 1;
+            self.rebuild_comp_cp();
         } else {
-            self.comp_label[v.index()] = first_label;
+            if first_label == OUTSIDE {
+                self.comp_label[v.index()] = self.comp_count as u32;
+                self.comp_count += 1;
+                self.comp_cp.push(0.0);
+            } else {
+                self.comp_label[v.index()] = first_label;
+            }
+            // Entering only lengthens paths, so the per-component
+            // critical paths are maxima that can only grow — and only
+            // at v or at a node whose `up`/`down` moved. Fold exactly
+            // those in; the totals are then re-reduced over the (small)
+            // per-component table, reproducing `rebuild_comp_cp`'s
+            // results bit for bit without the full cut walk.
+            for i in 0..=self.changed_up.len() + self.changed_down.len() {
+                let w = if i == 0 {
+                    v
+                } else if i <= self.changed_up.len() {
+                    self.changed_up[i - 1]
+                } else {
+                    self.changed_down[i - 1 - self.changed_up.len()]
+                };
+                let wi = w.index();
+                let through = self.up[wi] + self.down[wi] - self.ctx.hw_delay(w);
+                let slot = &mut self.comp_cp[self.comp_label[wi] as usize];
+                if through > *slot {
+                    *slot = through;
+                }
+            }
+            self.comp_cp_total = self.comp_cp.iter().sum();
+            self.critical = self.comp_cp.iter().fold(0.0f64, |a, &b| a.max(b));
         }
-
-        self.rebuild_comp_cp();
         self.refresh_derived_masks();
     }
 

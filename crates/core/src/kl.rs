@@ -1,14 +1,47 @@
-use crate::cache::{CacheStats, GainCache};
+use crate::cache::{CacheStats, EnteringTerms, GainCache};
 use crate::driver::{deal_indexed, CutFinder};
 use crate::engine::EngineArena;
 use crate::gain::gain_of;
 use crate::{BlockContext, Cut, GainWeights, IoConstraints, ToggleEngine};
 use isegen_graph::{NodeId, NodeSet};
+use std::collections::BinaryHeap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// How the K-L inner loop picks the max-gain candidate before each
+/// commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum SelectionStrategy {
+    /// Lazy-decrease max-gain priority queue: candidates are keyed on
+    /// frame-free cached terms, popped entries are re-validated against
+    /// the exact [`GainCache`] gain, and the toggle engine's dirty set
+    /// drives targeted reinsertion — a commit costs O(dirty · log n)
+    /// instead of O(free). Selection is bit-identical to
+    /// [`SelectionStrategy::Scan`]; under non-finite gains (hostile
+    /// weights) it falls back to the scan automatically.
+    #[default]
+    Queue,
+    /// The reference per-commit full scan over every unmarked candidate
+    /// — O(free) per commit. Retained as the semantic baseline the
+    /// queue is property-tested against (`tests/queue_parity.rs`).
+    Scan,
+}
+
 /// Knobs of the modified Kernighan–Lin search (paper Fig. 2).
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`SearchConfig::default`] (or [`SearchConfig::new`]) and the
+/// `with_*` setters, so future knobs (e.g. a multi-level coarsening
+/// pass) never break callers.
+///
+/// ```
+/// use isegen_core::SearchConfig;
+/// let config = SearchConfig::new().with_max_passes(3).with_restarts(1);
+/// assert_eq!(config.max_passes, 3);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct SearchConfig {
     /// Maximum number of improvement passes. The paper found
     /// experimentally that 5 passes suffice; the loop also exits early
@@ -24,6 +57,10 @@ pub struct SearchConfig {
     /// cut across restarts wins. Deterministic. `1` reproduces the
     /// paper's single-trajectory algorithm exactly.
     pub restarts: usize,
+    /// Candidate-selection strategy of the inner loop. Both strategies
+    /// produce bit-identical cuts; [`SelectionStrategy::Queue`] (the
+    /// default) is asymptotically faster on large blocks.
+    pub strategy: SelectionStrategy,
 }
 
 impl Default for SearchConfig {
@@ -32,7 +69,40 @@ impl Default for SearchConfig {
             max_passes: 5,
             weights: GainWeights::default(),
             restarts: 3,
+            strategy: SelectionStrategy::default(),
         }
+    }
+}
+
+impl SearchConfig {
+    /// Alias of [`SearchConfig::default`], reading better at the head of
+    /// a builder chain.
+    pub fn new() -> Self {
+        SearchConfig::default()
+    }
+
+    /// Sets the maximum number of improvement passes.
+    pub fn with_max_passes(mut self, max_passes: usize) -> Self {
+        self.max_passes = max_passes;
+        self
+    }
+
+    /// Sets the gain-function weights.
+    pub fn with_weights(mut self, weights: GainWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets the number of diversified restarts.
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts;
+        self
+    }
+
+    /// Sets the candidate-selection strategy.
+    pub fn with_strategy(mut self, strategy: SelectionStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 }
 
@@ -52,6 +122,31 @@ pub struct SearchScratch {
     cache: GainCache,
     marked: NodeSet,
     best_nodes: NodeSet,
+    /// Lazy max-gain queue over the entering candidates of the pass,
+    /// keyed by the frame-free *base* key (I/O-linearised violation +
+    /// affinity + growth; no merit) — the exact gain ordering whenever
+    /// the convexity gate is closed.
+    heap_base: BinaryHeap<QueueEntry>,
+    /// The cone-locally-convex candidates again, keyed base +
+    /// `w_merit · sw(v)` — consulted alongside `heap_base` whenever the
+    /// gate is open, with the latency frame applied as a per-step
+    /// offset.
+    heap_merit: BinaryHeap<QueueEntry>,
+    /// Per-node insertion stamps; a popped entry whose stamp is behind
+    /// the node's current stamp has been superseded and is discarded.
+    /// One stamp covers a node's entries in *both* heaps.
+    stamps: Vec<u32>,
+    /// Dirty delta of the latest commit ([`GainCache::commit_tracked`]).
+    touched: NodeSet,
+    /// The cut at pass start; unmarked candidates never change side
+    /// within a pass, so this splits them into entering vs. leaving.
+    start_cut: NodeSet,
+    /// Free leaving candidates of the pass (pass-start cut ∩ free).
+    leave_list: Vec<NodeId>,
+    /// Popped-but-losing entries `(key, node, from_merit_heap)` restored
+    /// verbatim to their heap at step end (their keys are frame-free, so
+    /// a losing pop never re-keys anything).
+    requeue: Vec<(f64, u32, bool)>,
     warm: bool,
 }
 
@@ -60,6 +155,202 @@ impl SearchScratch {
     pub fn new() -> Self {
         SearchScratch::default()
     }
+}
+
+/// One lazy-queue entry. `key` is *frame-free*: it folds only the
+/// node's cached per-node terms ([`EnteringTerms`]), never a global
+/// count or latency — those enter as exact per-step offsets at pop
+/// time ([`StepFrame`]). A key therefore goes stale only when its
+/// node's cache entry changes, and every such node is re-keyed by the
+/// commit that dirtied it. Max-heap order is key-descending with ties
+/// to the **lowest** node id, mirroring the scan's tie-break.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    key: f64,
+    node: u32,
+    stamp: u32,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .total_cmp(&other.key)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The frame-free heap keys of one entering candidate, built from its
+/// cached [`EnteringTerms`]:
+///
+/// * `base` — `−w_io·(ΔI+ΔO) + w_a·N(v,C) + w_g·growth(v)`: the gain
+///   with the violation hinges *linearised* and every global count
+///   stripped into the step offset. Since `(x)⁺ ≥ x`, the linearised
+///   violation never exceeds the true one, so `base + offset` bounds
+///   the true gate-closed gain from above — and equals it exactly once
+///   the cut is at least [`HingeSlack`] ports into violation.
+/// * `merit` — `base + w_m·sw(v)`, for cone-locally-convex candidates
+///   only: the gate-open gain with `max(HW, through(v))` relaxed to
+///   `HW`, again an upper bound whose slack [`HingeSlack`] closes.
+///
+/// Requires `w_io ≥ 0` and `w_m ≥ 0` (checked once per trajectory by
+/// [`queue_weights_ok`]); the per-node-signed terms fold into the key.
+fn entering_keys(
+    weights: &GainWeights,
+    growth: f64,
+    sw: u64,
+    t: &EnteringTerms,
+) -> (f64, Option<f64>) {
+    let base = -(weights.io_penalty * (t.di + t.dout) as f64)
+        + weights.affinity * t.neighbors_in_cut as f64
+        + weights.growth * growth;
+    let merit = t.local_convex.then_some(base + weights.merit * sw as f64);
+    (base, merit)
+}
+
+/// The per-step global frame: exact offsets that turn a frame-free key
+/// into an upper bound on the candidate's true gain, recomputed from
+/// live engine globals at every selection (so keys never drift).
+///
+/// For a key `κ` the bound is `κ + off + slack`: `off` restores the
+/// linearised global contribution and `slack` covers the hinge
+/// nonlinearities ([`HingeSlack`]) plus a rounding margin scaled to the
+/// magnitudes involved (the true gain is recombined in a different
+/// association order, so bit-equality cannot be assumed — but the
+/// relative error is ulps, far below the `1e-13` margin).
+#[derive(Debug, Clone, Copy)]
+struct StepFrame {
+    /// `−w_io·((I−N_in) + (O−N_out))` — the linearised violation frame.
+    off_base: f64,
+    /// `off_base + w_m·(SW − HW)` — the merit heap's frame.
+    off_merit: f64,
+    /// Hinge slack of the base keys: `w_io·((N_in−I+D)⁺ + (N_out−O+A)⁺)`.
+    slack_base: f64,
+    /// `slack_base + w_m·(T−HW)⁺` — adds the merit hinge slack.
+    slack_merit: f64,
+}
+
+impl StepFrame {
+    fn new(
+        engine: &ToggleEngine<'_, '_>,
+        weights: &GainWeights,
+        io: IoConstraints,
+        hinges: &HingeSlack,
+    ) -> StepFrame {
+        let i = f64::from(engine.input_count());
+        let o = f64::from(engine.output_count());
+        let nin = f64::from(io.max_inputs());
+        let nout = f64::from(io.max_outputs());
+        let off_base = -(weights.io_penalty * ((i - nin) + (o - nout)));
+        let slack_base = weights.io_penalty
+            * ((nin - i + hinges.din).max(0.0) + (nout - o + hinges.dout).max(0.0));
+        let sw = engine.software_latency() as f64;
+        let hw = engine.hardware_latency();
+        let off_merit = off_base + weights.merit * (sw - hw);
+        let slack_merit = slack_base + weights.merit * (hinges.through - hw).max(0.0);
+        StepFrame {
+            off_base,
+            off_merit,
+            slack_base,
+            slack_merit,
+        }
+    }
+
+    /// Upper bound on the true gain of a key from the given heap.
+    fn bound(&self, key: f64, merit_heap: bool) -> f64 {
+        let (off, slack) = if merit_heap {
+            (self.off_merit, self.slack_merit)
+        } else {
+            (self.off_base, self.slack_base)
+        };
+        let b = key + off + slack;
+        b + (1.0 + key.abs() + off.abs()) * 1e-13
+    }
+}
+
+/// Running maxima over every candidate keyed so far, closing the
+/// one-sided gaps between the linearised keys and the true hinged
+/// terms: `din = max(−ΔI)⁺`, `dout = max(−ΔO)⁺` (how far below the
+/// global count a candidate's post-toggle I/O can sit) and `through`
+/// (the tallest cached through-path). Maxima only grow, so they stay
+/// conservative for every live entry.
+#[derive(Debug, Clone, Copy)]
+struct HingeSlack {
+    din: f64,
+    dout: f64,
+    through: f64,
+}
+
+impl HingeSlack {
+    fn new() -> HingeSlack {
+        HingeSlack {
+            din: 0.0,
+            dout: 0.0,
+            through: 0.0,
+        }
+    }
+
+    fn absorb(&mut self, t: &EnteringTerms) {
+        self.din = self.din.max(f64::from(-t.di));
+        self.dout = self.dout.max(f64::from(-t.dout));
+        self.through = self.through.max(t.through);
+    }
+}
+
+/// The queue path needs finite weights (NaN/∞ poison every bound) and
+/// non-negative violation/merit weights: the upper-bound direction of
+/// the linearised keys leans on `(x)⁺ ≥ x` entering the gain with a
+/// non-positive sign. Anything else falls back to the reference scan.
+fn queue_weights_ok(w: &GainWeights) -> bool {
+    w.merit.is_finite()
+        && w.io_penalty.is_finite()
+        && w.affinity.is_finite()
+        && w.growth.is_finite()
+        && w.independence.is_finite()
+        && w.io_penalty >= 0.0
+        && w.merit >= 0.0
+}
+
+/// The reference selection: evaluate the gain of every unmarked free
+/// node and keep the best, ties to the lowest node id. This is the
+/// paper's literal inner loop; the queue path must match it toggle for
+/// toggle (`tests/queue_parity.rs`) and falls back to it on NaN gains.
+fn scan_select(
+    cache: &mut GainCache,
+    engine: &ToggleEngine<'_, '_>,
+    weights: &GainWeights,
+    io: IoConstraints,
+    free_nodes: &[NodeId],
+    marked: &NodeSet,
+) -> Option<NodeId> {
+    let mut chosen: Option<(f64, NodeId)> = None;
+    for &v in free_nodes {
+        if marked.contains(v) {
+            continue;
+        }
+        let g = cache.gain(engine, weights, io, v);
+        let better = match chosen {
+            None => true,
+            Some((bg, _)) => g > bg,
+        };
+        if better {
+            chosen = Some((g, v));
+        }
+    }
+    chosen.map(|(_, v)| v)
 }
 
 /// Timing and outcome of one portfolio trajectory, reported by
@@ -89,13 +380,36 @@ struct TrajectorySpec<'s> {
     seed: Option<NodeId>,
 }
 
-/// Runs one ISEGEN bi-partition of a basic block (paper Fig. 2): finds the
-/// best legal cut reachable by iterative improvement from the all-software
-/// configuration, honouring `io` constraints and never touching nodes in
-/// `forbidden` (e.g. nodes already claimed by earlier ISEs).
+/// Everything one [`Search`] run produced: the best cut, the merged
+/// probe/queue statistics of the whole portfolio, and — when the search
+/// ran profiled — one report per trajectory.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SearchOutcome {
+    /// The best legal cut found; empty when no legal cut with positive
+    /// merit exists (e.g. everything is forbidden).
+    pub cut: Cut,
+    /// Gain-cache probe and queue statistics merged over every
+    /// trajectory (all weight flavours and restarts).
+    pub stats: CacheStats,
+    /// Per-trajectory wall times and statistics; empty unless the
+    /// search was built with [`Search::profiled`].
+    pub reports: Vec<TrajectoryReport>,
+}
+
+/// One ISEGEN bi-partition of a basic block (paper Fig. 2), builder
+/// style: finds the best legal cut reachable by iterative improvement
+/// from the all-software configuration.
 ///
-/// Returns the best cut found; the cut is empty when no legal cut with
-/// positive merit exists (e.g. everything is forbidden).
+/// ```no_run
+/// # use isegen_core::{BlockContext, IoConstraints, Search, SearchConfig};
+/// # fn demo(ctx: &BlockContext<'_>) {
+/// let outcome = Search::new(SearchConfig::default())
+///     .threads(4)
+///     .run(ctx, IoConstraints::new(4, 2));
+/// println!("merit {}", outcome.cut.merit());
+/// # }
+/// ```
 ///
 /// The algorithm, following the paper:
 ///
@@ -107,18 +421,104 @@ struct TrajectorySpec<'s> {
 ///    opportunity to eventually grow into a valid cut") — while tracking
 ///    the best *legal* cut seen in the pass.
 /// 3. If the pass improved on `BC`, commit and iterate; otherwise stop.
+///
+/// With `threads > 1` the weight-flavour × restart portfolio fans out
+/// over scoped threads; the output is **byte-identical** to the
+/// sequential search at every thread count (trajectories are
+/// independent, and the merge scans them in the fixed portfolio order
+/// with the sequential strict-improvement tie-break —
+/// `tests/portfolio_parity.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct Search {
+    config: SearchConfig,
+    threads: usize,
+    forbidden: Option<NodeSet>,
+    profile: bool,
+}
+
+impl Search {
+    /// A sequential, unprofiled search with the given configuration.
+    pub fn new(config: SearchConfig) -> Self {
+        Search {
+            config,
+            threads: 1,
+            forbidden: None,
+            profile: false,
+        }
+    }
+
+    /// Fans the trajectory portfolio out over up to `threads` scoped
+    /// threads (`0` is treated as `1`).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Forbids a set of nodes from entering the cut (e.g. nodes already
+    /// claimed by earlier ISEs). The set is cloned into the builder.
+    pub fn forbidden(mut self, forbidden: &NodeSet) -> Self {
+        self.forbidden = Some(forbidden.clone());
+        self
+    }
+
+    /// Collects per-trajectory reports into
+    /// [`SearchOutcome::reports`] (off by default — the reports allocate).
+    pub fn profiled(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The search configuration this builder runs with.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Runs the search with a throwaway scratch pool.
+    pub fn run(&self, ctx: &BlockContext<'_>, io: IoConstraints) -> SearchOutcome {
+        let mut pool = Vec::new();
+        self.run_pooled(ctx, io, &mut pool)
+    }
+
+    /// Runs the search drawing per-worker [`SearchScratch`] arenas from
+    /// `pool` (grown to the worker count on demand); pass the same pool
+    /// again to search with warm arenas.
+    pub fn run_pooled(
+        &self,
+        ctx: &BlockContext<'_>,
+        io: IoConstraints,
+        pool: &mut Vec<SearchScratch>,
+    ) -> SearchOutcome {
+        let (cut, stats, reports) = search_impl(
+            ctx,
+            io,
+            &self.config,
+            self.forbidden.as_ref(),
+            self.threads.max(1),
+            pool,
+        );
+        SearchOutcome {
+            cut,
+            stats,
+            reports: if self.profile { reports } else { Vec::new() },
+        }
+    }
+}
+
+/// See [`Search`] — this shim returns `Search::new(config).run(..).cut`.
+#[deprecated(note = "use `Search::new(config).run(ctx, io).cut`")]
 pub fn bipartition(
     ctx: &BlockContext<'_>,
     io: IoConstraints,
     config: &SearchConfig,
     forbidden: Option<&NodeSet>,
 ) -> Cut {
-    bipartition_with_stats(ctx, io, config, forbidden).0
+    let mut pool = Vec::new();
+    search_impl(ctx, io, config, forbidden, 1, &mut pool).0
 }
 
-/// [`bipartition`], additionally returning the gain-cache probe
-/// statistics of the whole search (all weight flavours and restarts) —
-/// the "probes avoided" number of the perf trajectory.
+/// See [`Search`] — the outcome carries the statistics as
+/// [`SearchOutcome::stats`].
+#[deprecated(note = "use `Search::new(config).run(ctx, io)` and read `.cut` / `.stats`")]
 pub fn bipartition_with_stats(
     ctx: &BlockContext<'_>,
     io: IoConstraints,
@@ -126,17 +526,12 @@ pub fn bipartition_with_stats(
     forbidden: Option<&NodeSet>,
 ) -> (Cut, CacheStats) {
     let mut pool = Vec::new();
-    let (cut, stats, _) = bipartition_profiled(ctx, io, config, forbidden, 1, &mut pool);
+    let (cut, stats, _) = search_impl(ctx, io, config, forbidden, 1, &mut pool);
     (cut, stats)
 }
 
-/// [`bipartition`] with its weight-flavour × restart portfolio fanned
-/// out over up to `threads` scoped threads. The output is
-/// **byte-identical** to the sequential search at every thread count:
-/// trajectories are independent (each starts from the all-software
-/// configuration), and the merge scans them in the fixed portfolio
-/// order with the same strict-improvement tie-break the sequential loop
-/// applies (`tests/portfolio_parity.rs`).
+/// See [`Search`] — thread fan-out is the [`Search::threads`] knob.
+#[deprecated(note = "use `Search::new(config).threads(threads).run(ctx, io).cut`")]
 pub fn bipartition_portfolio(
     ctx: &BlockContext<'_>,
     io: IoConstraints,
@@ -145,15 +540,30 @@ pub fn bipartition_portfolio(
     threads: usize,
 ) -> Cut {
     let mut pool = Vec::new();
-    bipartition_profiled(ctx, io, config, forbidden, threads, &mut pool).0
+    search_impl(ctx, io, config, forbidden, threads, &mut pool).0
 }
 
-/// The full-fat entry point under [`bipartition`] and friends: portfolio
-/// search on up to `threads` threads, drawing per-worker
-/// [`SearchScratch`] arenas from `pool` (grown to the worker count on
-/// demand; pass the same pool again to search with warm arenas), and
-/// reporting per-trajectory wall times alongside the merged statistics.
+/// See [`Search`] — profiling is the [`Search::profiled`] knob and the
+/// warm pool is [`Search::run_pooled`].
+#[deprecated(
+    note = "use `Search::new(config).threads(threads).profiled(true).run_pooled(ctx, io, pool)`"
+)]
 pub fn bipartition_profiled(
+    ctx: &BlockContext<'_>,
+    io: IoConstraints,
+    config: &SearchConfig,
+    forbidden: Option<&NodeSet>,
+    threads: usize,
+    pool: &mut Vec<SearchScratch>,
+) -> (Cut, CacheStats, Vec<TrajectoryReport>) {
+    search_impl(ctx, io, config, forbidden, threads, pool)
+}
+
+/// The engine under [`Search`] and the deprecated `bipartition*` shims:
+/// portfolio search on up to `threads` threads, drawing per-worker
+/// [`SearchScratch`] arenas from `pool`, reporting per-trajectory wall
+/// times alongside the merged statistics.
+fn search_impl(
     ctx: &BlockContext<'_>,
     io: IoConstraints,
     config: &SearchConfig,
@@ -202,7 +612,7 @@ pub fn bipartition_profiled(
         }
     }
 
-    let results = run_trajectories(ctx, io, &free_nodes, &specs, threads, pool);
+    let results = run_trajectories(ctx, io, &free, &free_nodes, &specs, threads, pool);
 
     // Deterministic merge: visit the results in spec order and keep the
     // first strict improvement — exactly the comparison sequence of the
@@ -237,6 +647,7 @@ type TrajectoryResult = (Cut, CacheStats, f64);
 fn run_trajectories(
     ctx: &BlockContext<'_>,
     io: IoConstraints,
+    free: &NodeSet,
     free_nodes: &[NodeId],
     specs: &[TrajectorySpec<'_>],
     threads: usize,
@@ -247,7 +658,7 @@ fn run_trajectories(
         pool.resize_with(workers, SearchScratch::default);
     }
     deal_indexed(specs, &mut pool[..workers], |spec, scratch| {
-        run_trajectory(ctx, io, free_nodes, spec, scratch)
+        run_trajectory(ctx, io, free, free_nodes, spec, scratch, None)
     })
 }
 
@@ -259,15 +670,58 @@ fn run_trajectories(
 /// The sweep is served by a [`GainCache`]: after each committed toggle
 /// only the nodes in the engine's dirty set are re-probed; every other
 /// gain is recombined from cached local terms in O(1). The cached gains
-/// are bit-identical to fresh probes (`tests/gain_cache_prop.rs`), so
-/// the trajectory — and therefore the returned cut — is exactly the one
-/// the uncached loop would take.
+/// are bit-identical to fresh probes (`tests/gain_cache_prop.rs`).
+///
+/// Under [`SelectionStrategy::Queue`] the per-commit argmax itself is
+/// served by a lazy max-gain heap pair instead of a full scan.
+/// Exactness rests on four invariants:
+///
+/// * **Fixed sides.** A node changes side only when toggled, and every
+///   toggled node is marked, so an unmarked candidate keeps its
+///   pass-start side. The heaps hold only *entering* candidates; the
+///   few free *leaving* candidates (pass-start cut ∩ free) are scanned
+///   exactly each step.
+/// * **Frame-free keys.** Heap keys fold only per-node cached terms
+///   ([`entering_keys`]); the global counts and latencies enter as an
+///   exact per-step offset ([`StepFrame`]) recomputed from the live
+///   engine at every selection. A key therefore goes stale only when
+///   its node's cache entry changes — and the commit that dirties a
+///   node immediately re-keys it — so no amount of global movement
+///   ever invalidates the heaps. `key + offset + slack` bounds the
+///   true gain from above, where the slack covers the two hinge
+///   nonlinearities ([`HingeSlack`]): it is exactly zero once the cut
+///   is deep enough in violation and the hardware path has passed the
+///   tallest candidate, i.e. on almost every step of a pass. The pop
+///   loop re-validates each popped entry against the exact cached
+///   gain, stops as soon as the active bounds cannot beat the
+///   incumbent, and restores losers verbatim at step end (their keys
+///   are still current), so the heaps never livelock.
+/// * **Gate-split heaps.** The entering convexity gate depends only on
+///   (#violators clamped to 2, the sole violator's id), and it affects
+///   a gain in exactly one way: the merit term is zeroed when the gate
+///   is closed. The base heap keys every candidate without merit — the
+///   exact ordering whenever the gate is closed; the merit heap keys
+///   the cone-locally-convex candidates with it. Each step reads the
+///   live signature: no violators → consult both heaps, ≥ 2 violators
+///   → base heap only, and a sole violator → base heap plus one exact
+///   evaluation of the violator itself outside the heaps. A
+///   violator-set flip switches regimes; it never rebuilds anything.
+/// * **NaN fallback.** Non-finite or negative violation/merit weights,
+///   or a NaN gain mid-pass, abandon the queue and finish the
+///   trajectory with the reference scan, preserving the scan's NaN
+///   semantics bit for bit.
+///
+/// The result is toggle-for-toggle identical to the scan, ties to the
+/// lowest node id included (`tests/queue_parity.rs`), at
+/// O((dirty + pops) · log n) per commit instead of O(free).
 fn run_trajectory(
     ctx: &BlockContext<'_>,
     io: IoConstraints,
+    free: &NodeSet,
     free_nodes: &[NodeId],
     spec: &TrajectorySpec<'_>,
     scratch: &mut SearchScratch,
+    mut trace: Option<&mut Vec<NodeId>>,
 ) -> TrajectoryResult {
     let start = Instant::now();
     let n = ctx.node_count();
@@ -289,6 +743,18 @@ fn run_trajectory(
     let cache = &mut scratch.cache;
     let marked = &mut scratch.marked;
     let best_nodes = &mut scratch.best_nodes;
+    let heap_base = &mut scratch.heap_base;
+    let heap_merit = &mut scratch.heap_merit;
+    let stamps = &mut scratch.stamps;
+    let touched = &mut scratch.touched;
+    let start_cut = &mut scratch.start_cut;
+    let leave_list = &mut scratch.leave_list;
+    let requeue = &mut scratch.requeue;
+
+    // Sticky queue eligibility for the whole trajectory: once a NaN
+    // gain is seen, every later step runs the scan.
+    let mut queue_ok =
+        config.strategy == SelectionStrategy::Queue && queue_weights_ok(&config.weights);
 
     for pass in 0..config.max_passes {
         if pass > 0 {
@@ -302,32 +768,283 @@ fn run_trajectory(
         let mut pass_best_merit = best_merit;
         let mut forced = if pass == 0 { spec.seed } else { None };
 
+        // Queue state of the pass: the pass-start side split, the two
+        // entering-candidate heaps keyed by frame-free terms, and the
+        // hinge-slack maxima their bounds lean on.
+        let mut queue_live = queue_ok;
+        let mut hinges = HingeSlack::new();
+        if queue_live {
+            start_cut.copy_from(engine.cut());
+            leave_list.clear();
+            for v in start_cut.iter() {
+                if free.contains(v) {
+                    leave_list.push(v);
+                }
+            }
+            heap_base.clear();
+            heap_merit.clear();
+            stamps.clear();
+            stamps.resize(n, 0);
+            for &v in free_nodes {
+                if start_cut.contains(v) {
+                    continue;
+                }
+                let t = cache.entering_terms(&engine, v);
+                hinges.absorb(&t);
+                let (kb, km) = entering_keys(
+                    &config.weights,
+                    ctx.growth_score(v),
+                    u64::from(ctx.sw_cycles(v)),
+                    &t,
+                );
+                let node = v.index() as u32;
+                heap_base.push(QueueEntry {
+                    key: kb,
+                    node,
+                    stamp: 0,
+                });
+                if let Some(km) = km {
+                    heap_merit.push(QueueEntry {
+                        key: km,
+                        node,
+                        stamp: 0,
+                    });
+                }
+            }
+        }
+
         for _ in 0..free_nodes.len() {
-            // Evaluate the gain function for every unmarked node and pick
-            // the best; ties break to the lowest node id (determinism).
-            let chosen = match forced.take() {
-                Some(s) => Some(s),
-                None => {
-                    let mut chosen: Option<(f64, NodeId)> = None;
-                    for &v in free_nodes {
-                        if marked.contains(v) {
-                            continue;
-                        }
-                        let g = cache.gain(&engine, &config.weights, io, v);
-                        let better = match chosen {
-                            None => true,
-                            Some((bg, _)) => g > bg,
-                        };
-                        if better {
-                            chosen = Some((g, v));
+            // Pick the max-gain unmarked node; ties break to the lowest
+            // node id (determinism).
+            let mut chosen = forced.take();
+            if chosen.is_none() && queue_live {
+                // Exact scan over the few leaving candidates first …
+                let mut best: Option<(f64, NodeId)> = None;
+                let mut nan_seen = false;
+                for &v in leave_list.iter() {
+                    if marked.contains(v) {
+                        continue;
+                    }
+                    let g = cache.gain(&engine, &config.weights, io, v);
+                    if g.is_nan() {
+                        nan_seen = true;
+                        break;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some((bg, _)) => g > bg,
+                    };
+                    if better {
+                        best = Some((g, v));
+                    }
+                }
+                // … then the live gate signature picks the heaps to
+                // consult: no violators → both (the merit heap bounds
+                // the cone-locally-convex candidates, the base heap
+                // the rest), ≥ 2 violators → base heap only (merit is
+                // gate-closed for everyone). A sole violator is the
+                // one node whose merit survives a closed gate: if it
+                // is an entering candidate, evaluate it exactly here
+                // and skip its base-heap entries below.
+                let sig = engine.gate_signature();
+                let mut special: Option<NodeId> = None;
+                if !nan_seen && sig.0 == 1 {
+                    let x = NodeId::from_index(sig.1 as usize);
+                    if free.contains(x) && !marked.contains(x) && !start_cut.contains(x) {
+                        special = Some(x);
+                        let g = cache.gain(&engine, &config.weights, io, x);
+                        if g.is_nan() {
+                            nan_seen = true;
+                        } else {
+                            let wins = match best {
+                                None => true,
+                                Some((bg, bid)) => g > bg || (g == bg && x.index() < bid.index()),
+                            };
+                            if wins {
+                                best = Some((g, x));
+                            }
                         }
                     }
-                    chosen.map(|(_, v)| v)
                 }
-            };
+                let frame = StepFrame::new(&engine, &config.weights, io, &hinges);
+                let use_merit = sig.0 == 0;
+                // The popped-but-undefeated incumbent's heap entry,
+                // restored verbatim if it is later dethroned.
+                let mut parked: Option<(f64, u32, bool)> = None;
+                // Pop entering candidates while some consulted bound
+                // can still beat the incumbent. Every live key is
+                // current (commits immediately re-key their dirty
+                // delta), so losers restore verbatim at step end — the
+                // deferred flush is what prevents a pop/requeue
+                // livelock within the step.
+                while !nan_seen {
+                    // Skim dead tops (stale stamp or already toggled)
+                    // off each consulted heap, then race the two live
+                    // bounds; base wins ties so the choice is
+                    // deterministic.
+                    let b_base = loop {
+                        let Some(&top) = heap_base.peek() else {
+                            break None;
+                        };
+                        let node = NodeId::from_index(top.node as usize);
+                        if top.stamp != stamps[top.node as usize] || marked.contains(node) {
+                            heap_base.pop();
+                            stats.queue_pops += 1;
+                            continue;
+                        }
+                        if special == Some(node) {
+                            // Already judged exactly above; keep it keyed.
+                            heap_base.pop();
+                            stats.queue_pops += 1;
+                            requeue.push((top.key, top.node, false));
+                            continue;
+                        }
+                        break Some(frame.bound(top.key, false));
+                    };
+                    let b_merit = if use_merit {
+                        loop {
+                            let Some(&top) = heap_merit.peek() else {
+                                break None;
+                            };
+                            let node = NodeId::from_index(top.node as usize);
+                            if top.stamp != stamps[top.node as usize] || marked.contains(node) {
+                                heap_merit.pop();
+                                stats.queue_pops += 1;
+                                continue;
+                            }
+                            break Some(frame.bound(top.key, true));
+                        }
+                    } else {
+                        None
+                    };
+                    let from_merit = match (b_base, b_merit) {
+                        (None, None) => break,
+                        (Some(_), None) => false,
+                        (None, Some(_)) => true,
+                        (Some(b), Some(m)) => m > b,
+                    };
+                    let bound = if from_merit { b_merit } else { b_base }.unwrap();
+                    if let Some((bg, _)) = best {
+                        // `bound` dominates every consulted heap, and
+                        // each unmarked entering candidate has a live
+                        // entry in a consulted heap whose bound
+                        // dominates its true gain — nothing left can
+                        // win or tie.
+                        if bound < bg {
+                            break;
+                        }
+                    }
+                    let top = if from_merit {
+                        heap_merit.pop().expect("live top just peeked")
+                    } else {
+                        heap_base.pop().expect("live top just peeked")
+                    };
+                    stats.queue_pops += 1;
+                    stats.queue_stale_revalidations += 1;
+                    let node_idx = top.node as usize;
+                    let node = NodeId::from_index(node_idx);
+                    let g = cache.gain(&engine, &config.weights, io, node);
+                    if g.is_nan() {
+                        nan_seen = true;
+                        break;
+                    }
+                    let wins = match best {
+                        None => true,
+                        Some((bg, bid)) => g > bg || (g == bg && node_idx < bid.index()),
+                    };
+                    if wins {
+                        if let Some(p) = parked.take() {
+                            requeue.push(p);
+                        }
+                        parked = Some((top.key, top.node, from_merit));
+                        best = Some((g, node));
+                    } else {
+                        requeue.push((top.key, top.node, from_merit));
+                    }
+                }
+                if nan_seen {
+                    // Hostile weights made a gain NaN mid-pass: abandon
+                    // the queue and redo this step with the scan, whose
+                    // NaN semantics the trajectory must now follow.
+                    queue_ok = false;
+                    queue_live = false;
+                    requeue.clear();
+                } else {
+                    // Losers (and a dethroned incumbent) rejoin their
+                    // heaps verbatim: their keys fold only per-node
+                    // cached terms, all still current. The winner is
+                    // about to be committed and marked, so it stays
+                    // out.
+                    for &(key, node, from_merit) in requeue.iter() {
+                        let entry = QueueEntry {
+                            key,
+                            node,
+                            stamp: stamps[node as usize],
+                        };
+                        if from_merit {
+                            heap_merit.push(entry);
+                        } else {
+                            heap_base.push(entry);
+                        }
+                        stats.queue_reinsertions += 1;
+                    }
+                    requeue.clear();
+                    chosen = best.map(|(_, v)| v);
+                }
+            }
+            if chosen.is_none() && !queue_live {
+                chosen = scan_select(cache, &engine, &config.weights, io, free_nodes, marked);
+            }
             let Some(v) = chosen else { break };
-            cache.commit(&mut engine, v);
-            marked.insert(v);
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(v);
+            }
+            if queue_live {
+                cache.commit_tracked(&mut engine, v, touched);
+                marked.insert(v);
+                // Targeted re-key: exactly the commit's dirty delta is
+                // refreshed and re-stamped; every clean entry's key is
+                // still current because keys fold no global state.
+                // Word-level pre-mask: the dirty set is dominated by
+                // already-committed cut members (leave-term coverage),
+                // which the re-key must skip — filter them out 64 at a
+                // time instead of testing three sets per bit.
+                touched.for_each_word(|wi, w| {
+                    let mut m = w & free.word(wi) & !start_cut.word(wi) & !marked.word(wi);
+                    while m != 0 {
+                        let b = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let u = NodeId::from_index(wi * 64 + b);
+                        let t = cache.entering_terms(&engine, u);
+                        hinges.absorb(&t);
+                        let (kb, km) = entering_keys(
+                            &config.weights,
+                            ctx.growth_score(u),
+                            u64::from(ctx.sw_cycles(u)),
+                            &t,
+                        );
+                        let s = &mut stamps[u.index()];
+                        *s = s.wrapping_add(1);
+                        let node = u.index() as u32;
+                        heap_base.push(QueueEntry {
+                            key: kb,
+                            node,
+                            stamp: *s,
+                        });
+                        if let Some(km) = km {
+                            heap_merit.push(QueueEntry {
+                                key: km,
+                                node,
+                                stamp: *s,
+                            });
+                        }
+                        stats.queue_reinsertions += 1;
+                    }
+                });
+            } else {
+                cache.commit(&mut engine, v);
+                marked.insert(v);
+            }
             if engine.is_legal(io) {
                 let m = engine.merit();
                 if m > pass_best_merit {
@@ -354,6 +1071,44 @@ fn run_trajectory(
     }
     scratch.arena = engine.into_arena();
     (best_cut, stats, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs a single trajectory with the given flavour weights and no
+/// restart seed, returning the exact sequence of committed toggles —
+/// the observable `tests/queue_parity.rs` pins across
+/// [`SelectionStrategy`] values. Hidden: test scaffolding, not API.
+#[doc(hidden)]
+pub fn trajectory_commit_trace(
+    ctx: &BlockContext<'_>,
+    io: IoConstraints,
+    config: &SearchConfig,
+    forbidden: Option<&NodeSet>,
+) -> Vec<NodeId> {
+    let mut trace = Vec::new();
+    let mut free = ctx.eligible().clone();
+    if let Some(f) = forbidden {
+        free.subtract(f);
+    }
+    if free.is_empty() {
+        return trace;
+    }
+    let free_nodes: Vec<NodeId> = free.iter().collect();
+    let spec = TrajectorySpec {
+        config,
+        flavour: "base",
+        seed: None,
+    };
+    let mut scratch = SearchScratch::new();
+    let _ = run_trajectory(
+        ctx,
+        io,
+        &free,
+        &free_nodes,
+        &spec,
+        &mut scratch,
+        Some(&mut trace),
+    );
+    trace
 }
 
 /// Picks up to `restarts − 1` forced first moves, spread across the
@@ -500,7 +1255,7 @@ impl CutFinder for IsegenFinder {
     ) -> Cut {
         let threads = threads.max(self.portfolio_threads);
         let (cut, stats, _) =
-            bipartition_profiled(ctx, io, &self.config, forbidden, threads, &mut self.pool);
+            search_impl(ctx, io, &self.config, forbidden, threads, &mut self.pool);
         if let Ok(mut acc) = self.stats.lock() {
             acc.absorb(stats);
         }
@@ -526,12 +1281,25 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn search(
+        ctx: &BlockContext<'_>,
+        io: IoConstraints,
+        config: &SearchConfig,
+        forbidden: Option<&NodeSet>,
+    ) -> Cut {
+        let mut s = Search::new(config.clone());
+        if let Some(f) = forbidden {
+            s = s.forbidden(f);
+        }
+        s.run(ctx, io).cut
+    }
+
     #[test]
     fn finds_the_whole_cluster() {
         let block = dotprod();
         let model = LatencyModel::paper_default();
         let ctx = BlockContext::new(&block, &model);
-        let cut = bipartition(
+        let cut = search(
             &ctx,
             IoConstraints::new(4, 2),
             &SearchConfig::default(),
@@ -551,7 +1319,7 @@ mod tests {
         let ctx = BlockContext::new(&block, &model);
         for (i, o) in [(2u32, 1u32), (3, 1), (4, 1), (4, 2)] {
             let io = IoConstraints::new(i, o);
-            let cut = bipartition(&ctx, io, &SearchConfig::default(), None);
+            let cut = search(&ctx, io, &SearchConfig::default(), None);
             assert!(
                 cut.is_empty() || cut.satisfies_io(io),
                 "cut {:?} violates {io}",
@@ -570,7 +1338,7 @@ mod tests {
         let ctx = BlockContext::new(&block, &model);
         let ids: Vec<NodeId> = block.dag().node_ids().collect();
         let forbidden = NodeSet::from_ids(7, [ids[6]]); // the add
-        let cut = bipartition(
+        let cut = search(
             &ctx,
             IoConstraints::new(4, 2),
             &SearchConfig::default(),
@@ -585,7 +1353,7 @@ mod tests {
         let block = dotprod();
         let model = LatencyModel::paper_default();
         let ctx = BlockContext::new(&block, &model);
-        let cut = bipartition(
+        let cut = search(
             &ctx,
             IoConstraints::new(4, 2),
             &SearchConfig::default(),
@@ -599,13 +1367,13 @@ mod tests {
         let block = dotprod();
         let model = LatencyModel::paper_default();
         let ctx = BlockContext::new(&block, &model);
-        let a = bipartition(
+        let a = search(
             &ctx,
             IoConstraints::new(4, 2),
             &SearchConfig::default(),
             None,
         );
-        let b = bipartition(
+        let b = search(
             &ctx,
             IoConstraints::new(4, 2),
             &SearchConfig::default(),
@@ -650,7 +1418,7 @@ mod tests {
                 weights,
                 ..SearchConfig::default()
             };
-            let cut = bipartition(&ctx, IoConstraints::new(4, 2), &config, None);
+            let cut = search(&ctx, IoConstraints::new(4, 2), &config, None);
             // Whatever the search found must still be architecturally
             // legal — the guard rails hold even under junk weights.
             assert!(cut.is_empty() || cut.satisfies_io(IoConstraints::new(4, 2)));
@@ -658,6 +1426,24 @@ mod tests {
                 assert!(ctx.is_convex(cut.nodes()));
             }
         }
+    }
+
+    #[test]
+    fn queue_and_scan_agree_on_dotprod() {
+        let block = dotprod();
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(&block, &model);
+        let io = IoConstraints::new(4, 2);
+        let queue = SearchConfig::new().with_strategy(SelectionStrategy::Queue);
+        let scan = SearchConfig::new().with_strategy(SelectionStrategy::Scan);
+        assert_eq!(
+            search(&ctx, io, &queue, None),
+            search(&ctx, io, &scan, None)
+        );
+        assert_eq!(
+            trajectory_commit_trace(&ctx, io, &queue, None),
+            trajectory_commit_trace(&ctx, io, &scan, None),
+        );
     }
 
     #[test]
@@ -669,7 +1455,7 @@ mod tests {
             max_passes: 1,
             ..SearchConfig::default()
         };
-        let cut = bipartition(&ctx, IoConstraints::new(4, 2), &config, None);
+        let cut = search(&ctx, IoConstraints::new(4, 2), &config, None);
         assert!(!cut.is_empty());
     }
 }

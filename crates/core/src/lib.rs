@@ -22,22 +22,23 @@
 //! * [`GainWeights`] / the gain function — the five weighted control
 //!   parameters of §4.2 (merit, I/O penalty, convexity affinity,
 //!   directional growth, independent cuts).
-//! * [`bipartition`] — the modified Kernighan–Lin pass structure of Fig. 2,
+//! * [`Search`] — the modified Kernighan–Lin pass structure of Fig. 2,
 //!   served by [`GainCache`]: a dirty-set probe cache that re-evaluates
-//!   only the candidates a committed toggle could have changed
-//!   ([`bipartition_with_stats`] exposes the probes-avoided counters).
-//! * [`generate`] / [`generate_with`] — the whole-application driver
-//!   (Problem 2): block ranking by speedup potential, up to `N_ISE`
-//!   successive bi-partitions, optional reuse of each ISE across all its
-//!   isomorphic instances (the AES regularity play of §5).
-//! * [`generate_batched`] / [`generate_batched_with`] — the same driver
-//!   with block searches fanned out over scoped threads and memoised
-//!   across rounds; output byte-identical to the sequential driver.
+//!   only the candidates a committed toggle could have changed, and a
+//!   lazy-decrease max-gain queue ([`SelectionStrategy::Queue`]) that
+//!   replaces the per-commit full scan ([`SearchOutcome`] exposes the
+//!   probes-avoided and queue counters).
+//! * [`Generator`] — the whole-application driver (Problem 2): block
+//!   ranking by speedup potential, up to `N_ISE` successive
+//!   bi-partitions, optional reuse of each ISE across all its isomorphic
+//!   instances (the AES regularity play of §5); `.threads(n)` fans block
+//!   searches out over scoped threads with cross-round memoisation,
+//!   output byte-identical to the sequential driver.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use isegen_core::{bipartition, BlockContext, IoConstraints, SearchConfig};
+//! use isegen_core::{BlockContext, IoConstraints, Search};
 //! use isegen_ir::{BlockBuilder, LatencyModel, Opcode};
 //!
 //! # fn main() -> Result<(), isegen_ir::BuildError> {
@@ -51,7 +52,7 @@
 //!
 //! let model = LatencyModel::paper_default();
 //! let ctx = BlockContext::new(&block, &model);
-//! let cut = bipartition(&ctx, IoConstraints::new(4, 2), &SearchConfig::default(), None);
+//! let cut = Search::default().run(&ctx, IoConstraints::new(4, 2)).cut;
 //! assert_eq!(cut.nodes().len(), 3); // all three ops fused into one ISE
 //! assert!(cut.merit() > 0.0);
 //! # Ok(())
@@ -77,14 +78,20 @@ pub use cache::{CacheStats, GainCache};
 pub use constraints::IoConstraints;
 pub use context::{BlockContext, ContextData};
 pub use cut::Cut;
+#[allow(deprecated)]
 pub use driver::{
     generate, generate_batched, generate_batched_in_contexts, generate_batched_with,
-    generate_in_contexts, generate_with, CutFinder, Ise, IseConfig, IseInstance, IseSelection,
+    generate_in_contexts, generate_with,
 };
+pub use driver::{CutFinder, Generator, Ise, IseConfig, IseInstance, IseSelection};
 pub use engine::{EngineArena, Probe, ToggleEngine};
 pub use gain::GainWeights;
+#[doc(hidden)]
+pub use kl::trajectory_commit_trace;
+#[allow(deprecated)]
+pub use kl::{bipartition, bipartition_portfolio, bipartition_profiled, bipartition_with_stats};
 pub use kl::{
-    bipartition, bipartition_portfolio, bipartition_profiled, bipartition_with_stats, IsegenFinder,
-    SearchConfig, SearchScratch, TrajectoryReport,
+    IsegenFinder, Search, SearchConfig, SearchOutcome, SearchScratch, SelectionStrategy,
+    TrajectoryReport,
 };
 pub use speedup::application_speedup;

@@ -14,7 +14,7 @@
 //! ised_client --addr 127.0.0.1:PORT --workload aes --workload fir00
 //! ```
 
-use isegen_core::{generate, IseConfig, SearchConfig};
+use isegen_core::{Generator, IseConfig, SearchConfig};
 use isegen_ir::{text, LatencyModel};
 use isegen_rtl::AfuLibrary;
 use isegen_serve::json::{self, Json};
@@ -116,7 +116,9 @@ fn main() {
         let ir = text::write_application(&app);
 
         // The reference: the in-process library pipeline.
-        let expected = generate(&app, &model, &config, &search);
+        let expected = Generator::new(config)
+            .search(search.clone())
+            .run(&app, &model);
         let expected_afu = AfuLibrary::from_selection(&app, &model, &expected)
             .unwrap_or_else(|e| fail(format!("{name}: library AFU failed: {e}")));
 

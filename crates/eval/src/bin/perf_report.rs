@@ -22,9 +22,8 @@
 //! available parallelism).
 
 use isegen_core::{
-    bipartition, bipartition_portfolio, bipartition_profiled, bipartition_with_stats,
-    generate_batched_with, generate_with, BlockContext, Cut, CutFinder, IoConstraints, IseConfig,
-    IsegenFinder, SearchConfig, ToggleEngine, TrajectoryReport,
+    BlockContext, Cut, CutFinder, Generator, IoConstraints, IseConfig, IsegenFinder, Search,
+    SearchConfig, SelectionStrategy, ToggleEngine, TrajectoryReport,
 };
 use isegen_graph::{NodeId, NodeSet};
 use isegen_ir::{Application, BasicBlock, LatencyModel};
@@ -89,6 +88,9 @@ struct KlRow {
     full_invalidations: u64,
     trajectories: u64,
     arena_reuses: u64,
+    queue_pops: u64,
+    queue_stale_revalidations: u64,
+    queue_reinsertions: u64,
     merit: f64,
 }
 
@@ -165,12 +167,19 @@ fn bench_toggles(name: &str, block: &BasicBlock, model: &LatencyModel, rounds: u
     }
 }
 
-fn bench_kl(name: &str, block: &BasicBlock, model: &LatencyModel) -> KlRow {
+fn bench_kl(
+    name: &str,
+    block: &BasicBlock,
+    model: &LatencyModel,
+    strategy: SelectionStrategy,
+) -> KlRow {
     let ctx = BlockContext::new(block, model);
     let io = IoConstraints::new(4, 2);
     let config = SearchConfig::default();
     let start = Instant::now();
-    let (cut, stats) = bipartition_with_stats(&ctx, io, &config, None);
+    let config = config.with_strategy(strategy);
+    let outcome = Search::new(config).run(&ctx, io);
+    let (cut, stats) = (outcome.cut, outcome.stats);
     KlRow {
         workload: name.to_string(),
         nodes: ctx.node_count(),
@@ -182,6 +191,9 @@ fn bench_kl(name: &str, block: &BasicBlock, model: &LatencyModel) -> KlRow {
         full_invalidations: stats.full_invalidations,
         trajectories: stats.trajectories,
         arena_reuses: stats.arena_reuses,
+        queue_pops: stats.queue_pops,
+        queue_stale_revalidations: stats.queue_stale_revalidations,
+        queue_reinsertions: stats.queue_reinsertions,
         merit: cut.merit(),
     }
 }
@@ -206,23 +218,19 @@ fn bench_driver(name: &str, app: &Application, model: &LatencyModel, threads: us
     let mut sequential = None;
     let mut batched = None;
     for rep in 0..2 {
-        let mut seq_finder = CountingFinder::new(&search);
+        let mut seq = Generator::new(config).finder(CountingFinder::new(&search));
         let start = Instant::now();
-        sequential = Some(generate_with(&mut seq_finder, app, model, &config));
+        sequential = Some(seq.run(app, model));
         sequential_ms = sequential_ms.min(ms(start));
-        let bat_finder = CountingFinder::new(&search);
+        let mut bat = Generator::new(config)
+            .finder(CountingFinder::new(&search))
+            .threads(threads);
         let start = Instant::now();
-        batched = Some(generate_batched_with(
-            &bat_finder,
-            app,
-            model,
-            &config,
-            threads,
-        ));
+        batched = Some(bat.run(app, model));
         batched_ms = batched_ms.min(ms(start));
         if rep == 0 {
-            sequential_searches = seq_finder.count.load(Ordering::Relaxed);
-            batched_searches = bat_finder.count.load(Ordering::Relaxed);
+            sequential_searches = seq.finder_ref().count.load(Ordering::Relaxed);
+            batched_searches = bat.finder_ref().count.load(Ordering::Relaxed);
         }
     }
     DriverRow {
@@ -255,20 +263,24 @@ fn bench_portfolio(
     let mut identical = true;
     for _ in 0..2 {
         let start = Instant::now();
-        let sequential = bipartition(&ctx, io, &config, None);
+        let sequential = Search::new(config.clone()).run(&ctx, io).cut;
         sequential_ms = sequential_ms.min(ms(start));
         let start = Instant::now();
-        let one = bipartition_portfolio(&ctx, io, &config, None, 1);
+        let one = Search::new(config.clone()).threads(1).run(&ctx, io).cut;
         portfolio1_ms = portfolio1_ms.min(ms(start));
         let start = Instant::now();
-        let parallel = bipartition_portfolio(&ctx, io, &config, None, threads);
+        let parallel = Search::new(config.clone())
+            .threads(threads)
+            .run(&ctx, io)
+            .cut;
         portfolio_ms = portfolio_ms.min(ms(start));
         identical &= one == sequential && parallel == sequential;
     }
     // Per-trajectory wall times from a profiled run on a warm pool.
+    let profiled = Search::new(config.clone()).threads(threads).profiled(true);
     let mut pool = Vec::new();
-    let _ = bipartition_profiled(&ctx, io, &config, None, threads, &mut pool);
-    let (_, _, trajectories) = bipartition_profiled(&ctx, io, &config, None, threads, &mut pool);
+    let _ = profiled.run_pooled(&ctx, io, &mut pool);
+    let trajectories = profiled.run_pooled(&ctx, io, &mut pool).reports;
     PortfolioRow {
         workload: name.to_string(),
         nodes: ctx.node_count(),
@@ -287,6 +299,9 @@ const USAGE: &str = "usage: perf_report [--full] [--threads N] [--out PATH] [--p
   --full               full-size sweeps (CI quick mode is the default)
   --threads N          batched-driver and portfolio thread count
                        (default: available parallelism)
+  --strategy S         K-L selection strategy for the kl sweep: queue
+                       (default) or scan (the pre-queue reference, for
+                       before/after comparisons)
   --out PATH           JSON report path (default BENCH_kl.json)
   --portfolio-out PATH portfolio report path (default BENCH_portfolio.json)";
 
@@ -301,6 +316,7 @@ fn main() {
     let mut out_path = "BENCH_kl.json".to_string();
     let mut portfolio_out_path = "BENCH_portfolio.json".to_string();
     let mut full = false;
+    let mut strategy = SelectionStrategy::Queue;
     let mut threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -319,6 +335,11 @@ fn main() {
             "--threads" => match args.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n > 0 => threads = n,
                 _ => usage_error("--threads needs a positive integer"),
+            },
+            "--strategy" => match args.next().as_deref() {
+                Some("queue") => strategy = SelectionStrategy::Queue,
+                Some("scan") => strategy = SelectionStrategy::Scan,
+                _ => usage_error("--strategy needs `queue` or `scan`"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -347,19 +368,21 @@ fn main() {
             &model,
             toggle_rounds,
         ));
-        kl_rows.push(bench_kl(&name, &app.blocks()[0], &model));
+        kl_rows.push(bench_kl(&name, &app.blocks()[0], &model, strategy));
     }
     // Real kernels come from the registry: the crypto suite up to
     // full-round AES-128 in quick mode, the whole crypto tier in full.
+    // sha256 rides along even in quick mode: its toggles/sec is the
+    // headline number the queue selector is benchmarked on.
     let crypto_cap = if full { usize::MAX } else { 1100 };
     for spec in workloads_in(Category::Crypto) {
-        if spec.kernel_ops > crypto_cap {
+        if spec.kernel_ops > crypto_cap && spec.name != "sha256" {
             continue;
         }
         let app = spec.application();
         let block = largest_block(&app);
         toggle_rows.push(bench_toggles(spec.name, block, &model, toggle_rounds));
-        kl_rows.push(bench_kl(spec.name, block, &model));
+        kl_rows.push(bench_kl(spec.name, block, &model, strategy));
     }
 
     let mut driver_rows = Vec::new();
@@ -432,9 +455,10 @@ fn main() {
     println!("K-L bipartition (gain cache):");
     for r in &kl_rows {
         println!(
-            "  {:>8}  n={:<5} {:>8.2} ms  fresh={:<8} cached={:<9} avoided={:>5.1}%  commits={:<6} flushes={} traj={} reuses={}  merit={:.2}",
+            "  {:>8}  n={:<5} {:>8.2} ms  fresh={:<8} cached={:<9} avoided={:>5.1}%  commits={:<6} flushes={} traj={} reuses={}  pops={} stale={} reins={}  merit={:.2}",
             r.workload, r.nodes, r.wall_ms, r.fresh_probes, r.cached_probes, r.avoided_pct,
-            r.commits, r.full_invalidations, r.trajectories, r.arena_reuses, r.merit
+            r.commits, r.full_invalidations, r.trajectories, r.arena_reuses,
+            r.queue_pops, r.queue_stale_revalidations, r.queue_reinsertions, r.merit
         );
     }
     println!("driver (sequential vs batched, {threads} threads):");
@@ -496,8 +520,13 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"report\": \"isegen perf trajectory\",\n  \"mode\": \"{}\",\n  \"threads\": {},\n  \"cpus\": {},",
+        "  \"report\": \"isegen perf trajectory\",\n  \"mode\": \"{}\",\n  \"strategy\": \"{}\",\n  \"threads\": {},\n  \"cpus\": {},",
         if full { "full" } else { "quick" },
+        match strategy {
+            SelectionStrategy::Queue => "queue",
+            SelectionStrategy::Scan => "scan",
+            _ => "other",
+        },
         threads,
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -516,9 +545,10 @@ fn main() {
     for (i, r) in kl_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"workload\": \"{}\", \"nodes\": {}, \"wall_ms\": {:.3}, \"fresh_probes\": {}, \"cached_probes\": {}, \"probes_avoided_pct\": {:.2}, \"commits\": {}, \"full_invalidations\": {}, \"trajectories\": {}, \"arena_reuses\": {}, \"merit\": {:.4}}}{}",
+            "    {{\"workload\": \"{}\", \"nodes\": {}, \"wall_ms\": {:.3}, \"fresh_probes\": {}, \"cached_probes\": {}, \"probes_avoided_pct\": {:.2}, \"commits\": {}, \"full_invalidations\": {}, \"trajectories\": {}, \"arena_reuses\": {}, \"queue_pops\": {}, \"queue_stale_revalidations\": {}, \"queue_reinsertions\": {}, \"merit\": {:.4}}}{}",
             r.workload, r.nodes, r.wall_ms, r.fresh_probes, r.cached_probes, r.avoided_pct,
-            r.commits, r.full_invalidations, r.trajectories, r.arena_reuses, r.merit,
+            r.commits, r.full_invalidations, r.trajectories, r.arena_reuses,
+            r.queue_pops, r.queue_stale_revalidations, r.queue_reinsertions, r.merit,
             if i + 1 < kl_rows.len() { "," } else { "" }
         );
     }

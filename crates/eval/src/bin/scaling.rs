@@ -15,9 +15,7 @@
 //! scaling -- --threads 4 --portfolio 4  # also gate portfolio-parallel parity
 //! ```
 
-use isegen_core::{
-    generate_batched_with, generate_with, IseConfig, IseSelection, IsegenFinder, SearchConfig,
-};
+use isegen_core::{Generator, IseConfig, IseSelection, IsegenFinder, SearchConfig};
 
 use isegen_ir::LatencyModel;
 use isegen_workloads::{workloads_in_tiers, SizeTier, WorkloadSpec};
@@ -50,14 +48,17 @@ fn run_workload(spec: &WorkloadSpec, threads: usize, portfolio: usize) -> Row {
     let config = IseConfig::paper_default();
     let search = SearchConfig::default();
 
-    let mut finder = IsegenFinder::new(search.clone());
     let start = Instant::now();
-    let sequential: IseSelection = generate_with(&mut finder, &app, &model, &config);
+    let sequential: IseSelection = Generator::new(config)
+        .search(search.clone())
+        .run(&app, &model);
     let sequential_ms = ms(start);
 
-    let finder = IsegenFinder::new(search.clone());
     let start = Instant::now();
-    let batched = generate_batched_with(&finder, &app, &model, &config, threads);
+    let batched = Generator::new(config)
+        .search(search.clone())
+        .threads(threads)
+        .run(&app, &model);
     let batched_ms = ms(start);
 
     // The gate itself: a divergent batched result aborts the whole run
@@ -72,9 +73,9 @@ fn run_workload(spec: &WorkloadSpec, threads: usize, portfolio: usize) -> Row {
     // fanned out over `portfolio` intra-block threads must be
     // byte-identical too.
     let portfolio_ms = if portfolio > 1 {
-        let mut finder = IsegenFinder::new(search).with_portfolio_threads(portfolio);
+        let finder = IsegenFinder::new(search).with_portfolio_threads(portfolio);
         let start = Instant::now();
-        let fanned = generate_with(&mut finder, &app, &model, &config);
+        let fanned = Generator::new(config).finder(finder).run(&app, &model);
         let elapsed = ms(start);
         assert!(
             sequential == fanned,

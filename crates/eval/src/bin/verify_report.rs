@@ -16,7 +16,7 @@
 //! verify_report -- --tier small --seed 7 --out /tmp/report.json
 //! ```
 
-use isegen_core::{generate, IseConfig, SearchConfig};
+use isegen_core::{Generator, IseConfig};
 use isegen_ir::LatencyModel;
 use isegen_rtl::{verify_selection, VerifyConfig, VerifyReport};
 use isegen_workloads::{workloads_in_tiers, SizeTier, WorkloadSpec};
@@ -60,12 +60,7 @@ struct Row {
 fn run_workload(spec: &WorkloadSpec, config: &VerifyConfig) -> Row {
     let app = spec.application();
     let model = LatencyModel::paper_default();
-    let selection = generate(
-        &app,
-        &model,
-        &IseConfig::paper_default(),
-        &SearchConfig::default(),
-    );
+    let selection = Generator::new(IseConfig::paper_default()).run(&app, &model);
     let start = Instant::now();
     let reports = verify_selection(&app, &selection, config).unwrap_or_else(|e| {
         eprintln!("verify_report: FAIL {}: harness error: {e}", spec.name);

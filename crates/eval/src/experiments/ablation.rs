@@ -4,7 +4,7 @@
 //! this study; DESIGN.md calls it out as a design-choice ablation).
 
 use crate::Table;
-use isegen_core::{generate, GainWeights, IoConstraints, IseConfig, SearchConfig};
+use isegen_core::{GainWeights, Generator, IoConstraints, IseConfig, SearchConfig};
 use isegen_ir::LatencyModel;
 use isegen_workloads::paper_suite;
 
@@ -95,14 +95,13 @@ pub fn run() -> AblationResult {
     let rows = Variant::ALL
         .iter()
         .map(|&variant| {
-            let search = SearchConfig {
-                weights: variant.weights(),
-                ..SearchConfig::default()
-            };
+            let search = SearchConfig::new().with_weights(variant.weights());
             let speedups = apps
                 .iter()
                 .map(|(name, app)| {
-                    let sel = generate(app, &model, &config, &search);
+                    let sel = Generator::new(config)
+                        .search(search.clone())
+                        .run(app, &model);
                     (name.clone(), sel.speedup())
                 })
                 .collect();

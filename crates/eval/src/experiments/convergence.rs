@@ -2,7 +2,7 @@
 //! successive improvement of the solution."
 
 use crate::Table;
-use isegen_core::{bipartition, BlockContext, IoConstraints, SearchConfig};
+use isegen_core::{BlockContext, IoConstraints, Search, SearchConfig};
 use isegen_ir::LatencyModel;
 use isegen_workloads::paper_suite;
 
@@ -39,11 +39,8 @@ pub fn run(max_passes: usize) -> ConvergenceResult {
             let ctx = BlockContext::new(block, &model);
             let merit_by_passes: Vec<f64> = (1..=max_passes)
                 .map(|k| {
-                    let config = SearchConfig {
-                        max_passes: k,
-                        ..SearchConfig::default()
-                    };
-                    bipartition(&ctx, io, &config, None).merit()
+                    let config = SearchConfig::new().with_max_passes(k);
+                    Search::new(config).run(&ctx, io).cut.merit()
                 })
                 .collect();
             let last = *merit_by_passes.last().expect("non-empty sweep");

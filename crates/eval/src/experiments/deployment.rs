@@ -14,7 +14,7 @@
 //!   that is precisely where ISE energy savings come from).
 
 use crate::Table;
-use isegen_core::{generate, IoConstraints, IseConfig, IseSelection, SearchConfig};
+use isegen_core::{Generator, IoConstraints, IseConfig, IseSelection};
 use isegen_ir::{Application, LatencyModel, Opcode};
 use isegen_rtl::AfuLibrary;
 use isegen_workloads::paper_suite;
@@ -127,7 +127,7 @@ pub fn run() -> DeploymentResult {
         .into_iter()
         .map(|spec| {
             let app = spec.application();
-            let sel = generate(&app, &model, &config, &SearchConfig::default());
+            let sel = Generator::new(config).run(&app, &model);
             let afu = AfuLibrary::from_selection(&app, &model, &sel)
                 .expect("driver cuts are always eligible");
             let (code_before, code_after, energy_before, energy_after) =
@@ -189,7 +189,7 @@ mod tests {
             reuse_matching: true,
         };
         let app = isegen_workloads::autcor00();
-        let sel = generate(&app, &model, &config, &SearchConfig::default());
+        let sel = Generator::new(config).run(&app, &model);
         let (cb, ca, eb, ea) = analyse(&app, &model, &sel);
         assert!(ca < cb, "ISEs must shrink static code");
         assert!(ca >= 1);

@@ -3,7 +3,7 @@
 //! constraint of the sweep.
 
 use crate::Table;
-use isegen_core::{generate, IoConstraints, IseConfig, SearchConfig};
+use isegen_core::{Generator, IoConstraints, IseConfig, SearchConfig};
 use isegen_ir::LatencyModel;
 use isegen_workloads::aes;
 
@@ -40,7 +40,9 @@ pub fn run(search: &SearchConfig) -> Fig7Result {
                 max_ises: 4,
                 reuse_matching: true,
             };
-            let sel = generate(&app, &model, &config, search);
+            let sel = Generator::new(config)
+                .search(search.clone())
+                .run(&app, &model);
             Fig7Row {
                 io,
                 cut_sizes: sel.ises.iter().map(|i| i.cut.nodes().len()).collect(),

@@ -3,7 +3,7 @@
 //! growing size.
 
 use crate::Table;
-use isegen_core::{bipartition, BlockContext, IoConstraints, SearchConfig};
+use isegen_core::{BlockContext, IoConstraints, Search, SearchConfig};
 use isegen_ir::LatencyModel;
 use isegen_workloads::{random_application, RandomWorkloadConfig};
 use std::time::{Duration, Instant};
@@ -41,7 +41,7 @@ pub fn run(sizes: &[usize]) -> ScalingResult {
             let block = &app.blocks()[0];
             let ctx = BlockContext::new(block, &model);
             let start = Instant::now();
-            let cut = bipartition(&ctx, io, &search, None);
+            let cut = Search::new(search.clone()).run(&ctx, io).cut;
             let runtime = start.elapsed();
             std::hint::black_box(cut);
             ScalingPoint { nodes, runtime }

@@ -1,5 +1,5 @@
 use isegen_baselines::{run_exact, run_genetic, run_iterative, ExactConfig, GeneticConfig};
-use isegen_core::{generate, IoConstraints, IseConfig, IseSelection, SearchConfig};
+use isegen_core::{Generator, IoConstraints, IseConfig, IseSelection, SearchConfig};
 use isegen_ir::{Application, LatencyModel};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -138,7 +138,11 @@ pub fn run_algorithm(
             None,
         ),
         Algorithm::Isegen => (
-            Some(generate(app, model, &ise_config, &config.search)),
+            Some(
+                Generator::new(ise_config)
+                    .search(config.search.clone())
+                    .run(app, model),
+            ),
             None,
         ),
     };

@@ -85,7 +85,7 @@ pub fn simulate(app: &Application, model: &LatencyModel, selection: &IseSelectio
 #[cfg(test)]
 mod tests {
     use super::*;
-    use isegen_core::{generate, IoConstraints, IseConfig, SearchConfig};
+    use isegen_core::{Generator, IoConstraints, IseConfig};
     use isegen_workloads::{autcor00, fbital00, viterb00};
 
     #[test]
@@ -98,7 +98,7 @@ mod tests {
                     max_ises: 4,
                     reuse_matching: reuse,
                 };
-                let sel = generate(&app, &model, &config, &SearchConfig::default());
+                let sel = Generator::new(config).run(&app, &model);
                 let sim = simulate(&app, &model, &sel);
                 assert_eq!(
                     sim.cycles_software,

@@ -1,0 +1,169 @@
+//! Scalar-reference equivalence for the chunked (SIMD-friendly) word
+//! algebra of `NodeSet`.
+//!
+//! The in-place algebra, the disjointness/subset predicates, the
+//! intersection popcount and the word walk all run as chunk-of-4 `u64`
+//! loops; these properties pin them to naive per-index references across
+//! capacities that exercise every alignment case — empty sets, full
+//! sets, capacities straddling the 64-bit word and the 256-bit chunk
+//! boundaries, and tail words whose high bits must stay masked.
+
+use isegen_graph::{NodeId, NodeSet};
+use proptest::prelude::*;
+
+fn id(i: usize) -> NodeId {
+    NodeId::from_index(i)
+}
+
+/// Capacities hitting word/chunk alignment edge cases: 0, sub-word,
+/// exact word multiples, exact chunk multiples (4 words = 256 bits),
+/// off-by-one straddles of both boundaries, and arbitrary sizes.
+fn arb_capacity() -> impl Strategy<Value = usize> {
+    (0usize..9, 1usize..400).prop_map(|(pick, random)| match pick {
+        0 => 0,
+        1 => 1,
+        2 => 63,
+        3 => 64,
+        4 => 65,
+        5 => 255,
+        6 => 256,
+        7 => 257,
+        _ => random,
+    })
+}
+
+/// A pair of same-capacity membership vectors. Each side is biased to
+/// sometimes collapse to the all-false or all-true vector, so empty and
+/// full sets are exercised alongside random ones.
+fn arb_pair() -> impl Strategy<Value = (usize, Vec<bool>, Vec<bool>)> {
+    arb_capacity().prop_flat_map(|n| {
+        let side = |mode_and_bits: (usize, Vec<bool>)| -> Vec<bool> {
+            let (mode, bits) = mode_and_bits;
+            match mode {
+                0 => vec![false; bits.len()],
+                1 => vec![true; bits.len()],
+                _ => bits,
+            }
+        };
+        (
+            Just(n),
+            (0usize..6, proptest::collection::vec(any::<bool>(), n)).prop_map(side),
+            (0usize..6, proptest::collection::vec(any::<bool>(), n)).prop_map(side),
+        )
+    })
+}
+
+fn to_set(n: usize, bits: &[bool]) -> NodeSet {
+    NodeSet::from_ids(
+        n,
+        bits.iter()
+            .enumerate()
+            .filter(|(_, b)| **b)
+            .map(|(i, _)| id(i)),
+    )
+}
+
+/// Naive per-index reference of a binary set operation.
+fn ref_op(n: usize, a: &[bool], b: &[bool], op: impl Fn(bool, bool) -> bool) -> NodeSet {
+    NodeSet::from_ids(n, (0..n).filter(|&i| op(a[i], b[i])).map(id))
+}
+
+/// Every id in the set is below capacity and the iterator agrees with
+/// `len()` — the trailing-word mask invariant.
+fn assert_tail_clean(s: &NodeSet) {
+    assert_eq!(s.iter().count(), s.len(), "len out of sync with contents");
+    for v in s.iter() {
+        assert!(v.index() < s.capacity(), "bit beyond capacity: {v}");
+    }
+    // the backing words past the tail must be zero
+    let mut from_words = 0usize;
+    for wi in 0..s.word_count() {
+        from_words += s.word(wi).count_ones() as usize;
+    }
+    assert_eq!(from_words, s.len(), "tail word carries bits past capacity");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn chunked_algebra_matches_scalar_reference((n, ba, bb) in arb_pair()) {
+        let a = to_set(n, &ba);
+        let b = to_set(n, &bb);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        prop_assert_eq!(&u, &ref_op(n, &ba, &bb, |x, y| x | y));
+        assert_tail_clean(&u);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        prop_assert_eq!(&i, &ref_op(n, &ba, &bb, |x, y| x & y));
+        assert_tail_clean(&i);
+
+        let mut d = a.clone();
+        d.subtract(&b);
+        prop_assert_eq!(&d, &ref_op(n, &ba, &bb, |x, y| x & !y));
+        assert_tail_clean(&d);
+    }
+
+    #[test]
+    fn chunked_predicates_match_scalar_reference((n, ba, bb) in arb_pair()) {
+        let a = to_set(n, &ba);
+        let b = to_set(n, &bb);
+
+        let ref_disjoint = (0..n).all(|i| !(ba[i] && bb[i]));
+        prop_assert_eq!(a.is_disjoint(&b), ref_disjoint);
+        prop_assert_eq!(a.intersects(&b), !ref_disjoint);
+
+        let ref_subset = (0..n).all(|i| !ba[i] || bb[i]);
+        prop_assert_eq!(a.is_subset(&b), ref_subset);
+
+        let ref_ilen = (0..n).filter(|&i| ba[i] && bb[i]).count();
+        prop_assert_eq!(a.intersection_len(&b), ref_ilen);
+    }
+
+    #[test]
+    fn chunked_word_walk_matches_scalar_reference((n, ba, _) in arb_pair()) {
+        let a = to_set(n, &ba);
+        // reference: every non-zero word, in increasing order
+        let mut expect = Vec::new();
+        for wi in 0..a.word_count() {
+            let w = a.word(wi);
+            if w != 0 {
+                expect.push((wi, w));
+            }
+        }
+        let mut seen = Vec::new();
+        a.for_each_word(|wi, w| seen.push((wi, w)));
+        prop_assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn full_and_empty_are_fixed_points(n in arb_capacity()) {
+        let full = NodeSet::full(n);
+        let empty = NodeSet::new(n);
+        assert_tail_clean(&full);
+
+        let mut u = full.clone();
+        u.union_with(&empty);
+        prop_assert_eq!(&u, &full);
+        u.union_with(&full);
+        prop_assert_eq!(&u, &full);
+
+        let mut i = full.clone();
+        i.intersect_with(&empty);
+        prop_assert_eq!(&i, &empty);
+
+        let mut d = full.clone();
+        d.subtract(&full);
+        prop_assert_eq!(&d, &empty);
+        assert_tail_clean(&d);
+
+        prop_assert!(empty.is_subset(&full));
+        prop_assert_eq!(full.is_subset(&empty), n == 0);
+        prop_assert!(empty.is_disjoint(&full));
+        prop_assert_eq!(full.intersects(&full), n > 0);
+        prop_assert_eq!(full.intersection_len(&full), n);
+    }
+}

@@ -29,7 +29,7 @@ pub struct AfuInstruction {
 /// custom instruction.
 ///
 /// ```
-/// use isegen_core::{generate, IoConstraints, IseConfig, SearchConfig};
+/// use isegen_core::{Generator, IoConstraints, IseConfig};
 /// use isegen_ir::LatencyModel;
 /// use isegen_rtl::AfuLibrary;
 /// use isegen_workloads::autcor00;
@@ -42,7 +42,7 @@ pub struct AfuInstruction {
 ///     max_ises: 2,
 ///     reuse_matching: true,
 /// };
-/// let selection = generate(&app, &model, &config, &SearchConfig::default());
+/// let selection = Generator::new(config).run(&app, &model);
 /// let afu = AfuLibrary::from_selection(&app, &model, &selection)?;
 /// assert_eq!(afu.instructions().len(), selection.ises.len());
 /// assert!(afu.emit_verilog().contains("module"));
@@ -136,7 +136,7 @@ impl AfuLibrary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use isegen_core::{generate, IoConstraints, IseConfig, SearchConfig};
+    use isegen_core::{Generator, IoConstraints, IseConfig};
     use isegen_workloads::fft00;
 
     #[test]
@@ -148,7 +148,7 @@ mod tests {
             max_ises: 3,
             reuse_matching: true,
         };
-        let selection = generate(&app, &model, &config, &SearchConfig::default());
+        let selection = Generator::new(config).run(&app, &model);
         assert!(!selection.ises.is_empty());
         let afu = AfuLibrary::from_selection(&app, &model, &selection).unwrap();
         assert_eq!(afu.instructions().len(), selection.ises.len());

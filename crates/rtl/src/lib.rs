@@ -26,7 +26,7 @@
 //! # Example
 //!
 //! ```
-//! use isegen_core::{bipartition, BlockContext, IoConstraints, SearchConfig};
+//! use isegen_core::{BlockContext, IoConstraints, Search};
 //! use isegen_ir::{BlockBuilder, LatencyModel, Opcode};
 //! use isegen_rtl::{emit_verilog, Netlist};
 //!
@@ -39,7 +39,7 @@
 //! let block = b.build()?;
 //! let model = LatencyModel::paper_default();
 //! let ctx = BlockContext::new(&block, &model);
-//! let cut = bipartition(&ctx, IoConstraints::new(4, 2), &SearchConfig::default(), None);
+//! let cut = Search::default().run(&ctx, IoConstraints::new(4, 2)).cut;
 //!
 //! let netlist = Netlist::from_cut(&block, cut.nodes())?;
 //! assert_eq!(netlist.evaluate(&[6, 7])?, vec![48]); // (6*7)+6

@@ -292,7 +292,7 @@ pub fn verify_selection(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use isegen_core::{generate, IoConstraints, IseConfig, SearchConfig};
+    use isegen_core::{Generator, IoConstraints, IseConfig};
     use isegen_ir::{BlockBuilder, LatencyModel};
     use isegen_workloads::aes;
 
@@ -324,7 +324,7 @@ mod tests {
             max_ises: 3,
             reuse_matching: true,
         };
-        let selection = generate(&app, &model, &config, &SearchConfig::default());
+        let selection = Generator::new(config).run(&app, &model);
         assert!(!selection.ises.is_empty());
         let reports = verify_selection(
             &app,

@@ -544,13 +544,10 @@ mod tests {
             ..base
         };
         assert_ne!(k1, SelectionKey::new(&other, &search));
-        let nan_search = SearchConfig {
-            weights: GainWeights {
-                merit: f64::NAN,
-                ..search.weights
-            },
-            ..search.clone()
-        };
+        let nan_search = search.clone().with_weights(GainWeights {
+            merit: f64::NAN,
+            ..search.weights
+        });
         let kn = SelectionKey::new(&base, &nan_search);
         assert_ne!(k1, kn);
         assert_eq!(

@@ -12,9 +12,7 @@
 use crate::cache::{AppEntry, SelectionKey, ServeCache, SubmitError};
 use crate::json::{self, Json};
 use crate::proto::{self, ProtoError, RequestConfig};
-use isegen_core::{
-    generate_batched_in_contexts, generate_in_contexts, CacheStats, IseSelection, IsegenFinder,
-};
+use isegen_core::{CacheStats, Generator, IseSelection, IsegenFinder};
 use isegen_rtl::{verify_selection, AfuLibrary, VerifyConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -203,17 +201,16 @@ impl Service {
         }
         self.cache.count_selection(false);
         let contexts = entry.contexts();
-        let mut finder = IsegenFinder::new(config.search.clone())
+        let finder = IsegenFinder::new(config.search.clone())
             .with_portfolio_threads(config.portfolio_threads);
-        let selection = if config.threads > 1 {
-            generate_batched_in_contexts(&finder, &contexts, &config.ise, config.threads)
-        } else {
-            generate_in_contexts(&mut finder, &contexts, &config.ise)
-        };
+        let mut gen = Generator::new(config.ise)
+            .finder(finder)
+            .threads(config.threads);
+        let selection = gen.run_in_contexts(&contexts);
         // Worker clones report into the finder's shared accumulator, so
         // this covers the batched path too.
         if let Ok(mut acc) = self.search_stats.lock() {
-            acc.absorb(finder.accumulated_stats());
+            acc.absorb(gen.finder_ref().accumulated_stats());
         }
         let selection = Arc::new(selection);
         // Memoise *and* write through to the disk tier, so a restarted

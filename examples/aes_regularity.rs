@@ -26,16 +26,12 @@ fn main() {
             max_ises: 4,
             reuse_matching: true,
         };
-        let with_reuse = generate(&app, &model, &config, &SearchConfig::default());
-        let without = generate(
-            &app,
-            &model,
-            &IseConfig {
-                reuse_matching: false,
-                ..config
-            },
-            &SearchConfig::default(),
-        );
+        let with_reuse = Generator::new(config).run(&app, &model);
+        let without = Generator::new(IseConfig {
+            reuse_matching: false,
+            ..config
+        })
+        .run(&app, &model);
         let cuts: Vec<String> = with_reuse
             .ises
             .iter()

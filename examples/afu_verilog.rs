@@ -26,7 +26,7 @@ fn main() {
         max_ises: 4,
         reuse_matching: true,
     };
-    let selection = generate(&app, &model, &config, &SearchConfig::default());
+    let selection = Generator::new(config).run(&app, &model);
     let afu = AfuLibrary::from_selection(&app, &model, &selection)
         .expect("driver cuts are always AFU-eligible");
 

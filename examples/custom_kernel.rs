@@ -54,7 +54,7 @@ fn main() -> Result<(), isegen::ir::BuildError> {
             max_ises: 1,
             reuse_matching: false,
         };
-        let sel = generate(&app, &model, &config, &SearchConfig::default());
+        let sel = Generator::new(config).run(&app, &model);
         match sel.ises.first() {
             Some(ise) => println!(
                 "io {io}: ISE with {} ops saves {} cycles/iter -> speedup {:.3}",
@@ -72,7 +72,7 @@ fn main() -> Result<(), isegen::ir::BuildError> {
         max_ises: 1,
         reuse_matching: false,
     };
-    let sel = generate(&app, &model, &config, &SearchConfig::default());
+    let sel = Generator::new(config).run(&app, &model);
     if let Some(ise) = sel.ises.first() {
         println!("\nGraphviz DOT of the (8,2) cut:\n");
         println!("{}", block.to_dot(Some(ise.cut.nodes())));

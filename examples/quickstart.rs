@@ -29,7 +29,7 @@ fn main() -> Result<(), isegen::ir::BuildError> {
         max_ises: 2,
         reuse_matching: true,
     };
-    let selection = generate(&app, &model, &config, &SearchConfig::default());
+    let selection = Generator::new(config).run(&app, &model);
 
     println!("application: {}", app.name());
     println!(

@@ -43,7 +43,7 @@
 //!     max_ises: 1,
 //!     reuse_matching: true,
 //! };
-//! let selection = generate(&app, &model, &config, &SearchConfig::default());
+//! let selection = Generator::new(config).run(&app, &model);
 //! assert!(selection.speedup() > 1.0);
 //! # Ok(())
 //! # }
@@ -65,8 +65,8 @@ pub use isegen_workloads as workloads;
 /// The most common imports in one place.
 pub mod prelude {
     pub use isegen_core::{
-        bipartition, generate, generate_with, BlockContext, Cut, CutFinder, GainWeights,
-        IoConstraints, IseConfig, IseSelection, SearchConfig,
+        BlockContext, Cut, CutFinder, GainWeights, Generator, IoConstraints, IseConfig,
+        IseSelection, Search, SearchConfig, SearchOutcome, SelectionStrategy,
     };
     pub use isegen_ir::{Application, BasicBlock, BlockBuilder, LatencyModel, Opcode};
     pub use isegen_match::{find_disjoint_instances, Pattern};

@@ -30,7 +30,7 @@ fn isegen_tracks_the_single_cut_optimum() {
         let ctx = BlockContext::new(block, &model);
         let optimal = exact_single_cut(&ctx, io, &ExactConfig::default(), None)
             .expect("small blocks complete");
-        let heuristic = bipartition(&ctx, io, &SearchConfig::default(), None);
+        let heuristic = Search::default().run(&ctx, io).cut;
         assert!(
             heuristic.merit() <= optimal.merit() + 1e-9,
             "{}: heuristic above optimum?!",
@@ -65,7 +65,7 @@ fn exact_dominates_iterative() {
             joint.saved_cycles,
             greedy.saved_cycles
         );
-        let isegen = generate(&app, &model, &cfg, &SearchConfig::default());
+        let isegen = Generator::new(cfg).run(&app, &model);
         assert!(
             isegen.saved_cycles <= joint.saved_cycles,
             "{}: heuristic beat the joint optimum without reuse",
@@ -92,7 +92,7 @@ fn heuristics_legal_on_random_dfgs() {
         let optimal = exact_single_cut(&ctx, io, &ExactConfig::default(), None)
             .expect("18-op blocks complete");
 
-        let kl = bipartition(&ctx, io, &SearchConfig::default(), None);
+        let kl = Search::default().run(&ctx, io).cut;
         if !kl.is_empty() {
             assert!(ctx.is_convex(kl.nodes()), "seed {seed}: ISEGEN non-convex");
             assert!(kl.satisfies_io(io), "seed {seed}: ISEGEN violates io");

@@ -3,10 +3,7 @@
 //! count — parallelism is a wall-clock optimisation, never a result
 //! change.
 
-use isegen::core::{
-    generate, generate_batched, generate_batched_with, generate_with, IseConfig, IsegenFinder,
-    SearchConfig,
-};
+use isegen::core::{Generator, IseConfig, IsegenFinder, SearchConfig};
 use isegen::ir::LatencyModel;
 use isegen::workloads::{aes, random_application, RandomWorkloadConfig};
 
@@ -16,9 +13,14 @@ fn batched_equals_sequential_on_aes() {
     let model = LatencyModel::paper_default();
     let config = IseConfig::paper_default();
     let search = SearchConfig::default();
-    let sequential = generate(&app, &model, &config, &search);
+    let sequential = Generator::new(config)
+        .search(search.clone())
+        .run(&app, &model);
     for threads in [1usize, 2, 4] {
-        let batched = generate_batched(&app, &model, &config, &search, threads);
+        let batched = Generator::new(config)
+            .search(search.clone())
+            .threads(threads)
+            .run(&app, &model);
         assert_eq!(
             batched, sequential,
             "AES selection diverged at {threads} threads"
@@ -42,9 +44,14 @@ fn batched_equals_sequential_on_random_multiblock() {
                 reuse_matching: reuse,
                 ..IseConfig::paper_default()
             };
-            let mut finder = IsegenFinder::new(search.clone());
-            let sequential = generate_with(&mut finder, &app, &model, &config);
-            let batched = generate_batched_with(&finder, &app, &model, &config, 4);
+            let finder = IsegenFinder::new(search.clone());
+            let sequential = Generator::new(config)
+                .finder(finder.clone())
+                .run_sequential(&app, &model);
+            let batched = Generator::new(config)
+                .finder(finder)
+                .threads(4)
+                .run(&app, &model);
             assert_eq!(
                 batched, sequential,
                 "seed {seed} reuse {reuse}: batched diverged"

@@ -1,0 +1,93 @@
+//! Compatibility pins for the deprecated free-function API. Each shim
+//! must keep delegating to the same engine as its builder replacement —
+//! identical cuts, stats and selections — until the shims are removed.
+//! This file is the **only** caller of the deprecated names in the
+//! workspace; everything else builds under `-D deprecated`.
+
+#![allow(deprecated)]
+
+use isegen::core::{
+    bipartition, bipartition_portfolio, bipartition_profiled, bipartition_with_stats, generate,
+    generate_batched, generate_batched_in_contexts, generate_batched_with, generate_in_contexts,
+    generate_with, BlockContext, Generator, IoConstraints, IseConfig, IsegenFinder, Search,
+    SearchConfig,
+};
+use isegen::ir::LatencyModel;
+use isegen::workloads::{autcor00, random_application, RandomWorkloadConfig};
+
+#[test]
+fn bipartition_shims_match_search_builder() {
+    let app = autcor00();
+    let block = app.critical_block().expect("has blocks");
+    let model = LatencyModel::paper_default();
+    let ctx = BlockContext::new(block, &model);
+    let io = IoConstraints::new(4, 2);
+    let config = SearchConfig::default();
+
+    let outcome = Search::new(config.clone()).run(&ctx, io);
+
+    assert_eq!(bipartition(&ctx, io, &config, None), outcome.cut);
+
+    let (cut, stats) = bipartition_with_stats(&ctx, io, &config, None);
+    assert_eq!(cut, outcome.cut);
+    assert_eq!(stats.commits, outcome.stats.commits);
+    assert_eq!(stats.trajectories, outcome.stats.trajectories);
+
+    for threads in [1usize, 4] {
+        assert_eq!(
+            bipartition_portfolio(&ctx, io, &config, None, threads),
+            outcome.cut,
+            "portfolio shim diverged at {threads} threads"
+        );
+    }
+
+    let mut pool = Vec::new();
+    let (cut, stats, reports) = bipartition_profiled(&ctx, io, &config, None, 2, &mut pool);
+    assert_eq!(cut, outcome.cut);
+    assert_eq!(reports.len() as u64, stats.trajectories);
+}
+
+#[test]
+fn driver_shims_match_generator_builder() {
+    let model = LatencyModel::paper_default();
+    let app = random_application(&RandomWorkloadConfig {
+        seed: 9,
+        blocks: 4,
+        ops_per_block: 40,
+        ..RandomWorkloadConfig::default()
+    });
+    let config = IseConfig::paper_default();
+    let search = SearchConfig::default();
+
+    let expected = Generator::new(config)
+        .search(search.clone())
+        .run(&app, &model);
+
+    assert_eq!(generate(&app, &model, &config, &search), expected);
+    assert_eq!(
+        generate_batched(&app, &model, &config, &search, 4),
+        expected
+    );
+
+    let mut finder = IsegenFinder::new(search.clone());
+    assert_eq!(generate_with(&mut finder, &app, &model, &config), expected);
+    assert_eq!(
+        generate_batched_with(&IsegenFinder::new(search.clone()), &app, &model, &config, 4),
+        expected
+    );
+
+    let contexts: Vec<BlockContext<'_>> = app
+        .blocks()
+        .iter()
+        .map(|b| BlockContext::new(b, &model))
+        .collect();
+    let mut finder = IsegenFinder::new(search.clone());
+    assert_eq!(
+        generate_in_contexts(&mut finder, &contexts, &config),
+        expected
+    );
+    assert_eq!(
+        generate_batched_in_contexts(&IsegenFinder::new(search), &contexts, &config, 4),
+        expected
+    );
+}

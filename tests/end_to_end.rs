@@ -20,7 +20,7 @@ fn selections_are_architecturally_valid() {
     let model = LatencyModel::paper_default();
     for spec in mediabench_eembc_suite() {
         let app = spec.application();
-        let sel = generate(&app, &model, &paper_config(), &SearchConfig::default());
+        let sel = Generator::new(paper_config()).run(&app, &model);
         assert!(sel.speedup() >= 1.0, "{}: speedup below 1", spec.name);
         let contexts: Vec<BlockContext<'_>> = app
             .blocks()
@@ -81,8 +81,8 @@ fn isegen_is_deterministic() {
     let model = LatencyModel::paper_default();
     for spec in mediabench_eembc_suite().into_iter().take(4) {
         let app = spec.application();
-        let a = generate(&app, &model, &paper_config(), &SearchConfig::default());
-        let b = generate(&app, &model, &paper_config(), &SearchConfig::default());
+        let a = Generator::new(paper_config()).run(&app, &model);
+        let b = Generator::new(paper_config()).run(&app, &model);
         assert_eq!(a, b, "{}: nondeterministic result", spec.name);
     }
 }
@@ -99,7 +99,7 @@ fn speedup_monotone_in_afu_budget() {
                 max_ises: n,
                 ..paper_config()
             };
-            let s = generate(&app, &model, &config, &SearchConfig::default()).speedup();
+            let s = Generator::new(config).run(&app, &model).speedup();
             assert!(
                 s >= last - 1e-9,
                 "{}: speedup dropped from {last} to {s} at N_ISE={n}",
@@ -120,12 +120,7 @@ fn merit_monotone_in_io_budget() {
         let ctx = BlockContext::new(block, &model);
         let mut last = 0.0;
         for (i, o) in [(2u32, 1u32), (3, 1), (4, 2), (6, 3), (8, 4)] {
-            let cut = bipartition(
-                &ctx,
-                IoConstraints::new(i, o),
-                &SearchConfig::default(),
-                None,
-            );
+            let cut = Search::default().run(&ctx, IoConstraints::new(i, o)).cut;
             let m = cut.merit().max(0.0);
             // The K-L heuristic is not globally optimal, so allow a small
             // tolerance; systematic regressions would trip it.
@@ -152,7 +147,7 @@ fn successive_cuts_are_disjoint() {
         max_ises: 6,
         ..paper_config()
     };
-    let sel = generate(&app, &model, &config, &SearchConfig::default());
+    let sel = Generator::new(config).run(&app, &model);
     assert!(sel.ises.len() >= 2, "expected several cuts");
     for i in 0..sel.ises.len() {
         for j in (i + 1)..sel.ises.len() {

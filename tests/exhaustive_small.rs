@@ -45,7 +45,7 @@ fn block_from_dag(dag: &Dag<()>) -> Option<BasicBlock> {
 /// The oracle check for one structure under one port budget.
 fn check_against_oracle(block: &BasicBlock, model: &LatencyModel, io: IoConstraints, tag: &str) {
     let ctx = BlockContext::new(block, model);
-    let heuristic = bipartition(&ctx, io, &SearchConfig::default(), None);
+    let heuristic = Search::default().run(&ctx, io).cut;
     if !heuristic.is_empty() {
         assert!(
             ctx.is_convex(heuristic.nodes()),

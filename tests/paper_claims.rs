@@ -68,7 +68,7 @@ fn problem1_constraints_always_hold() {
         let app = spec.application();
         let block = app.critical_block().expect("has blocks");
         let ctx = BlockContext::new(block, &model);
-        let cut = bipartition(&ctx, io, &SearchConfig::default(), None);
+        let cut = Search::default().run(&ctx, io).cut;
         assert!(!cut.is_empty(), "{}: no cut found", spec.name);
         assert!(cut.satisfies_io(io), "{}", spec.name);
         assert!(ctx.is_convex(cut.nodes()), "{}", spec.name);
@@ -88,12 +88,7 @@ fn disconnected_cuts_are_first_class() {
     let app = spec.application();
     let block = app.critical_block().expect("has blocks");
     let ctx = BlockContext::new(block, &model);
-    let cut = bipartition(
-        &ctx,
-        IoConstraints::new(8, 4),
-        &SearchConfig::default(),
-        None,
-    );
+    let cut = Search::default().run(&ctx, IoConstraints::new(8, 4)).cut;
     assert!(!cut.is_empty());
     let comps = Components::within(block.dag(), cut.nodes());
     // The kernel is two independent MAC chains; a loose budget admits

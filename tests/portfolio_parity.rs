@@ -1,4 +1,4 @@
-//! The portfolio-parallel `bipartition` must be **byte-identical** to
+//! The portfolio-parallel [`Search`] must be **byte-identical** to
 //! the sequential search at every thread count — intra-block
 //! parallelism is a wall-clock optimisation, never a result change —
 //! and the thread-budget split of the batched driver must preserve the
@@ -6,9 +6,8 @@
 //! `tests/batched_driver.rs`).
 
 use isegen::core::{
-    bipartition, bipartition_portfolio, bipartition_profiled, bipartition_with_stats, generate,
-    generate_batched, generate_batched_with, generate_with, BlockContext, GainWeights,
-    IoConstraints, IseConfig, IsegenFinder, SearchConfig,
+    BlockContext, GainWeights, Generator, IoConstraints, IseConfig, IsegenFinder, Search,
+    SearchConfig,
 };
 use isegen::ir::LatencyModel;
 use isegen::workloads::{aes, random_application, RandomWorkloadConfig};
@@ -28,10 +27,13 @@ fn portfolio_parity_on_aes() {
     let ctx = BlockContext::new(block, &model);
     let io = IoConstraints::new(4, 2);
     let config = SearchConfig::default();
-    let sequential = bipartition(&ctx, io, &config, None);
+    let sequential = Search::new(config.clone()).run(&ctx, io).cut;
     assert!(!sequential.is_empty(), "AES must yield a cut");
     for threads in THREAD_COUNTS {
-        let parallel = bipartition_portfolio(&ctx, io, &config, None, threads);
+        let parallel = Search::new(config.clone())
+            .threads(threads)
+            .run(&ctx, io)
+            .cut;
         assert_eq!(
             parallel, sequential,
             "portfolio diverged from sequential at {threads} threads on AES"
@@ -69,10 +71,13 @@ proptest! {
             }
             f
         });
-        let sequential = bipartition(&ctx, io, &config, forbidden.as_ref());
+        let mut search = Search::new(config.clone());
+        if let Some(f) = forbidden.as_ref() {
+            search = search.forbidden(f);
+        }
+        let sequential = search.run(&ctx, io).cut;
         for threads in THREAD_COUNTS {
-            let parallel =
-                bipartition_portfolio(&ctx, io, &config, forbidden.as_ref(), threads);
+            let parallel = search.clone().threads(threads).run(&ctx, io).cut;
             prop_assert_eq!(
                 &parallel,
                 &sequential,
@@ -101,19 +106,16 @@ proptest! {
         let model = LatencyModel::paper_default();
         let ctx = BlockContext::new(block, &model);
         let io = IoConstraints::new(4, 2);
-        let config = SearchConfig {
-            weights: GainWeights {
-                merit: f64::NAN,
-                io_penalty: f64::INFINITY,
-                affinity: f64::NAN,
-                growth: f64::NEG_INFINITY,
-                independence: f64::NAN,
-            },
-            ..SearchConfig::default()
-        };
-        let sequential = bipartition(&ctx, io, &config, None);
+        let config = SearchConfig::new().with_weights(GainWeights {
+            merit: f64::NAN,
+            io_penalty: f64::INFINITY,
+            affinity: f64::NAN,
+            growth: f64::NEG_INFINITY,
+            independence: f64::NAN,
+        });
+        let sequential = Search::new(config.clone()).run(&ctx, io).cut;
         for threads in THREAD_COUNTS {
-            let parallel = bipartition_portfolio(&ctx, io, &config, None, threads);
+            let parallel = Search::new(config.clone()).threads(threads).run(&ctx, io).cut;
             prop_assert_eq!(&parallel, &sequential, "NaN-weight divergence at {} threads", threads);
         }
     }
@@ -133,10 +135,14 @@ fn batched_driver_with_budget_split_matches_sequential() {
             ..RandomWorkloadConfig::default()
         });
         let config = IseConfig::paper_default();
-        let mut finder = IsegenFinder::new(search.clone());
-        let sequential = generate_with(&mut finder, &app, &model, &config);
+        let sequential = Generator::new(config)
+            .finder(IsegenFinder::new(search.clone()))
+            .run_sequential(&app, &model);
         for threads in THREAD_COUNTS {
-            let batched = generate_batched(&app, &model, &config, &search, threads);
+            let batched = Generator::new(config)
+                .search(search.clone())
+                .threads(threads)
+                .run(&app, &model);
             assert_eq!(
                 batched, sequential,
                 "seed {seed}: batched driver diverged at {threads} threads"
@@ -154,15 +160,21 @@ fn single_block_app_gets_portfolio_budget() {
     let model = LatencyModel::paper_default();
     let config = IseConfig::paper_default();
     let search = SearchConfig::default();
-    let sequential = generate(&app, &model, &config, &search);
+    let sequential = Generator::new(config)
+        .search(search.clone())
+        .run(&app, &model);
     for threads in THREAD_COUNTS {
-        let batched = generate_batched(&app, &model, &config, &search, threads);
+        let batched = Generator::new(config)
+            .search(search.clone())
+            .threads(threads)
+            .run(&app, &model);
         assert_eq!(
             batched, sequential,
             "AES batched diverged at {threads} threads"
         );
-        let finder = IsegenFinder::new(search.clone()).with_portfolio_threads(threads);
-        let portfolio = generate_batched_with(&finder, &app, &model, &config, 1);
+        let portfolio = Generator::new(config)
+            .finder(IsegenFinder::new(search.clone()).with_portfolio_threads(threads))
+            .run(&app, &model);
         assert_eq!(
             portfolio, sequential,
             "AES portfolio finder diverged at {threads} portfolio threads"
@@ -188,7 +200,8 @@ fn arena_pool_reuse_is_counted_and_results_unchanged() {
     let io = IoConstraints::new(4, 2);
     let config = SearchConfig::default();
 
-    let (cut, stats) = bipartition_with_stats(&ctx, io, &config, None);
+    let outcome = Search::new(config.clone()).run(&ctx, io);
+    let (cut, stats) = (outcome.cut, outcome.stats);
     assert!(stats.trajectories >= 2, "portfolio must run: {stats:?}");
     assert_eq!(
         stats.arena_allocs, 1,
@@ -202,8 +215,10 @@ fn arena_pool_reuse_is_counted_and_results_unchanged() {
 
     // A warm pool carries across calls: second search allocates nothing.
     let mut pool = Vec::new();
-    let (first, _, _) = bipartition_profiled(&ctx, io, &config, None, 1, &mut pool);
-    let (second, stats2, reports) = bipartition_profiled(&ctx, io, &config, None, 1, &mut pool);
+    let profiled = Search::new(config.clone()).threads(1).profiled(true);
+    let first = profiled.run_pooled(&ctx, io, &mut pool).cut;
+    let warm = profiled.run_pooled(&ctx, io, &mut pool);
+    let (second, stats2, reports) = (warm.cut, warm.stats, warm.reports);
     assert_eq!(first, cut);
     assert_eq!(second, cut);
     assert_eq!(
@@ -222,10 +237,12 @@ fn finder_accumulates_stats_across_clones() {
     let app = aes();
     let model = LatencyModel::paper_default();
     let config = IseConfig::paper_default();
-    let finder = IsegenFinder::new(SearchConfig::default());
-    let selection = generate_batched_with(&finder, &app, &model, &config, 4);
+    let mut gen = Generator::new(config)
+        .finder(IsegenFinder::new(SearchConfig::default()))
+        .threads(4);
+    let selection = gen.run(&app, &model);
     assert!(!selection.ises.is_empty());
-    let stats = finder.accumulated_stats();
+    let stats = gen.finder_ref().accumulated_stats();
     assert!(
         stats.trajectories > 0 && stats.commits > 0,
         "worker clones must report into the shared accumulator: {stats:?}"

@@ -1,0 +1,154 @@
+//! The lazy-decrease max-gain queue must be a pure wall-clock
+//! optimisation: [`SelectionStrategy::Queue`] and
+//! [`SelectionStrategy::Scan`] must commit the **same toggles in the
+//! same order** on every trajectory, so cuts, merits and selections are
+//! bit-identical. The scan is the executable specification (strict
+//! improvement, ties to the lowest node index); the queue is checked
+//! against it toggle-for-toggle via `trajectory_commit_trace`.
+
+use isegen::core::{
+    trajectory_commit_trace, BlockContext, GainWeights, IoConstraints, Search, SearchConfig,
+    SelectionStrategy,
+};
+use isegen::graph::NodeSet;
+use isegen::ir::LatencyModel;
+use isegen::workloads::{random_application, workload_by_name, RandomWorkloadConfig};
+use proptest::prelude::*;
+
+fn scan_config() -> SearchConfig {
+    SearchConfig::new().with_strategy(SelectionStrategy::Scan)
+}
+
+fn queue_config() -> SearchConfig {
+    SearchConfig::new().with_strategy(SelectionStrategy::Queue)
+}
+
+/// Commit traces and full search outcomes for both strategies must agree.
+fn assert_strategies_agree(
+    ctx: &BlockContext<'_>,
+    io: IoConstraints,
+    forbidden: Option<&NodeSet>,
+    label: &str,
+) {
+    let scan_trace = trajectory_commit_trace(ctx, io, &scan_config(), forbidden);
+    let queue_trace = trajectory_commit_trace(ctx, io, &queue_config(), forbidden);
+    assert_eq!(
+        queue_trace, scan_trace,
+        "{label}: queue committed a different toggle sequence"
+    );
+
+    let mut scan_search = Search::new(scan_config());
+    let mut queue_search = Search::new(queue_config());
+    if let Some(f) = forbidden {
+        scan_search = scan_search.forbidden(f);
+        queue_search = queue_search.forbidden(f);
+    }
+    let scan_cut = scan_search.run(ctx, io).cut;
+    let queue = queue_search.run(ctx, io);
+    assert_eq!(
+        queue.cut, scan_cut,
+        "{label}: queue produced a different cut"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random DAGs across sizes, port budgets and forbidden sets.
+    #[test]
+    fn queue_matches_scan_on_random_dags(
+        seed in any::<u64>(),
+        ops in 8usize..80,
+        io_pick in 0usize..4,
+        forbid_stride in 0usize..4,
+    ) {
+        let app = random_application(&RandomWorkloadConfig {
+            seed,
+            blocks: 1,
+            ops_per_block: ops,
+            ..RandomWorkloadConfig::default()
+        });
+        let block = &app.blocks()[0];
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(block, &model);
+        let io = [(2u32, 1u32), (4, 2), (6, 3), (8, 4)][io_pick];
+        let io = IoConstraints::new(io.0, io.1);
+        let forbidden = (forbid_stride > 0).then(|| {
+            let mut f = NodeSet::new(ctx.node_count());
+            for (i, v) in ctx.eligible().iter().enumerate() {
+                if i % (forbid_stride + 1) == 0 {
+                    f.insert(v);
+                }
+            }
+            f
+        });
+        assert_strategies_agree(&ctx, io, forbidden.as_ref(), &format!("seed {seed}"));
+    }
+
+    /// Hostile weights (NaN/∞): the queue must detect the poisoned gain
+    /// and hand the rest of the trajectory to the reference scan, so the
+    /// NaN-ordering semantics of the scan survive verbatim.
+    #[test]
+    fn queue_matches_scan_under_hostile_weights(
+        seed in any::<u64>(),
+        ops in 8usize..40,
+    ) {
+        let app = random_application(&RandomWorkloadConfig {
+            seed,
+            blocks: 1,
+            ops_per_block: ops,
+            ..RandomWorkloadConfig::default()
+        });
+        let block = &app.blocks()[0];
+        let model = LatencyModel::paper_default();
+        let ctx = BlockContext::new(block, &model);
+        let io = IoConstraints::new(4, 2);
+        let weights = GainWeights {
+            merit: f64::NAN,
+            io_penalty: f64::INFINITY,
+            affinity: f64::NAN,
+            growth: f64::NEG_INFINITY,
+            independence: f64::NAN,
+        };
+        let scan = SearchConfig::new()
+            .with_strategy(SelectionStrategy::Scan)
+            .with_weights(weights);
+        let queue = SearchConfig::new()
+            .with_strategy(SelectionStrategy::Queue)
+            .with_weights(weights);
+        let scan_trace = trajectory_commit_trace(&ctx, io, &scan, None);
+        let queue_trace = trajectory_commit_trace(&ctx, io, &queue, None);
+        prop_assert_eq!(queue_trace, scan_trace, "NaN-weight divergence (seed {})", seed);
+    }
+}
+
+/// The full-round AES-128 kernel: the largest registry workload the
+/// queue is benchmarked on, and the regression anchor for the
+/// BENCH_kl.json numbers.
+#[test]
+fn queue_matches_scan_on_aes128() {
+    let spec = workload_by_name("aes128").expect("aes128 in registry");
+    let app = spec.application();
+    let block = app
+        .blocks()
+        .iter()
+        .max_by_key(|b| b.dag().node_count())
+        .expect("aes128 has blocks");
+    let model = LatencyModel::paper_default();
+    let ctx = BlockContext::new(block, &model);
+    let io = IoConstraints::new(4, 2);
+    assert_strategies_agree(&ctx, io, None, "aes128");
+
+    // And the queue must actually be in play, not silently falling back.
+    let outcome = Search::new(queue_config()).run(&ctx, io);
+    assert!(
+        outcome.stats.queue_pops > 0,
+        "queue strategy never popped: {:?}",
+        outcome.stats
+    );
+    assert!(
+        outcome.stats.queue_reinsertions > 0,
+        "dirty-set reinsertion never ran: {:?}",
+        outcome.stats
+    );
+}

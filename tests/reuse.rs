@@ -41,12 +41,7 @@ fn fft_butterflies_recur_ten_times() {
     let block = app.critical_block().expect("has blocks");
     let ctx = BlockContext::new(block, &model);
     // one complex-multiply fragment under (4,2)
-    let cut = bipartition(
-        &ctx,
-        IoConstraints::new(4, 2),
-        &SearchConfig::default(),
-        None,
-    );
+    let cut = Search::default().run(&ctx, IoConstraints::new(4, 2)).cut;
     assert!(!cut.is_empty());
     let pattern = Pattern::extract(block, cut.nodes());
     let instances = find_disjoint_instances(block, &pattern, None);
@@ -72,12 +67,7 @@ fn autcor_disconnected_cut_supported() {
     let block = app.critical_block().expect("has blocks");
     let ctx = BlockContext::new(block, &model);
     // (8,4) is loose enough for a two-chain (disconnected) cut
-    let cut = bipartition(
-        &ctx,
-        IoConstraints::new(8, 4),
-        &SearchConfig::default(),
-        None,
-    );
+    let cut = Search::default().run(&ctx, IoConstraints::new(8, 4)).cut;
     assert!(!cut.is_empty());
     assert!(ctx.is_convex(cut.nodes()));
     // whatever the shape, pattern extraction + self-match must find it
@@ -98,7 +88,7 @@ fn aes_single_afu_covers_many_sites() {
         max_ises: 1,
         reuse_matching: true,
     };
-    let sel = generate(&app, &model, &config, &SearchConfig::default());
+    let sel = Generator::new(config).run(&app, &model);
     assert_eq!(sel.ises.len(), 1);
     let ise = &sel.ises[0];
     assert!(

@@ -13,7 +13,7 @@
 //! Stimulus volume follows `PROPTEST_CASES` (the same knob the vendored
 //! proptest shim honours), so CI pins it and local runs can crank it.
 
-use isegen::core::{bipartition, generate, BlockContext, IoConstraints, IseConfig, SearchConfig};
+use isegen::core::{BlockContext, Generator, IoConstraints, IseConfig, Search};
 use isegen::ir::LatencyModel;
 use isegen::rtl::{verify_cut, verify_selection, Netlist, VerifyConfig};
 use isegen::workloads::{random_application, workloads_in_tiers, RandomWorkloadConfig, SizeTier};
@@ -41,12 +41,7 @@ fn every_registry_selection_is_equivalent_on_small_and_medium_tiers() {
     let mut verified_ises = 0usize;
     for spec in &specs {
         let app = spec.application();
-        let selection = generate(
-            &app,
-            &model,
-            &IseConfig::paper_default(),
-            &SearchConfig::default(),
-        );
+        let selection = Generator::new(IseConfig::paper_default()).run(&app, &model);
         let reports = verify_selection(&app, &selection, &config)
             .unwrap_or_else(|e| panic!("{}: harness failed: {e}", spec.name));
         assert_eq!(reports.len(), selection.ises.len(), "{}", spec.name);
@@ -85,12 +80,7 @@ fn hand_constrained_cuts_are_equivalent_across_io_budgets() {
         let block = app.critical_block().expect("has blocks");
         let ctx = BlockContext::new(block, &model);
         for (i, o) in [(2u32, 1u32), (4, 2), (8, 4)] {
-            let cut = bipartition(
-                &ctx,
-                IoConstraints::new(i, o),
-                &SearchConfig::default(),
-                None,
-            );
+            let cut = Search::default().run(&ctx, IoConstraints::new(i, o)).cut;
             if cut.is_empty() {
                 continue;
             }
@@ -126,7 +116,7 @@ proptest! {
         let model = LatencyModel::paper_default();
         let block = &app.blocks()[0];
         let ctx = BlockContext::new(block, &model);
-        let cut = bipartition(&ctx, IoConstraints::new(4, 2), &SearchConfig::default(), None);
+        let cut = Search::default().run(&ctx, IoConstraints::new(4, 2)).cut;
         prop_assume!(!cut.is_empty());
         let config = VerifyConfig { vectors: 4, seed };
         let report = verify_cut(block, cut.nodes(), "rand", &config)

@@ -143,9 +143,14 @@ fn batched_driver_is_identical_on_the_small_tier() {
     let search = SearchConfig::default();
     for spec in workloads_in_tiers(&[SizeTier::Small]) {
         let app = spec.application();
-        let sequential = generate(&app, &model, &config, &search);
+        let sequential = Generator::new(config)
+            .search(search.clone())
+            .run(&app, &model);
         for threads in [1usize, 2, 4] {
-            let batched = isegen::core::generate_batched(&app, &model, &config, &search, threads);
+            let batched = Generator::new(config)
+                .search(search.clone())
+                .threads(threads)
+                .run(&app, &model);
             assert_eq!(
                 batched, sequential,
                 "{}: batched diverged at {threads} threads",
@@ -165,8 +170,13 @@ fn batched_driver_is_identical_on_the_medium_tier() {
             continue; // covered by batched_driver.rs at three thread counts
         }
         let app = spec.application();
-        let sequential = generate(&app, &model, &config, &search);
-        let batched = isegen::core::generate_batched(&app, &model, &config, &search, 2);
+        let sequential = Generator::new(config)
+            .search(search.clone())
+            .run(&app, &model);
+        let batched = Generator::new(config)
+            .search(search.clone())
+            .threads(2)
+            .run(&app, &model);
         assert_eq!(batched, sequential, "{}: batched diverged", spec.name);
     }
 }
