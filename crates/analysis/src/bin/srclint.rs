@@ -1,0 +1,300 @@
+//! `srclint` — source-pattern lint gate for the isegen workspace.
+//!
+//! Scans first-party Rust sources (`crates/*/src` and the facade's
+//! `src/`, vendored shims excluded) for panic-prone patterns that have
+//! bitten this codebase before, and fails (exit 1) on any hit that is
+//! not covered by the allowlist:
+//!
+//! * `partial-cmp-unwrap` — `partial_cmp(..).unwrap()` anywhere: NaN
+//!   input turns it into a panic (the pre-`total_cmp` restart-seed
+//!   sorter had exactly this bug).
+//! * `serve-unwrap` — `.unwrap()` / `.expect(` in `crates/serve/src`:
+//!   the daemon's request paths must return typed `ProtoError`s, never
+//!   panic on hostile input.
+//! * `serve-index` — numeric-literal indexing (`xs[0]`) in
+//!   `crates/serve/src`: out-of-range payloads must be range-checked,
+//!   not trusted.
+//!
+//! Test code is exempt: scanning stops at the conventional trailing
+//! `#[cfg(test)]` module, and `tests/` trees are never visited.
+//!
+//! Known-good hits live in `srclint.allow` at the workspace root, one
+//! per line: `<rule> <path> <trimmed source line>`. An entry matches by
+//! content, not line number, so ordinary edits don't invalidate it;
+//! stale entries are reported (but don't fail the gate).
+//!
+//! Usage: `srclint [--root DIR] [--allow FILE]` — exit 0 clean, 1 on
+//! violations, 2 on usage/IO errors.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "usage: srclint [--root DIR] [--allow FILE]
+  --root DIR    workspace root to scan (default: current directory)
+  --allow FILE  allowlist file (default: <root>/srclint.allow)";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("srclint: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// One banned-pattern rule.
+struct Rule {
+    name: &'static str,
+    /// Path prefix (relative to the root, `/`-separated) the rule is
+    /// scoped to; empty = whole workspace.
+    scope: &'static str,
+    matches: fn(&str) -> bool,
+    why: &'static str,
+}
+
+// Split out so the matcher bodies don't trip the global rule on
+// srclint's own source.
+const UNWRAP_CALL: &str = ".unwrap()";
+const EXPECT_CALL: &str = ".expect(";
+
+fn has_partial_cmp_unwrap(line: &str) -> bool {
+    line.contains("partial_cmp") && line.contains(UNWRAP_CALL)
+}
+
+fn has_unwrap_or_expect(line: &str) -> bool {
+    line.contains(UNWRAP_CALL) || line.contains(EXPECT_CALL)
+}
+
+/// Numeric-literal indexing: `[` preceded by an identifier character,
+/// `)`, or `]`, containing only digits up to the closing `]`. Misses
+/// computed indices on purpose — those usually carry a nearby bound —
+/// and never matches array types/literals like `[0u8; 4]`.
+fn has_literal_index(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if !(prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']') {
+            continue;
+        }
+        let rest = &bytes[i + 1..];
+        let digits = rest.iter().take_while(|b| b.is_ascii_digit()).count();
+        if digits > 0 && rest.get(digits) == Some(&b']') {
+            return true;
+        }
+    }
+    false
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "partial-cmp-unwrap",
+        scope: "",
+        matches: has_partial_cmp_unwrap,
+        why: "panics on NaN; use total_cmp or handle None",
+    },
+    Rule {
+        name: "serve-unwrap",
+        scope: "crates/serve/src",
+        matches: has_unwrap_or_expect,
+        why: "request paths must return ProtoError, not panic",
+    },
+    Rule {
+        name: "serve-index",
+        scope: "crates/serve/src",
+        matches: has_literal_index,
+        why: "hostile payloads must be range-checked, not indexed",
+    },
+];
+
+struct Violation {
+    rule: &'static str,
+    path: String,
+    line_no: usize,
+    trimmed: String,
+    why: &'static str,
+}
+
+/// Collects the `.rs` files srclint owns: `crates/*/src/**` plus the
+/// facade `src/**`. Vendored shims and `tests/` trees are not product
+/// code and are skipped.
+fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<_> = std::fs::read_dir(&crates)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for krate in entries {
+            let src = krate.join("src");
+            if src.is_dir() {
+                walk(&src, &mut files)?;
+            }
+        }
+    }
+    let facade = root.join("src");
+    if facade.is_dir() {
+        walk(&facade, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn scan_file(root: &Path, path: &Path, out: &mut Vec<Violation>) -> std::io::Result<()> {
+    let text = std::fs::read_to_string(path)?;
+    let rel = relative(root, path);
+    for (idx, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim();
+        // The workspace convention keeps unit tests in one trailing
+        // `#[cfg(test)]` module — everything after it is test code.
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") || trimmed.is_empty() {
+            continue;
+        }
+        for rule in RULES {
+            if !rule.scope.is_empty() && !rel.starts_with(rule.scope) {
+                continue;
+            }
+            if (rule.matches)(trimmed) {
+                out.push(Violation {
+                    rule: rule.name,
+                    path: rel.clone(),
+                    line_no: idx + 1,
+                    trimmed: trimmed.to_string(),
+                    why: rule.why,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Allowlist entries: `<rule> <path> <trimmed source line>`.
+fn load_allowlist(path: &Path) -> std::io::Result<Vec<(String, String, String)>> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let mut entries = Vec::new();
+    for raw in std::fs::read_to_string(path)?.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(file), Some(source)) => {
+                entries.push((
+                    rule.to_string(),
+                    file.to_string(),
+                    source.trim().to_string(),
+                ));
+            }
+            _ => eprintln!("srclint: malformed allowlist entry ignored: {line:?}"),
+        }
+    }
+    Ok(entries)
+}
+
+fn main() {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => usage_error("--root needs a directory"),
+            },
+            "--allow" => match args.next() {
+                Some(file) => allow_path = Some(PathBuf::from(file)),
+                None => usage_error("--allow needs a file"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    let allow_path = allow_path.unwrap_or_else(|| root.join("srclint.allow"));
+
+    let files = match collect_sources(&root) {
+        Ok(files) => files,
+        Err(e) => usage_error(&format!("cannot scan {}: {e}", root.display())),
+    };
+    if files.is_empty() {
+        usage_error(&format!("no sources under {}", root.display()));
+    }
+    let allowlist = match load_allowlist(&allow_path) {
+        Ok(entries) => entries,
+        Err(e) => usage_error(&format!("cannot read {}: {e}", allow_path.display())),
+    };
+
+    let mut violations = Vec::new();
+    for file in &files {
+        if let Err(e) = scan_file(&root, file, &mut violations) {
+            usage_error(&format!("cannot read {}: {e}", file.display()));
+        }
+    }
+
+    let mut used = vec![false; allowlist.len()];
+    let mut failing = Vec::new();
+    for v in &violations {
+        let hit = allowlist.iter().position(|(rule, path, source)| {
+            rule == v.rule && path == &v.path && source == &v.trimmed
+        });
+        match hit {
+            Some(i) => used[i] = true,
+            None => failing.push(v),
+        }
+    }
+
+    let mut report = String::new();
+    for v in &failing {
+        let _ = writeln!(
+            report,
+            "{}:{}: [{}] {}\n    {}",
+            v.path, v.line_no, v.rule, v.why, v.trimmed
+        );
+    }
+    print!("{report}");
+    for (i, (rule, path, source)) in allowlist.iter().enumerate() {
+        if !used[i] {
+            println!("srclint: stale allowlist entry (no longer matches): {rule} {path} {source}");
+        }
+    }
+    println!(
+        "srclint: {} file(s), {} hit(s), {} allowlisted, {} failing",
+        files.len(),
+        violations.len(),
+        violations.len() - failing.len(),
+        failing.len()
+    );
+    if !failing.is_empty() {
+        std::process::exit(1);
+    }
+}

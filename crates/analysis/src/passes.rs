@@ -1,0 +1,662 @@
+//! The lint pass registry (A001..A011).
+//!
+//! Every pass runs over a raw [`BlockView`] and must survive arbitrary
+//! garbage: out-of-range operand indices, forward references, cycles,
+//! mismatched arities. A pass that assumes a well-formed block is a bug
+//! — `tests/analysis_lint.rs` drives the registry with mutated and
+//! hand-built hostile views to enforce that.
+
+use crate::{BlockView, Diagnostic, LintOptions, Severity};
+use isegen_ir::text::MAX_FREQUENCY;
+use isegen_ir::Opcode;
+use std::collections::HashMap;
+
+/// A single lint rule.
+///
+/// Implementations push zero or more [`Diagnostic`]s per block; they
+/// must never panic, whatever the view contains.
+pub trait Pass {
+    /// Stable diagnostic code (`A001`..).
+    fn code(&self) -> &'static str;
+    /// Default severity of this rule's findings.
+    fn severity(&self) -> Severity;
+    /// One-line description for docs and reports.
+    fn summary(&self) -> &'static str;
+    /// Runs the rule over one block.
+    fn run(&self, view: &BlockView, opts: &LintOptions, out: &mut Vec<Diagnostic>);
+}
+
+/// The full pass registry, in code order.
+pub fn registry() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(DeadNode),
+        Box::new(UnusedInput),
+        Box::new(DuplicateOp),
+        Box::new(FoldableOp),
+        Box::new(CombinationalCycle),
+        Box::new(RankInconsistency),
+        Box::new(IoInfeasible),
+        Box::new(InvalidLatency),
+        Box::new(UnprofitableLatency),
+        Box::new(SuspiciousFrequency),
+        Box::new(DuplicateInputLabel),
+    ]
+}
+
+fn diag(pass: &dyn Pass, view: &BlockView, node: Option<usize>, message: String) -> Diagnostic {
+    Diagnostic {
+        code: pass.code(),
+        severity: pass.severity(),
+        block: view.name().to_string(),
+        node,
+        line: node.and_then(|n| view.line_of(n)).or(view.header_line()),
+        message,
+    }
+}
+
+/// Opcodes whose first two operands commute (used to normalize operand
+/// lists before structural comparison).
+fn is_commutative(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Add
+            | Opcode::Mul
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Eq
+            | Opcode::Min
+            | Opcode::Max
+    )
+}
+
+// ---------------------------------------------------------------------
+// A001 — dead node
+// ---------------------------------------------------------------------
+
+/// A001: a non-input node from which no live-out value or store is
+/// reachable — the search would happily include it, but its result can
+/// never be observed.
+struct DeadNode;
+
+impl Pass for DeadNode {
+    fn code(&self) -> &'static str {
+        "A001"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "dead node: no live-out or store is reachable"
+    }
+    fn run(&self, view: &BlockView, _opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+        let n = view.len();
+        // useful = live-out or side-effecting, closed backwards over
+        // operand edges. A worklist (not a single reverse sweep)
+        // because hostile views may contain forward references.
+        let mut useful = vec![false; n];
+        for (i, u) in useful.iter_mut().enumerate() {
+            if view.is_live_out(i) || view.opcode(i) == Some(Opcode::Store) {
+                *u = true;
+            }
+        }
+        let mut work: Vec<usize> = (0..n).filter(|&i| useful[i]).collect();
+        while let Some(i) = work.pop() {
+            for &p in view.preds(i) {
+                if p < n && !useful[p] {
+                    useful[p] = true;
+                    work.push(p);
+                }
+            }
+        }
+        for (i, &u) in useful.iter().enumerate() {
+            if !u && view.opcode(i).is_some_and(|op| !op.is_input()) {
+                out.push(diag(
+                    self,
+                    view,
+                    Some(i),
+                    format!(
+                        "dead node: no live-out or store is reachable from n{i} ({})",
+                        view.opcode(i).map_or("?", |op| op.mnemonic())
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A002 — unused input
+// ---------------------------------------------------------------------
+
+/// A002: an input that no operation consumes and that is not live-out.
+struct UnusedInput;
+
+impl Pass for UnusedInput {
+    fn code(&self) -> &'static str {
+        "A002"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "unused input: no consumer and not live-out"
+    }
+    fn run(&self, view: &BlockView, _opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+        let n = view.len();
+        let mut referenced = vec![false; n];
+        for i in 0..n {
+            for &p in view.preds(i) {
+                if p < n {
+                    referenced[p] = true;
+                }
+            }
+        }
+        for (i, &referenced) in referenced.iter().enumerate() {
+            if view.opcode(i) == Some(Opcode::Input) && !referenced && !view.is_live_out(i) {
+                let label = view.label(i).map_or(String::new(), |l| format!(" ({l:?})"));
+                out.push(diag(
+                    self,
+                    view,
+                    Some(i),
+                    format!("unused input: n{i}{label} has no consumer and is not live-out"),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A003 — duplicate structurally-identical operation
+// ---------------------------------------------------------------------
+
+/// A003: two operations with the same opcode, label and (commutatively
+/// normalized) operand list — one of them is redundant work the AFU
+/// would duplicate in silicon.
+struct DuplicateOp;
+
+impl Pass for DuplicateOp {
+    fn code(&self) -> &'static str {
+        "A003"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "duplicate structurally-identical operation"
+    }
+    fn run(&self, view: &BlockView, _opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+        let mut seen: HashMap<(Opcode, Vec<usize>, Option<String>), usize> = HashMap::new();
+        for i in 0..view.len() {
+            let Some(op) = view.opcode(i) else { continue };
+            if op.is_input() {
+                continue; // duplicate inputs are A011's business
+            }
+            let mut preds = view.preds(i).to_vec();
+            if is_commutative(op) {
+                preds.sort_unstable();
+            }
+            let key = (op, preds, view.label(i).map(str::to_string));
+            match seen.entry(key) {
+                std::collections::hash_map::Entry::Occupied(first) => {
+                    let j = *first.get();
+                    out.push(diag(
+                        self,
+                        view,
+                        Some(i),
+                        format!(
+                            "duplicate operation: n{i} ({}) is structurally identical to n{j}",
+                            op.mnemonic()
+                        ),
+                    ));
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(i);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A004 — algebraically foldable operation
+// ---------------------------------------------------------------------
+
+/// A004: an operation whose result is a constant or a copy of its
+/// operand (`x^x`, `x-x`, `x&x`, `min(x,x)`, `not(not(x))`, …) — a
+/// constant-foldable subgraph the front-end should have simplified.
+struct FoldableOp;
+
+impl Pass for FoldableOp {
+    fn code(&self) -> &'static str {
+        "A004"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "algebraically foldable operation"
+    }
+    fn run(&self, view: &BlockView, _opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+        for i in 0..view.len() {
+            let Some(op) = view.opcode(i) else { continue };
+            let preds = view.preds(i);
+            let same_binary = preds.len() == 2 && preds[0] == preds[1];
+            let reason = match op {
+                Opcode::Sub | Opcode::Xor if same_binary => {
+                    Some(format!("{}(x, x) is always zero", op.mnemonic()))
+                }
+                Opcode::And | Opcode::Or | Opcode::Min | Opcode::Max if same_binary => {
+                    Some(format!("{}(x, x) is just x", op.mnemonic()))
+                }
+                Opcode::Eq if same_binary => Some("eq(x, x) is always true".to_string()),
+                Opcode::Not | Opcode::Neg
+                    if preds.len() == 1 && view.opcode(preds[0]) == Some(op) =>
+                {
+                    Some(format!("{0}({0}(x)) cancels out", op.mnemonic()))
+                }
+                Opcode::Abs if preds.len() == 1 && view.opcode(preds[0]) == Some(op) => {
+                    Some("abs(abs(x)) is abs(x)".to_string())
+                }
+                _ => None,
+            };
+            if let Some(reason) = reason {
+                out.push(diag(
+                    self,
+                    view,
+                    Some(i),
+                    format!("foldable operation: {reason}"),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A005 — combinational cycle
+// ---------------------------------------------------------------------
+
+/// A005: the operand edges contain a cycle. The whole toolchain — rank
+/// orders, reachability closures, the toggle engine's hull propagation
+/// — assumes a DAG; a cyclic block must be rejected before any of it
+/// runs.
+struct CombinationalCycle;
+
+impl Pass for CombinationalCycle {
+    fn code(&self) -> &'static str {
+        "A005"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "combinational cycle"
+    }
+    fn run(&self, view: &BlockView, _opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+        let n = view.len();
+        // Iterative 3-color DFS over operand edges (in-range only).
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut color = vec![WHITE; n];
+        let mut on_cycle = vec![false; n];
+        for root in 0..n {
+            if color[root] != WHITE {
+                continue;
+            }
+            // Stack of (node, next-pred-index).
+            let mut stack = vec![(root, 0usize)];
+            color[root] = GRAY;
+            while let Some(&(v, next)) = stack.last() {
+                let preds = view.preds(v);
+                if next >= preds.len() {
+                    color[v] = BLACK;
+                    stack.pop();
+                    continue;
+                }
+                if let Some(top) = stack.last_mut() {
+                    top.1 += 1;
+                }
+                let p = preds[next];
+                if p >= n {
+                    continue; // out-of-range: A006's finding
+                }
+                match color[p] {
+                    WHITE => {
+                        color[p] = GRAY;
+                        stack.push((p, 0));
+                    }
+                    GRAY => on_cycle[p] = true, // back edge
+                    _ => {}
+                }
+            }
+        }
+        for (i, &cyc) in on_cycle.iter().enumerate() {
+            if cyc {
+                out.push(diag(
+                    self,
+                    view,
+                    Some(i),
+                    format!("combinational cycle through n{i}"),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A006 — rank inconsistency
+// ---------------------------------------------------------------------
+
+/// A006: an operand reference that breaks the definition-before-use
+/// rank order (out of range, forward, or self), or an operand count
+/// that does not match the opcode's arity.
+struct RankInconsistency;
+
+impl Pass for RankInconsistency {
+    fn code(&self) -> &'static str {
+        "A006"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "rank inconsistency: out-of-range/forward operand or arity mismatch"
+    }
+    fn run(&self, view: &BlockView, _opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+        let n = view.len();
+        for i in 0..n {
+            let Some(op) = view.opcode(i) else { continue };
+            let preds = view.preds(i);
+            if preds.len() != op.arity() {
+                out.push(diag(
+                    self,
+                    view,
+                    Some(i),
+                    format!(
+                        "arity mismatch: {} takes {} operand(s), n{i} has {}",
+                        op.mnemonic(),
+                        op.arity(),
+                        preds.len()
+                    ),
+                ));
+            }
+            for &p in preds {
+                if p >= n {
+                    out.push(diag(
+                        self,
+                        view,
+                        Some(i),
+                        format!(
+                            "operand reference out of range: n{i} uses n{p} (block has {n} nodes)"
+                        ),
+                    ));
+                } else if p == i {
+                    out.push(diag(
+                        self,
+                        view,
+                        Some(i),
+                        format!("self-reference: n{i} uses its own result"),
+                    ));
+                } else if p > i {
+                    out.push(diag(
+                        self,
+                        view,
+                        Some(i),
+                        format!("rank inconsistency: operand n{p} does not precede n{i}"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A007 — I/O infeasibility pre-flight
+// ---------------------------------------------------------------------
+
+/// A007: no nonempty cut can satisfy the port budget, so the search is
+/// guaranteed to return the empty cut.
+///
+/// Soundness: any nonempty cut of a DAG has a rank-minimal member `u`,
+/// and every operand of `u` is outside the cut, so the cut's input
+/// count is at least `u`'s distinct-operand count. If every eligible
+/// node has more than `N_in` distinct operands, every cut overflows.
+/// (Output feasibility never binds: a single-node cut has one output
+/// and `N_out >= 1` by construction.)
+struct IoInfeasible;
+
+impl Pass for IoInfeasible {
+    fn code(&self) -> &'static str {
+        "A007"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "I/O infeasibility: no nonempty cut fits the port budget"
+    }
+    fn run(&self, view: &BlockView, opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+        let mut eligible = 0usize;
+        let mut min_inputs: Option<(usize, usize)> = None; // (count, node)
+        for i in 0..view.len() {
+            if !view.opcode(i).is_some_and(Opcode::is_ise_eligible) {
+                continue;
+            }
+            eligible += 1;
+            let mut distinct = view.preds(i).to_vec();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let count = distinct.len();
+            if min_inputs.is_none_or(|(best, _)| count < best) {
+                min_inputs = Some((count, i));
+            }
+        }
+        if eligible == 0 {
+            if !view.is_empty() {
+                out.push(diag(
+                    self,
+                    view,
+                    None,
+                    "no ISE-eligible operation: every cut is empty".to_string(),
+                ));
+            }
+            return;
+        }
+        let max_in = opts.io.max_inputs() as usize;
+        if let Some((count, node)) = min_inputs {
+            if count > max_in {
+                out.push(diag(
+                    self,
+                    view,
+                    Some(node),
+                    format!(
+                        "I/O infeasible: every eligible operation needs at least {count} inputs, \
+                         but the budget allows {max_in} — no nonempty cut can exist"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A008 — invalid latency
+// ---------------------------------------------------------------------
+
+/// A008: an opcode used by this block has a NaN, infinite or negative
+/// hardware delay in the configured model — merit arithmetic downstream
+/// would silently produce NaN cuts.
+struct InvalidLatency;
+
+impl Pass for InvalidLatency {
+    fn code(&self) -> &'static str {
+        "A008"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn summary(&self) -> &'static str {
+        "invalid latency: NaN/infinite/negative hardware delay"
+    }
+    fn run(&self, view: &BlockView, opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+        let mut reported = [false; Opcode::ALL.len()];
+        for i in 0..view.len() {
+            let Some(op) = view.opcode(i) else { continue };
+            if reported[op.as_index()] {
+                continue;
+            }
+            let hw = opts.model.hw_delay(op);
+            if !hw.is_finite() || hw < 0.0 {
+                reported[op.as_index()] = true;
+                out.push(diag(
+                    self,
+                    view,
+                    Some(i),
+                    format!(
+                        "invalid latency: {} has hardware delay {hw} in the configured model",
+                        op.mnemonic()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A009 — unprofitable latency
+// ---------------------------------------------------------------------
+
+/// A009: an eligible opcode whose hardware delay is at least its
+/// software cycle count (or whose software cost is zero) — including it
+/// in a cut can never reduce latency, which usually means a
+/// miscalibrated model.
+struct UnprofitableLatency;
+
+impl Pass for UnprofitableLatency {
+    fn code(&self) -> &'static str {
+        "A009"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "unprofitable latency: hardware delay >= software cycles"
+    }
+    fn run(&self, view: &BlockView, opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+        let mut reported = [false; Opcode::ALL.len()];
+        for i in 0..view.len() {
+            let Some(op) = view.opcode(i) else { continue };
+            if !op.is_ise_eligible() || reported[op.as_index()] {
+                continue;
+            }
+            let sw = opts.model.sw_cycles(op);
+            let hw = opts.model.hw_delay(op);
+            if sw == 0 {
+                reported[op.as_index()] = true;
+                out.push(diag(
+                    self,
+                    view,
+                    Some(i),
+                    format!(
+                        "unprofitable latency: {} costs zero software cycles",
+                        op.mnemonic()
+                    ),
+                ));
+            } else if hw.is_finite() && hw >= sw as f64 {
+                reported[op.as_index()] = true;
+                out.push(diag(
+                    self,
+                    view,
+                    Some(i),
+                    format!(
+                        "unprofitable latency: {} hardware delay {hw} >= {sw} software cycle(s)",
+                        op.mnemonic()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A010 — suspicious frequency
+// ---------------------------------------------------------------------
+
+/// A010: a block frequency of zero (the block never runs, so every
+/// merit is zero) or above the text-IR `MAX_FREQUENCY` bound.
+struct SuspiciousFrequency;
+
+impl Pass for SuspiciousFrequency {
+    fn code(&self) -> &'static str {
+        "A010"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "suspicious frequency: zero or above MAX_FREQUENCY"
+    }
+    fn run(&self, view: &BlockView, _opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+        let freq = view.frequency();
+        if freq == 0 {
+            out.push(diag(
+                self,
+                view,
+                None,
+                "suspicious frequency: block never executes (frequency 0)".to_string(),
+            ));
+        } else if freq > MAX_FREQUENCY {
+            out.push(diag(
+                self,
+                view,
+                None,
+                format!("suspicious frequency: {freq} exceeds MAX_FREQUENCY ({MAX_FREQUENCY})"),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A011 — duplicate input label
+// ---------------------------------------------------------------------
+
+/// A011: two inputs carry the same label — almost certainly the same
+/// logical value declared twice, which inflates the block's apparent
+/// input pressure.
+struct DuplicateInputLabel;
+
+impl Pass for DuplicateInputLabel {
+    fn code(&self) -> &'static str {
+        "A011"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn summary(&self) -> &'static str {
+        "duplicate input label"
+    }
+    fn run(&self, view: &BlockView, _opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for i in 0..view.len() {
+            if view.opcode(i) != Some(Opcode::Input) {
+                continue;
+            }
+            let Some(label) = view.label(i) else { continue };
+            match seen.entry(label) {
+                std::collections::hash_map::Entry::Occupied(first) => {
+                    let j = *first.get();
+                    out.push(diag(
+                        self,
+                        view,
+                        Some(i),
+                        format!("duplicate input label: n{i} ({label:?}) repeats n{j}"),
+                    ));
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(i);
+                }
+            }
+        }
+    }
+}

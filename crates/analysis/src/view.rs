@@ -1,0 +1,174 @@
+//! Raw block representation the lint passes run over.
+//!
+//! [`BlockView`] deliberately re-encodes a basic block without any of
+//! the invariants [`isegen_ir`] enforces at construction time: operand
+//! indices are plain `usize`s that may point forward, at the node
+//! itself, or out of range entirely. Valid [`Application`]s project
+//! into valid views; tests and future unvalidated front-ends can build
+//! arbitrary ones.
+
+use isegen_graph::NodeId;
+use isegen_ir::{Application, BasicBlock, Opcode};
+
+/// One node of a [`BlockView`].
+#[derive(Debug, Clone)]
+struct NodeView {
+    opcode: Opcode,
+    label: Option<String>,
+    preds: Vec<usize>,
+    live_out: bool,
+}
+
+/// A raw, unvalidated mirror of a basic block.
+///
+/// Build one with [`BlockView::new`] + [`BlockView::push_node`] (tests,
+/// hostile front-ends) or project a validated block via
+/// [`BlockView::from_block`]. Nothing is checked at construction; the
+/// lint passes bounds-check every access instead.
+#[derive(Debug, Clone)]
+pub struct BlockView {
+    name: String,
+    frequency: u64,
+    /// 1-based line of the `block` header in the canonical text
+    /// serialization, when this view came from a full application.
+    header_line: Option<usize>,
+    nodes: Vec<NodeView>,
+}
+
+impl BlockView {
+    /// Creates an empty view with the given name and execution
+    /// frequency.
+    pub fn new(name: impl Into<String>, frequency: u64) -> Self {
+        BlockView {
+            name: name.into(),
+            frequency,
+            header_line: None,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Appends a node and returns its index.
+    ///
+    /// `preds` are operand indices in operand order; they are *not*
+    /// validated — out-of-range and forward references are exactly what
+    /// the error-severity passes exist to catch.
+    pub fn push_node(&mut self, opcode: Opcode, label: Option<&str>, preds: &[usize]) -> usize {
+        self.nodes.push(NodeView {
+            opcode,
+            label: label.map(str::to_string),
+            preds: preds.to_vec(),
+            live_out: false,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Marks `node` live-out (silently ignored when out of range — a
+    /// view is allowed to be nonsense, the passes report on it).
+    pub fn set_live_out(&mut self, node: usize, live: bool) {
+        if let Some(n) = self.nodes.get_mut(node) {
+            n.live_out = live;
+        }
+    }
+
+    /// Pins the canonical-text line of this block's `block` header.
+    pub fn set_header_line(&mut self, line: usize) {
+        self.header_line = Some(line);
+    }
+
+    /// Projects a validated block into a view.
+    ///
+    /// `header_line` is the 1-based canonical-text line of the block
+    /// header, or `None` when the enclosing application is unknown.
+    pub fn from_block(block: &BasicBlock, header_line: Option<usize>) -> Self {
+        let dag = block.dag();
+        let mut view = BlockView {
+            name: block.name().to_string(),
+            frequency: block.frequency(),
+            header_line,
+            nodes: Vec::with_capacity(dag.node_count()),
+        };
+        for i in 0..dag.node_count() {
+            let id = NodeId::from_index(i);
+            let op = dag.weight(id);
+            view.nodes.push(NodeView {
+                opcode: op.opcode(),
+                label: op.label().map(str::to_string),
+                preds: dag.preds(id).iter().map(|p| p.index()).collect(),
+                live_out: block.is_live_out(id),
+            });
+        }
+        view
+    }
+
+    /// Block name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Execution frequency.
+    pub fn frequency(&self) -> u64 {
+        self.frequency
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the view has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Opcode of `node`, or `None` when out of range.
+    pub fn opcode(&self, node: usize) -> Option<Opcode> {
+        self.nodes.get(node).map(|n| n.opcode)
+    }
+
+    /// Label of `node`, when present.
+    pub fn label(&self, node: usize) -> Option<&str> {
+        self.nodes.get(node).and_then(|n| n.label.as_deref())
+    }
+
+    /// Operand indices of `node` (empty when out of range).
+    pub fn preds(&self, node: usize) -> &[usize] {
+        self.nodes.get(node).map_or(&[], |n| n.preds.as_slice())
+    }
+
+    /// Whether `node` is marked live-out.
+    pub fn is_live_out(&self, node: usize) -> bool {
+        self.nodes.get(node).is_some_and(|n| n.live_out)
+    }
+
+    /// Number of `live` lines this block serializes to.
+    pub fn live_out_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.live_out).count()
+    }
+
+    /// Canonical-text line of `node`'s definition, when the header line
+    /// is known: the serializer emits the header, then one line per
+    /// node in index order.
+    pub fn line_of(&self, node: usize) -> Option<usize> {
+        self.header_line.map(|h| h + 1 + node)
+    }
+
+    /// Canonical-text line of the block header itself, when known.
+    pub fn header_line(&self) -> Option<usize> {
+        self.header_line
+    }
+}
+
+/// Projects every block of `app` into a view, with canonical-text
+/// header lines assigned to match [`isegen_ir::write_application`]:
+/// line 1 is the `app` header, and each block contributes its header,
+/// one line per node, one line per live-out, and an `end` line.
+pub(crate) fn app_views(app: &Application) -> Vec<BlockView> {
+    let mut views = Vec::with_capacity(app.blocks().len());
+    let mut line = 2; // line 1 is `app "name"`
+    for block in app.blocks() {
+        let view = BlockView::from_block(block, Some(line));
+        line += 1 + view.len() + view.live_out_count() + 1;
+        views.push(view);
+    }
+    views
+}

@@ -165,7 +165,9 @@ impl CutFinder for GeneticFinder {
             .collect();
 
         for _gen in 0..cfg.generations {
-            pop.sort_by(|a, b| b.fitness.partial_cmp(&a.fitness).unwrap());
+            // total_cmp: fitness can be NaN under adversarial gain
+            // weights, and partial_cmp().unwrap() would panic there.
+            pop.sort_by(|a, b| b.fitness.total_cmp(&a.fitness));
             let mut next: Vec<Individual> = Vec::with_capacity(cfg.population);
             for elite in pop.iter().take(cfg.elitism) {
                 next.push(Individual {

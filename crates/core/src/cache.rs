@@ -89,6 +89,10 @@ pub struct CacheStats {
     /// Entries pushed after the initial heap build: dirty-set reinserts
     /// after commits and pop-loop loser restores.
     pub queue_reinsertions: u64,
+    /// Invariant audits executed (zero unless audit mode is on — the
+    /// `perf_report` spot-check pins this to prove the disabled path
+    /// does no audit work).
+    pub audit_checks: u64,
 }
 
 /// The cached per-node gain terms of an entering candidate, as returned
@@ -131,6 +135,7 @@ impl CacheStats {
         self.queue_pops += other.queue_pops;
         self.queue_stale_revalidations += other.queue_stale_revalidations;
         self.queue_reinsertions += other.queue_reinsertions;
+        self.audit_checks += other.audit_checks;
     }
 }
 
@@ -314,6 +319,85 @@ impl GainCache {
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
+
+    /// Audit-mode cross-check: re-derives every *clean* entry's local
+    /// terms from a fresh engine probe and reports each field that
+    /// diverges from what the cache would recombine with.
+    ///
+    /// An empty result means every cached probe the search could read
+    /// right now is identical to a from-scratch evaluation. Dirty nodes
+    /// are skipped — they are re-probed on next access by construction.
+    pub fn audit_divergences(&self, engine: &ToggleEngine<'_, '_>) -> Vec<String> {
+        let mut out = Vec::new();
+        for (vi, e) in self.entries.iter().enumerate() {
+            let v = NodeId::from_index(vi);
+            if self.dirty.contains(v) {
+                continue;
+            }
+            let probe = engine.probe(v);
+            let di = probe.inputs as i32 - engine.input_count() as i32;
+            let dout = probe.outputs as i32 - engine.output_count() as i32;
+            let local_convex = if probe.entering {
+                engine.entering_hull_ok(v)
+            } else {
+                engine.leaving_local_ok(v)
+            };
+            let through = if probe.entering {
+                engine.entering_through(v)
+            } else {
+                0.0
+            };
+            if e.entering != probe.entering {
+                out.push(format!(
+                    "cache n{vi}: entering {} != fresh {}",
+                    e.entering, probe.entering
+                ));
+            }
+            if e.di != di {
+                out.push(format!("cache n{vi}: di {} != fresh {di}", e.di));
+            }
+            if e.dout != dout {
+                out.push(format!("cache n{vi}: dout {} != fresh {dout}", e.dout));
+            }
+            if e.neighbors_in_cut != probe.neighbors_in_cut {
+                out.push(format!(
+                    "cache n{vi}: neighbors_in_cut {} != fresh {}",
+                    e.neighbors_in_cut, probe.neighbors_in_cut
+                ));
+            }
+            if e.local_convex != local_convex {
+                out.push(format!(
+                    "cache n{vi}: local_convex {} != fresh {local_convex}",
+                    e.local_convex
+                ));
+            }
+            if (e.through - through).abs() > 1e-9 {
+                out.push(format!(
+                    "cache n{vi}: through {} != fresh {through}",
+                    e.through
+                ));
+            }
+        }
+        out
+    }
+
+    /// Counts one executed audit in the statistics.
+    pub(crate) fn note_audit(&mut self) {
+        self.stats.audit_checks += 1;
+    }
+
+    /// Deliberately perturbs the cached `di` of a *clean* entry, so
+    /// tests can prove [`GainCache::audit_divergences`] actually
+    /// detects corruption. Returns `false` (and does nothing) when the
+    /// node is out of range or dirty. Test scaffolding, not API.
+    #[doc(hidden)]
+    pub fn corrupt_entry_for_test(&mut self, v: NodeId) -> bool {
+        if v.index() >= self.entries.len() || self.dirty.contains(v) {
+            return false;
+        }
+        self.entries[v.index()].di += 1;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -367,6 +451,7 @@ mod tests {
             queue_pops: 4,
             queue_stale_revalidations: 1,
             queue_reinsertions: 2,
+            audit_checks: 1,
         };
         let b = CacheStats {
             cached_probes: 1,
@@ -379,6 +464,7 @@ mod tests {
             queue_pops: 6,
             queue_stale_revalidations: 2,
             queue_reinsertions: 3,
+            audit_checks: 1,
         };
         a.absorb(b);
         assert_eq!(a.cached_probes, 4);
@@ -391,6 +477,7 @@ mod tests {
         assert_eq!(a.queue_pops, 10);
         assert_eq!(a.queue_stale_revalidations, 3);
         assert_eq!(a.queue_reinsertions, 5);
+        assert_eq!(a.audit_checks, 2);
         assert!((a.avoided_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(CacheStats::default().avoided_fraction(), 0.0);
     }

@@ -1153,6 +1153,165 @@ impl<'c, 'a> ToggleEngine<'c, 'a> {
     pub fn component_count(&self) -> usize {
         self.comp_count
     }
+
+    /// Audit-mode cross-check: rebuilds a *fresh* engine from the
+    /// current cut (the exact from-scratch path of
+    /// [`ToggleEngine::from_cut`]) and reports every incremental field
+    /// that diverges from it — incidence counters, the `feeds_cut` /
+    /// `fed_by_cut` sets, I/O counts, latencies, hull and violator
+    /// masks, and the component partition (compared up to label
+    /// renaming, which the incremental merge is allowed to differ in).
+    ///
+    /// An empty result means the incremental state machine agrees with
+    /// ground truth bit for bit (floats to 1e-9). O(cut · deg + n);
+    /// meant for the opt-in audit cadence, not the hot path.
+    pub fn audit_divergences(&self) -> Vec<String> {
+        let fresh = ToggleEngine::from_cut(self.ctx, self.cut.clone());
+        let n = self.ctx.node_count();
+        let mut out = Vec::new();
+
+        let diff_set = |name: &str, live: &NodeSet, truth: &NodeSet, out: &mut Vec<String>| {
+            for i in 0..n {
+                let v = NodeId::from_index(i);
+                let (a, b) = (live.contains(v), truth.contains(v));
+                if a != b {
+                    out.push(format!("engine {name}: n{i} live={a} fresh={b}"));
+                }
+            }
+        };
+        let diff_counts = |name: &str, live: &[u32], truth: &[u32], out: &mut Vec<String>| {
+            for i in 0..n.min(live.len()).min(truth.len()) {
+                if live[i] != truth[i] {
+                    out.push(format!(
+                        "engine {name}: n{i} live={} fresh={}",
+                        live[i], truth[i]
+                    ));
+                }
+            }
+        };
+        let diff_floats = |name: &str, live: &[f64], truth: &[f64], out: &mut Vec<String>| {
+            for i in 0..n.min(live.len()).min(truth.len()) {
+                if (live[i] - truth[i]).abs() > 1e-9 {
+                    out.push(format!(
+                        "engine {name}: n{i} live={} fresh={}",
+                        live[i], truth[i]
+                    ));
+                }
+            }
+        };
+
+        diff_counts(
+            "fanout_to_cut",
+            &self.fanout_to_cut,
+            &fresh.fanout_to_cut,
+            &mut out,
+        );
+        diff_counts(
+            "indeg_from_cut",
+            &self.indeg_from_cut,
+            &fresh.indeg_from_cut,
+            &mut out,
+        );
+        diff_set("feeds_cut", &self.feeds_cut, &fresh.feeds_cut, &mut out);
+        diff_set("fed_by_cut", &self.fed_by_cut, &fresh.fed_by_cut, &mut out);
+        if self.input_count != fresh.input_count {
+            out.push(format!(
+                "engine input_count: live={} fresh={}",
+                self.input_count, fresh.input_count
+            ));
+        }
+        if self.output_count != fresh.output_count {
+            out.push(format!(
+                "engine output_count: live={} fresh={}",
+                self.output_count, fresh.output_count
+            ));
+        }
+        if self.sw_sum != fresh.sw_sum {
+            out.push(format!(
+                "engine sw_sum: live={} fresh={}",
+                self.sw_sum, fresh.sw_sum
+            ));
+        }
+        diff_floats("up", &self.up, &fresh.up, &mut out);
+        diff_floats("down", &self.down, &fresh.down, &mut out);
+        if (self.critical - fresh.critical).abs() > 1e-9 {
+            out.push(format!(
+                "engine critical: live={} fresh={}",
+                self.critical, fresh.critical
+            ));
+        }
+        diff_set("below", &self.below, &fresh.below, &mut out);
+        diff_set("above", &self.above, &fresh.above, &mut out);
+        diff_set("below_ext", &self.below_ext, &fresh.below_ext, &mut out);
+        diff_set("above_ext", &self.above_ext, &fresh.above_ext, &mut out);
+        diff_set("violators", &self.violators, &fresh.violators, &mut out);
+        if self.convex_now != fresh.convex_now {
+            out.push(format!(
+                "engine convex_now: live={} fresh={}",
+                self.convex_now, fresh.convex_now
+            ));
+        }
+        if self.comp_count != fresh.comp_count {
+            out.push(format!(
+                "engine comp_count: live={} fresh={}",
+                self.comp_count, fresh.comp_count
+            ));
+        }
+        if (self.comp_cp_total - fresh.comp_cp_total).abs() > 1e-9 {
+            out.push(format!(
+                "engine comp_cp_total: live={} fresh={}",
+                self.comp_cp_total, fresh.comp_cp_total
+            ));
+        }
+        // Component labels compare up to renaming: map each side's label
+        // to its first-seen index in node order, and check the per-
+        // component critical paths through the same mapping.
+        let mut canon_live: Vec<Option<u32>> = Vec::new();
+        let mut canon_fresh: Vec<Option<u32>> = Vec::new();
+        let canonical = |labels: &[u32],
+                         seen: &mut std::collections::HashMap<u32, u32>,
+                         i: usize|
+         -> Option<u32> {
+            let l = *labels.get(i)?;
+            if l == OUTSIDE {
+                return None;
+            }
+            let next = seen.len() as u32;
+            Some(*seen.entry(l).or_insert(next))
+        };
+        let mut seen_live = std::collections::HashMap::new();
+        let mut seen_fresh = std::collections::HashMap::new();
+        for v in self.cut.iter() {
+            let i = v.index();
+            canon_live.push(canonical(&self.comp_label, &mut seen_live, i));
+            canon_fresh.push(canonical(&fresh.comp_label, &mut seen_fresh, i));
+            if canon_live.last() != canon_fresh.last() {
+                out.push(format!(
+                    "engine comp_label: n{i} live={:?} fresh={:?} (canonical)",
+                    canon_live.last(),
+                    canon_fresh.last()
+                ));
+            }
+            let cp_live = self
+                .comp_label
+                .get(i)
+                .and_then(|&l| self.comp_cp.get(l as usize));
+            let cp_fresh = fresh
+                .comp_label
+                .get(i)
+                .and_then(|&l| fresh.comp_cp.get(l as usize));
+            match (cp_live, cp_fresh) {
+                (Some(a), Some(b)) if (a - b).abs() > 1e-9 => {
+                    out.push(format!("engine comp_cp: n{i} live={a} fresh={b}"));
+                }
+                (Some(_), Some(_)) => {}
+                (a, b) => out.push(format!(
+                    "engine comp_cp: n{i} live={a:?} fresh={b:?} (missing entry)"
+                )),
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,13 @@ pub struct SearchConfig {
     /// produce bit-identical cuts; [`SelectionStrategy::Queue`] (the
     /// default) is asymptotically faster on large blocks.
     pub strategy: SelectionStrategy,
+    /// Invariant-audit cadence: every `audit_cadence`-th committed
+    /// toggle, re-derive the engine, gain-cache and queue state from
+    /// scratch and panic with a structured [`crate::AuditReport`] on any
+    /// divergence. `0` (the default) disables auditing; the
+    /// `IsegenAudit` environment variable supplies a process-wide
+    /// fallback cadence when this field is `0`.
+    pub audit_cadence: usize,
 }
 
 impl Default for SearchConfig {
@@ -70,6 +77,7 @@ impl Default for SearchConfig {
             weights: GainWeights::default(),
             restarts: 3,
             strategy: SelectionStrategy::default(),
+            audit_cadence: 0,
         }
     }
 }
@@ -102,6 +110,13 @@ impl SearchConfig {
     /// Sets the candidate-selection strategy.
     pub fn with_strategy(mut self, strategy: SelectionStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Sets the invariant-audit cadence (`0` disables; see
+    /// [`SearchConfig::audit_cadence`]).
+    pub fn with_audit_cadence(mut self, audit_cadence: usize) -> Self {
+        self.audit_cadence = audit_cadence;
         self
     }
 }
@@ -756,6 +771,11 @@ fn run_trajectory(
     let mut queue_ok =
         config.strategy == SelectionStrategy::Queue && queue_weights_ok(&config.weights);
 
+    // Invariant-audit cadence; the disabled path is one integer compare
+    // per commit.
+    let audit_every = crate::audit::effective_cadence(config.audit_cadence) as u64;
+    let mut commits_done: u64 = 0;
+
     for pass in 0..config.max_passes {
         if pass > 0 {
             engine.reset_from_cut(best_cut.nodes());
@@ -1044,6 +1064,43 @@ fn run_trajectory(
             } else {
                 cache.commit(&mut engine, v);
                 marked.insert(v);
+            }
+            commits_done += 1;
+            if audit_every != 0 && commits_done.is_multiple_of(audit_every) {
+                let mut divergences = engine.audit_divergences();
+                divergences.extend(cache.audit_divergences(&engine));
+                if queue_live {
+                    // Queue stamp consistency: every unmarked entering
+                    // candidate must be covered by a live (current-
+                    // stamp) base-heap entry, or selection would
+                    // silently skip it.
+                    let mut covered = vec![false; n];
+                    for e in heap_base.iter() {
+                        let i = e.node as usize;
+                        if i < n && e.stamp == stamps[i] {
+                            covered[i] = true;
+                        }
+                    }
+                    for &u in free_nodes {
+                        if !start_cut.contains(u) && !marked.contains(u) && !covered[u.index()] {
+                            divergences.push(format!(
+                                "queue: entering candidate n{} has no live heap entry",
+                                u.index()
+                            ));
+                        }
+                    }
+                }
+                cache.note_audit();
+                if !divergences.is_empty() {
+                    panic!(
+                        "{}",
+                        crate::AuditReport {
+                            flavour: spec.flavour.to_string(),
+                            commits: commits_done,
+                            divergences,
+                        }
+                    );
+                }
             }
             if engine.is_legal(io) {
                 let m = engine.merit();

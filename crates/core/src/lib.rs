@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 mod addendum;
+mod audit;
 mod cache;
 mod constraints;
 mod context;
@@ -74,6 +75,7 @@ mod kl;
 mod speedup;
 
 pub use addendum::AddendumTable;
+pub use audit::AuditReport;
 pub use cache::{CacheStats, GainCache};
 pub use constraints::IoConstraints;
 pub use context::{BlockContext, ContextData};

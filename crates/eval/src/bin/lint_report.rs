@@ -1,0 +1,204 @@
+//! Corpus-wide static-analysis gate: runs the `isegen_analysis` pass
+//! registry (`A001`..) over every registry workload in the selected
+//! size tiers and writes per-workload diagnostic rows as JSON.
+//!
+//! This is the CI gate behind the lint framework: any error-severity
+//! finding exits non-zero, so a workload generator that starts emitting
+//! cyclic or rank-inconsistent blocks fails the workflow instead of
+//! silently feeding garbage to the search. Warning-severity findings
+//! are reported but do not gate — they are taste, not soundness.
+//!
+//! ```sh
+//! lint_report                          # small + medium, lint-report.json
+//! lint_report -- --tier all
+//! lint_report -- --tier small --out /tmp/lint.json
+//! ```
+
+use isegen_analysis::{analyze, Diagnostic, Severity};
+use isegen_workloads::{workloads_in_tiers, SizeTier, WorkloadSpec};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const USAGE: &str = "usage: lint_report [--tier LIST|all] [--out PATH]
+  --tier LIST  comma-separated size tiers (small/medium/large/huge) or all
+               (default small,medium)
+  --out PATH   JSON report path (default lint-report.json)";
+
+/// Prints the problem and the usage to stderr, then exits with code 2 —
+/// a CLI mistake is a usage error, never a panic with a backtrace.
+fn usage_error(message: &str) -> ! {
+    eprintln!("lint_report: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_tiers(arg: &str) -> Vec<SizeTier> {
+    if arg == "all" {
+        return SizeTier::ALL.to_vec();
+    }
+    arg.split(',')
+        .map(|t| {
+            SizeTier::parse(t.trim()).unwrap_or_else(|| usage_error(&format!("unknown tier {t:?}")))
+        })
+        .collect()
+}
+
+struct Row {
+    name: &'static str,
+    category: &'static str,
+    tier: &'static str,
+    ops: usize,
+    diagnostics: Vec<Diagnostic>,
+    wall_ms: f64,
+}
+
+fn run_workload(spec: &WorkloadSpec) -> Row {
+    let app = spec.application();
+    let start = Instant::now();
+    let diagnostics = analyze(&app);
+    Row {
+        name: spec.name,
+        category: spec.category.name(),
+        tier: spec.tier().name(),
+        ops: spec.kernel_ops,
+        diagnostics,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn errors_in(diagnostics: &[Diagnostic]) -> usize {
+    diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count()
+}
+
+/// Minimal JSON string escaping for the hand-built report (messages can
+/// quote block names and labels).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut tiers = vec![SizeTier::Small, SizeTier::Medium];
+    let mut out_path = "lint-report.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tier" => match args.next() {
+                Some(list) => tiers = parse_tiers(&list),
+                None => usage_error("--tier needs a list"),
+            },
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => usage_error("--out needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let specs = workloads_in_tiers(&tiers);
+    assert!(!specs.is_empty(), "no workloads in the selected tiers");
+    let tier_names: Vec<&str> = tiers.iter().map(|t| t.name()).collect();
+    println!(
+        "lint gate: {} workloads (tiers: {})",
+        specs.len(),
+        tier_names.join(",")
+    );
+
+    let mut rows = Vec::with_capacity(specs.len());
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    for spec in &specs {
+        let row = run_workload(spec);
+        let errors = errors_in(&row.diagnostics);
+        let warnings = row.diagnostics.len() - errors;
+        println!(
+            "  {:>14} [{:>10}/{:<6}] n={:<5} errors={} warnings={} {:>7.2} ms{}",
+            row.name,
+            row.category,
+            row.tier,
+            row.ops,
+            errors,
+            warnings,
+            row.wall_ms,
+            if errors > 0 { "  ** FAIL **" } else { "" }
+        );
+        for d in &row.diagnostics {
+            println!("    {d}");
+        }
+        total_errors += errors;
+        total_warnings += warnings;
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"report\": \"isegen static-analysis gate\",\n");
+    let _ = writeln!(
+        json,
+        "  \"tiers\": \"{}\",\n  \"errors\": {},\n  \"warnings\": {},",
+        tier_names.join(","),
+        total_errors,
+        total_warnings
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let diags: Vec<String> = row
+            .diagnostics
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"code\": \"{}\", \"severity\": \"{}\", \"block\": \"{}\", \"node\": {}, \"line\": {}, \"message\": \"{}\"}}",
+                    d.code,
+                    d.severity.name(),
+                    escape(&d.block),
+                    d.node.map_or("null".to_string(), |n| n.to_string()),
+                    d.line.map_or("null".to_string(), |l| l.to_string()),
+                    escape(&d.message)
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"category\": \"{}\", \"tier\": \"{}\", \"ops\": {}, \"wall_ms\": {:.3}, \"diagnostics\": [{}]}}{}",
+            row.name,
+            row.category,
+            row.tier,
+            row.ops,
+            row.wall_ms,
+            diags.join(", "),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("lint_report: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+
+    if total_errors > 0 {
+        eprintln!("lint_report: FAIL: {total_errors} error-severity finding(s) across the corpus");
+        std::process::exit(1);
+    }
+    println!(
+        "lint_report: corpus clean of errors across {} workload(s) ({} warning(s))",
+        rows.len(),
+        total_warnings
+    );
+}

@@ -142,6 +142,37 @@ fn largest_block(app: &Application) -> &BasicBlock {
         .expect("application has blocks")
 }
 
+/// Pins the audit-mode contract the perf numbers depend on: with the
+/// default configuration the invariant auditor must do *zero* work
+/// (`audit_checks == 0` — the disabled path is one integer compare per
+/// commit), and switching it on must not change the search outcome.
+fn audit_spot_check(model: &LatencyModel) {
+    let spec = workload_by_name("fir00").expect("registry entry");
+    let app = spec.application();
+    let block = largest_block(&app);
+    let ctx = BlockContext::new(block, model);
+    let io = IoConstraints::new(4, 2);
+    let plain = Search::new(SearchConfig::default()).run(&ctx, io);
+    // With `IsegenAudit` in the environment the default configuration
+    // is deliberately audited, so only pin zero overhead without it.
+    if std::env::var_os("IsegenAudit").is_none() {
+        assert_eq!(
+            plain.stats.audit_checks, 0,
+            "audit work leaked into the default configuration"
+        );
+    }
+    let audited = Search::new(SearchConfig::default().with_audit_cadence(8)).run(&ctx, io);
+    assert!(audited.stats.audit_checks > 0, "audit cadence 8 never ran");
+    assert_eq!(
+        audited.cut, plain.cut,
+        "audit mode changed the search outcome"
+    );
+    println!(
+        "audit spot-check: disabled=0 checks, cadence 8={} checks, identical cut",
+        audited.stats.audit_checks
+    );
+}
+
 fn bench_toggles(name: &str, block: &BasicBlock, model: &LatencyModel, rounds: u64) -> ToggleRow {
     let ctx = BlockContext::new(block, model);
     let eligible: Vec<NodeId> = ctx.eligible().iter().collect();
@@ -350,6 +381,7 @@ fn main() {
     }
 
     let model = LatencyModel::paper_default();
+    audit_spot_check(&model);
     let sizes: &[usize] = if full {
         &[200, 400, 800, 1600]
     } else {

@@ -92,6 +92,34 @@ pub enum TextError {
     },
 }
 
+impl TextError {
+    /// The 1-based source line the error points at (`0` when the input
+    /// ended prematurely). Front-ends surface this as a positioned
+    /// diagnostic instead of re-parsing the `Display` text.
+    pub fn line(&self) -> usize {
+        match self {
+            TextError::Syntax { line, .. }
+            | TextError::UnknownOpcode { line, .. }
+            | TextError::UnknownNode { line, .. }
+            | TextError::DuplicateNode { line, .. }
+            | TextError::Build { line, .. } => *line,
+        }
+    }
+
+    /// The offending token, when the error names one (the unknown
+    /// mnemonic, the unknown or redefined node name). Callers locate it
+    /// in the source line to derive a column.
+    pub fn token(&self) -> Option<&str> {
+        match self {
+            TextError::UnknownOpcode { mnemonic, .. } => Some(mnemonic),
+            TextError::UnknownNode { name, .. } | TextError::DuplicateNode { name, .. } => {
+                Some(name)
+            }
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for TextError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -24,6 +24,7 @@
 //! | `select`   | `app` (hash) or `ir`, optional `config` | selection summary |
 //! | `rtl`      | `app` (hash) or `ir`, optional `config` | Verilog + area |
 //! | `verify`   | `app` (hash) or `ir`, optional `config`, `vectors`, `seed` | differential-test report |
+//! | `lint`     | `app` (hash) or `ir`, optional `config` | static-analysis diagnostics (`A001`..) |
 //! | `stats`    | —                                       | cache/request counters |
 //! | `drain`    | — (`ised`) / `shard` index (router)     | durability receipt; `ised` exits, the router recycles the shard warm |
 //! | `shutdown` | —                                       | ack, then the server drains |
@@ -61,6 +62,12 @@ pub struct ProtoError {
     pub kind: &'static str,
     /// Human-readable description.
     pub message: String,
+    /// 1-based source line, when the error points into submitted text
+    /// IR (`ir`-kind errors).
+    pub line: Option<u32>,
+    /// 1-based source column of the offending token, when it could be
+    /// located in the line.
+    pub column: Option<u32>,
 }
 
 impl ProtoError {
@@ -69,16 +76,33 @@ impl ProtoError {
         ProtoError {
             kind,
             message: message.into(),
+            line: None,
+            column: None,
         }
+    }
+
+    /// Attaches a source position (1-based line, optional column) to
+    /// the error — the `"line"`/`"column"` members of the response.
+    pub fn with_position(mut self, line: u32, column: Option<u32>) -> ProtoError {
+        self.line = Some(line);
+        self.column = column;
+        self
     }
 
     /// The one-line JSON error response.
     pub fn to_response(&self) -> Json {
-        Json::obj([
+        let mut members = vec![
             ("ok", Json::Bool(false)),
             ("kind", Json::from(self.kind)),
             ("error", Json::from(self.message.clone())),
-        ])
+        ];
+        if let Some(line) = self.line {
+            members.push(("line", Json::from(u64::from(line))));
+        }
+        if let Some(column) = self.column {
+            members.push(("column", Json::from(u64::from(column))));
+        }
+        Json::obj(members)
     }
 }
 

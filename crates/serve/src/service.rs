@@ -12,7 +12,9 @@
 use crate::cache::{AppEntry, SelectionKey, ServeCache, SubmitError};
 use crate::json::{self, Json};
 use crate::proto::{self, ProtoError, RequestConfig};
+use isegen_analysis::{LintOptions, Severity};
 use isegen_core::{CacheStats, Generator, IseSelection, IsegenFinder};
+use isegen_ir::text::TextError;
 use isegen_rtl::{verify_selection, AfuLibrary, VerifyConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -28,6 +30,8 @@ pub struct Service {
     /// through the three-way oracle (vectors × ISEs), for `stats`.
     verifications: AtomicU64,
     verified_vectors: AtomicU64,
+    /// `lint` requests served, for `stats`.
+    lints: AtomicU64,
     /// K-L probe/arena statistics absorbed from every computed (non-memo)
     /// selection, surfaced by the `stats` op.
     search_stats: Mutex<CacheStats>,
@@ -45,6 +49,7 @@ impl Service {
             errors: AtomicU64::new(0),
             verifications: AtomicU64::new(0),
             verified_vectors: AtomicU64::new(0),
+            lints: AtomicU64::new(0),
             search_stats: Mutex::new(CacheStats::default()),
         }
     }
@@ -113,11 +118,12 @@ impl Service {
             "select" => self.op_select(request),
             "rtl" => self.op_rtl(request),
             "verify" => self.op_verify(request),
+            "lint" => self.op_lint(request),
             "stats" => Ok(self.stats_json()),
             other => Err(ProtoError::new(
                 "protocol",
                 format!(
-                    "unknown op {other:?} (ping/submit/select/rtl/verify/stats/drain/shutdown)"
+                    "unknown op {other:?} (ping/submit/select/rtl/verify/lint/stats/drain/shutdown)"
                 ),
             )),
         }
@@ -183,7 +189,15 @@ impl Service {
                 SubmitError::Ir(_) => "ir",
                 SubmitError::HashCollision => "collision",
             };
-            ProtoError::new(kind, e.to_string())
+            let err = ProtoError::new(kind, e.to_string());
+            match e {
+                // Line 0 is the parser's premature-end sentinel: there
+                // is no source position to report in that case.
+                SubmitError::Ir(te) if te.line() > 0 => {
+                    err.with_position(te.line() as u32, error_column(ir, &te))
+                }
+                _ => err,
+            }
         })
     }
 
@@ -355,6 +369,55 @@ impl Service {
         ]))
     }
 
+    /// Runs the static-analysis pass registry (`A001..`) over the
+    /// application's blocks and reports every diagnostic, positioned
+    /// against the app's canonical text form.
+    fn op_lint(&self, request: &Json) -> Result<Json, ProtoError> {
+        let (hash, entry) = self.resolve_app(request)?;
+        let config = proto::parse_config(request.get("config"))?;
+        let opts = LintOptions {
+            io: config.ise.io,
+            ..LintOptions::default()
+        };
+        let diagnostics = isegen_analysis::analyze_with(&entry.app, &opts);
+        let errors = diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let warnings = diagnostics.len() - errors;
+        self.lints.fetch_add(1, Ordering::Relaxed);
+        self.log(format!(
+            "lint {} → {} diagnostic(s) ({} error(s), {} warning(s))",
+            proto::format_hash(hash),
+            diagnostics.len(),
+            errors,
+            warnings
+        ));
+        let items: Vec<Json> = diagnostics
+            .iter()
+            .map(|d| {
+                Json::obj([
+                    ("code", d.code.into()),
+                    ("severity", d.severity.name().into()),
+                    ("block", d.block.as_str().into()),
+                    ("node", d.node.map_or(Json::Null, Json::from)),
+                    ("line", d.line.map_or(Json::Null, Json::from)),
+                    ("message", d.message.as_str().into()),
+                ])
+            })
+            .collect();
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", "lint".into()),
+            ("app", proto::format_hash(hash).into()),
+            ("count", diagnostics.len().into()),
+            ("errors", errors.into()),
+            ("warnings", warnings.into()),
+            ("clean", Json::Bool(diagnostics.is_empty())),
+            ("diagnostics", Json::Arr(items)),
+        ]))
+    }
+
     /// The service-level `stats` document. Transports append their own
     /// members (connections, shard tables) before responding.
     pub fn stats_json(&self) -> Json {
@@ -379,6 +442,7 @@ impl Service {
                 "verified_vectors",
                 self.verified_vectors.load(Ordering::Relaxed).into(),
             ),
+            ("lints", self.lints.load(Ordering::Relaxed).into()),
             // K-L search statistics summed over every computed selection:
             // the service-level view of the gain cache and arena pools.
             (
@@ -423,4 +487,15 @@ impl std::fmt::Debug for Service {
             .field("cache", &self.cache)
             .finish()
     }
+}
+
+/// Best-effort 1-based column of a parse error: locates the offending
+/// token on the error's source line. `None` when the error carries no
+/// token or the token is not literally on that line.
+fn error_column(ir: &str, err: &TextError) -> Option<u32> {
+    let token = err.token()?;
+    let line = err.line().checked_sub(1)?;
+    let text = ir.lines().nth(line)?;
+    let byte = text.find(token)?;
+    u32::try_from(text[..byte].chars().count() + 1).ok()
 }

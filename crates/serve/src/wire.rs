@@ -165,7 +165,7 @@ pub fn read_frame<R: BufRead>(
         }
         if started_at.is_none() {
             started_at = Some(Instant::now());
-            mode = if chunk[0] == b'#' {
+            mode = if chunk.first() == Some(&b'#') {
                 Mode::Header(Vec::with_capacity(MAX_HEADER_BYTES))
             } else {
                 Mode::Line(false)
@@ -246,7 +246,7 @@ pub fn read_frame<R: BufRead>(
                 }
             }
             Mode::Terminator => {
-                let ok = chunk[0] == b'\n';
+                let ok = chunk.first() == Some(&b'\n');
                 reader.consume(1);
                 return Ok(if ok {
                     FrameRead::Frame(Framing::Prefixed)

@@ -21,6 +21,8 @@
 //!   area estimates, golden-model simulation (the paper's future work).
 //! * [`serve`] — `ised`, the long-lived service front-end: text IR in,
 //!   selections and Verilog out, with per-block context caching.
+//! * [`analysis`] — static analysis: the IR lint registry (`A001`..)
+//!   and the hostile-input [`BlockView`](analysis::BlockView) substrate.
 //!
 //! # Quickstart
 //!
@@ -52,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use isegen_analysis as analysis;
 pub use isegen_baselines as baselines;
 pub use isegen_core as core;
 pub use isegen_eval as eval;

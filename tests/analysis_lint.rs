@@ -1,0 +1,479 @@
+//! The lint framework under fire: every diagnostic code must *fire* on
+//! a seeded-bad block and stay *silent* on the registry corpus (modulo
+//! an explicit waiver list), and [`analyze`]/[`analyze_view`] must
+//! never panic — not on mutated text-IR programs, not on hand-built
+//! hostile views full of cycles, forward references and out-of-range
+//! operands.
+
+use isegen::analysis::{
+    analyze, analyze_view, registry, BlockView, Diagnostic, LintOptions, Severity,
+};
+use isegen::core::IoConstraints;
+use isegen::ir::text::MAX_FREQUENCY;
+use isegen::ir::{text, Application, BlockBuilder, LatencyModel, Opcode};
+use isegen::workloads::{all_workloads, workload_by_name};
+use proptest::prelude::*;
+
+/// Corpus findings that are understood and tolerated: the workload
+/// generators really do emit redundant xors (A003), spare inputs
+/// (A002) and foldable subexpressions (A004). Everything else —
+/// including every error-severity code — must be absent.
+const CORPUS_WAIVERS: &[&str] = &["A002", "A003", "A004"];
+
+fn lint(view: &BlockView) -> Vec<Diagnostic> {
+    analyze_view(view, &LintOptions::default())
+}
+
+fn has(diags: &[Diagnostic], code: &str) -> bool {
+    diags.iter().any(|d| d.code == code)
+}
+
+// ---- registry shape -----------------------------------------------------
+
+#[test]
+fn registry_codes_are_stable_and_ordered() {
+    let passes = registry();
+    let expected: Vec<String> = (1..=passes.len()).map(|i| format!("A{i:03}")).collect();
+    let actual: Vec<&str> = passes.iter().map(|p| p.code()).collect();
+    assert_eq!(actual, expected, "codes must be dense and in order");
+    for pass in &passes {
+        assert!(
+            !pass.summary().is_empty(),
+            "{} needs a summary",
+            pass.code()
+        );
+    }
+    let errors: Vec<&str> = passes
+        .iter()
+        .filter(|p| p.severity() == Severity::Error)
+        .map(|p| p.code())
+        .collect();
+    assert_eq!(
+        errors,
+        ["A005", "A006", "A008"],
+        "error severity is part of the gate contract"
+    );
+}
+
+// ---- firing tests, one per code ----------------------------------------
+
+#[test]
+fn a001_fires_on_dead_node() {
+    let mut v = BlockView::new("bb", 100);
+    let x = v.push_node(Opcode::Input, Some("x"), &[]);
+    let dead = v.push_node(Opcode::Add, None, &[x, x]);
+    let live = v.push_node(Opcode::Not, None, &[x]);
+    v.set_live_out(live, true);
+    let diags = lint(&v);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "A001" && d.node == Some(dead)),
+        "dead add must be reported: {diags:?}"
+    );
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.code == "A001" && d.node == Some(live)),
+        "live-out node is not dead"
+    );
+}
+
+#[test]
+fn a002_fires_on_unused_input() {
+    let mut b = BlockBuilder::new("bb");
+    let x = b.input("x");
+    let y = b.input("y"); // never consumed
+    b.op(Opcode::Not, &[x]).unwrap();
+    let mut app = Application::new("demo");
+    app.push_block(b.build().unwrap());
+    let diags = analyze(&app);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "A002" && d.node == Some(y.index())),
+        "unused input must be reported: {diags:?}"
+    );
+}
+
+#[test]
+fn a003_fires_on_commuted_duplicate() {
+    let mut b = BlockBuilder::new("bb");
+    let x = b.input("x");
+    let y = b.input("y");
+    b.op(Opcode::Add, &[x, y]).unwrap();
+    b.op(Opcode::Add, &[y, x]).unwrap(); // commutes to the same op
+    let mut app = Application::new("demo");
+    app.push_block(b.build().unwrap());
+    assert!(has(&analyze(&app), "A003"));
+}
+
+#[test]
+fn a003_respects_non_commutative_operand_order() {
+    let mut b = BlockBuilder::new("bb");
+    let x = b.input("x");
+    let y = b.input("y");
+    b.op(Opcode::Sub, &[x, y]).unwrap();
+    b.op(Opcode::Sub, &[y, x]).unwrap(); // a different value
+    let mut app = Application::new("demo");
+    app.push_block(b.build().unwrap());
+    assert!(!has(&analyze(&app), "A003"));
+}
+
+#[test]
+fn a004_fires_on_foldable_ops() {
+    let mut b = BlockBuilder::new("bb");
+    let x = b.input("x");
+    b.op(Opcode::Xor, &[x, x]).unwrap(); // always zero
+    let n = b.op(Opcode::Not, &[x]).unwrap();
+    b.op(Opcode::Not, &[n]).unwrap(); // cancels out
+    let mut app = Application::new("demo");
+    app.push_block(b.build().unwrap());
+    let diags = analyze(&app);
+    assert_eq!(
+        diags.iter().filter(|d| d.code == "A004").count(),
+        2,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn a005_fires_on_combinational_cycle() {
+    let mut v = BlockView::new("bb", 100);
+    let x = v.push_node(Opcode::Input, Some("x"), &[]);
+    let a = v.push_node(Opcode::Add, None, &[2, x]); // uses n2: cycle a↔b
+    let b = v.push_node(Opcode::Not, None, &[a]);
+    v.set_live_out(b, true);
+    let diags = lint(&v);
+    assert!(has(&diags, "A005"), "{diags:?}");
+    assert!(diags
+        .iter()
+        .filter(|d| d.code == "A005")
+        .all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn a006_fires_on_rank_and_arity_violations() {
+    let mut v = BlockView::new("bb", 100);
+    let x = v.push_node(Opcode::Input, Some("x"), &[]);
+    v.push_node(Opcode::Add, None, &[x]); // arity: add takes 2
+    v.push_node(Opcode::Not, None, &[99]); // out of range
+    v.push_node(Opcode::Not, None, &[3]); // self-reference
+    v.push_node(Opcode::Not, None, &[5]); // forward reference
+    v.push_node(Opcode::Not, None, &[x]);
+    let messages: Vec<String> = lint(&v)
+        .into_iter()
+        .filter(|d| d.code == "A006")
+        .map(|d| d.message)
+        .collect();
+    for needle in [
+        "arity mismatch",
+        "out of range",
+        "self-reference",
+        "does not precede",
+    ] {
+        assert!(
+            messages.iter().any(|m| m.contains(needle)),
+            "missing {needle:?} in {messages:?}"
+        );
+    }
+}
+
+#[test]
+fn a007_fires_when_no_cut_fits_the_port_budget() {
+    let mut v = BlockView::new("bb", 100);
+    for i in 0..5 {
+        v.push_node(Opcode::Input, Some(&format!("x{i}")), &[]);
+    }
+    // The only eligible op needs 5 distinct inputs: under the default
+    // (4, 2) budget no nonempty cut can exist.
+    let sum = v.push_node(Opcode::Add, None, &[0, 1, 2, 3, 4]);
+    v.set_live_out(sum, true);
+    assert!(has(&lint(&v), "A007"));
+
+    // A wider budget admits it.
+    let roomy = LintOptions {
+        io: IoConstraints::new(8, 4),
+        ..LintOptions::default()
+    };
+    assert!(!has(&analyze_view(&v, &roomy), "A007"));
+}
+
+#[test]
+fn a007_fires_when_nothing_is_eligible() {
+    let mut v = BlockView::new("bb", 100);
+    v.push_node(Opcode::Input, Some("x"), &[]);
+    v.push_node(Opcode::Load, None, &[0]); // memory ops are ineligible
+    let diags = lint(&v);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "A007" && d.message.contains("no ISE-eligible")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn a008_fires_on_invalid_hardware_delay() {
+    let mut b = BlockBuilder::new("bb");
+    let x = b.input("x");
+    b.op(Opcode::Add, &[x, x]).unwrap();
+    let mut app = Application::new("demo");
+    app.push_block(b.build().unwrap());
+    for bad in [f64::NAN, f64::INFINITY, -1.0] {
+        let opts = LintOptions {
+            model: LatencyModel::paper_default().with_raw_hw_delay_for_test(Opcode::Add, bad),
+            ..LintOptions::default()
+        };
+        let diags = analyze_with_opts(&app, &opts);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "A008" && d.severity == Severity::Error),
+            "hw delay {bad} must be rejected: {diags:?}"
+        );
+    }
+}
+
+fn analyze_with_opts(app: &Application, opts: &LintOptions) -> Vec<Diagnostic> {
+    isegen::analysis::analyze_with(app, opts)
+}
+
+#[test]
+fn a009_fires_on_unprofitable_latency() {
+    let mut b = BlockBuilder::new("bb");
+    let x = b.input("x");
+    b.op(Opcode::Add, &[x, x]).unwrap();
+    let mut app = Application::new("demo");
+    app.push_block(b.build().unwrap());
+
+    let zero_sw = LintOptions {
+        model: LatencyModel::paper_default().with_sw_cycles(Opcode::Add, 0),
+        ..LintOptions::default()
+    };
+    let diags = analyze_with_opts(&app, &zero_sw);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "A009" && d.message.contains("zero software cycles")),
+        "{diags:?}"
+    );
+
+    let slow_hw = LintOptions {
+        model: LatencyModel::paper_default().with_hw_delay(Opcode::Add, 1.0),
+        ..LintOptions::default()
+    };
+    let diags = analyze_with_opts(&app, &slow_hw);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "A009" && d.message.contains(">=")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn a010_fires_on_suspicious_frequency() {
+    let mut never = BlockView::new("bb", 0);
+    let x = never.push_node(Opcode::Input, Some("x"), &[]);
+    never.push_node(Opcode::Not, None, &[x]);
+    assert!(has(&lint(&never), "A010"));
+
+    let mut absurd = BlockView::new("bb", MAX_FREQUENCY + 1);
+    let x = absurd.push_node(Opcode::Input, Some("x"), &[]);
+    absurd.push_node(Opcode::Not, None, &[x]);
+    assert!(has(&lint(&absurd), "A010"));
+}
+
+#[test]
+fn a011_fires_on_duplicate_input_label() {
+    let mut v = BlockView::new("bb", 100);
+    v.push_node(Opcode::Input, Some("x"), &[]);
+    v.push_node(Opcode::Input, Some("x"), &[]);
+    let s = v.push_node(Opcode::Add, None, &[0, 1]);
+    v.set_live_out(s, true);
+    assert!(has(&lint(&v), "A011"));
+}
+
+// ---- silence tests ------------------------------------------------------
+
+/// A well-formed minimal block is completely clean.
+#[test]
+fn clean_block_produces_no_diagnostics() {
+    let mut b = BlockBuilder::new("bb");
+    let x = b.input("x");
+    let y = b.input("y");
+    b.op(Opcode::Add, &[x, y]).unwrap();
+    let mut app = Application::new("demo");
+    app.push_block(b.build().unwrap());
+    let diags = analyze(&app);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+/// The whole registry corpus: zero error-severity findings, and every
+/// warning is one of the explicitly waived codes. This is the per-code
+/// silence proof for everything outside the waiver list.
+#[test]
+fn corpus_is_clean_modulo_waivers() {
+    let mut seen_waived: Vec<&'static str> = Vec::new();
+    for spec in all_workloads() {
+        let diags = analyze(&spec.application());
+        for d in &diags {
+            assert_ne!(
+                d.severity,
+                Severity::Error,
+                "{}: corpus workload has an error finding: {d}",
+                spec.name
+            );
+            assert!(
+                CORPUS_WAIVERS.contains(&d.code),
+                "{}: unwaived corpus finding: {d}",
+                spec.name
+            );
+            if !seen_waived.contains(&d.code) {
+                seen_waived.push(d.code);
+            }
+        }
+    }
+    // The waiver list must stay minimal: a code nobody hits any more
+    // should be removed, not carried.
+    for code in CORPUS_WAIVERS {
+        assert!(
+            seen_waived.contains(code),
+            "waiver {code} is stale: the corpus no longer produces it"
+        );
+    }
+}
+
+/// Positioned diagnostics must actually point at the right line of the
+/// canonical serialization: the line a node-anchored finding names
+/// must be that node's definition.
+#[test]
+fn diagnostic_lines_point_at_the_named_node() {
+    let mut checked = 0usize;
+    for spec in all_workloads() {
+        let app = spec.application();
+        let diags = analyze(&app);
+        if diags.is_empty() {
+            continue;
+        }
+        let canonical = text::write_application(&app);
+        let lines: Vec<&str> = canonical.lines().collect();
+        for d in &diags {
+            let (Some(node), Some(line)) = (d.node, d.line) else {
+                continue;
+            };
+            let content = lines
+                .get(line - 1)
+                .unwrap_or_else(|| panic!("{}: line {line} out of range", spec.name));
+            assert!(
+                content.trim_start().starts_with(&format!("n{node} ")),
+                "{}: {d} points at {content:?}",
+                spec.name
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "corpus produced no positioned diagnostics");
+}
+
+// ---- never-panic fuzzing ------------------------------------------------
+
+/// Tiny deterministic generator (same idiom as `serve_roundtrip`): no
+/// shrinking needed, the property is "does not panic".
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+}
+
+fn mutate(text: &str, rng: &mut XorShift) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    for _ in 0..=rng.below(8) {
+        if bytes.is_empty() {
+            break;
+        }
+        match rng.below(5) {
+            0 => bytes.truncate(rng.below(bytes.len() + 1)),
+            1 => {
+                let i = rng.below(bytes.len());
+                bytes.remove(i);
+            }
+            2 => {
+                let i = rng.below(bytes.len());
+                bytes[i] = *b"\"\\\n =#x0\xff".get(rng.below(9)).expect("in range");
+            }
+            3 => {
+                let i = rng.below(bytes.len() + 1);
+                bytes.insert(i, (rng.next() % 96 + 32) as u8);
+            }
+            _ => {
+                let a = rng.below(bytes.len());
+                let b = (a + rng.below(64)).min(bytes.len());
+                let slice = bytes[a..b].to_vec();
+                bytes.extend_from_slice(&slice);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// A random hostile view: arbitrary opcodes, operand indices that may
+/// point anywhere (in range, forward, self, far out of range), random
+/// labels, live-outs and frequencies.
+fn random_view(rng: &mut XorShift) -> BlockView {
+    let freq = match rng.below(4) {
+        0 => 0,
+        1 => u64::MAX,
+        _ => rng.next(),
+    };
+    let mut view = BlockView::new(format!("fuzz{}", rng.below(4)), freq);
+    let n = rng.below(40);
+    for i in 0..n {
+        let opcode = Opcode::ALL[rng.below(Opcode::ALL.len())];
+        let mut preds = Vec::new();
+        for _ in 0..rng.below(5) {
+            preds.push(rng.below(n * 2 + 2));
+        }
+        let label = (rng.below(3) == 0).then(|| format!("l{}", rng.below(3)));
+        view.push_node(opcode, label.as_deref(), &preds);
+        if rng.below(3) == 0 {
+            view.set_live_out(i, true);
+        }
+    }
+    view
+}
+
+proptest! {
+    /// Mutated real programs: whatever the parser accepts, the analyzer
+    /// must survive.
+    #[test]
+    fn analyze_survives_mutated_programs(seed in any::<u64>()) {
+        let base = text::write_application(&workload_by_name("fir00").unwrap().application());
+        let mut rng = XorShift(seed);
+        let mutant = mutate(&base, &mut rng);
+        if let Ok(app) = text::parse_application(&mutant) {
+            let _ = analyze(&app);
+        }
+    }
+
+    /// Raw hostile views: cycles, self-loops, out-of-range operands,
+    /// absurd frequencies — the registry must report, never panic.
+    #[test]
+    fn analyze_view_survives_hostile_views(seed in any::<u64>()) {
+        let mut rng = XorShift(seed);
+        let view = random_view(&mut rng);
+        let _ = analyze_view(&view, &LintOptions::default());
+    }
+}
