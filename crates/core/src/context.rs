@@ -27,12 +27,16 @@ impl ContextData {
         self.sw.len()
     }
 
+    /// The transitive closure (for in-crate consumers holding only the
+    /// data, e.g. the coarsening pass matching over quotient levels).
+    #[inline]
+    pub(crate) fn reach(&self) -> &Reachability {
+        &self.reach
+    }
+
     /// Precomputes search state for `block` under `model`.
     pub fn compute(block: &BasicBlock, model: &LatencyModel) -> Self {
         let dag = block.dag();
-        let n = dag.node_count();
-        let topo = TopoOrder::new(dag);
-        let reach = Reachability::new(dag, &topo);
         let sw: Vec<u32> = dag
             .nodes()
             .map(|(_, op)| model.sw_cycles(op.opcode()))
@@ -41,6 +45,26 @@ impl ContextData {
             .nodes()
             .map(|(_, op)| model.hw_delay(op.opcode()))
             .collect();
+        ContextData::compute_with_latencies(block, sw, hw)
+    }
+
+    /// Precomputes search state for `block` with explicit per-node
+    /// latencies instead of a [`LatencyModel`] walk — the multilevel
+    /// coarsening pass summarizes supernode latencies itself (software
+    /// cycles add; hardware delay is an internal-critical-path bound).
+    /// Topological order, reachability, eligibility and growth scores
+    /// are still derived from the block's own structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sw` or `hw` is not exactly one entry per DAG node.
+    pub fn compute_with_latencies(block: &BasicBlock, sw: Vec<u32>, hw: Vec<f64>) -> Self {
+        let dag = block.dag();
+        let n = dag.node_count();
+        assert_eq!(sw.len(), n, "one sw latency per node");
+        assert_eq!(hw.len(), n, "one hw delay per node");
+        let topo = TopoOrder::new(dag);
+        let reach = Reachability::new(dag, &topo);
         let eligible = block.eligible_nodes();
 
         // Barrier distances (paper §4.2 "Large Cut"): external inputs and

@@ -1,4 +1,5 @@
 use crate::cache::{CacheStats, EnteringTerms, GainCache};
+use crate::coarsen::{multilevel_search, MultilevelConfig, MultilevelReport};
 use crate::driver::{deal_indexed, CutFinder};
 use crate::engine::EngineArena;
 use crate::gain::gain_of;
@@ -68,6 +69,15 @@ pub struct SearchConfig {
     /// `IsegenAudit` environment variable supplies a process-wide
     /// fallback cadence when this field is `0`.
     pub audit_cadence: usize,
+    /// Multilevel coarsen→search→uncoarsen pipeline for huge blocks:
+    /// when set, a block whose free (searchable) node count exceeds
+    /// [`MultilevelConfig::min_coarse_ops`] is coarsened into a
+    /// hierarchy of supernode quotients, searched at the coarsest
+    /// level, and refined level by level from the projected cut
+    /// (see [`crate::coarsen`] docs). `None` (the default) always runs
+    /// the single-level search; blocks at or below the threshold run
+    /// the single-level search bit for bit even when this is set.
+    pub multilevel: Option<MultilevelConfig>,
 }
 
 impl Default for SearchConfig {
@@ -78,6 +88,7 @@ impl Default for SearchConfig {
             restarts: 3,
             strategy: SelectionStrategy::default(),
             audit_cadence: 0,
+            multilevel: None,
         }
     }
 }
@@ -117,6 +128,14 @@ impl SearchConfig {
     /// [`SearchConfig::audit_cadence`]).
     pub fn with_audit_cadence(mut self, audit_cadence: usize) -> Self {
         self.audit_cadence = audit_cadence;
+        self
+    }
+
+    /// Enables the multilevel coarsen→search→uncoarsen pipeline for
+    /// blocks above [`MultilevelConfig::min_coarse_ops`] free nodes
+    /// (see [`SearchConfig::multilevel`]).
+    pub fn with_multilevel(mut self, multilevel: MultilevelConfig) -> Self {
+        self.multilevel = Some(multilevel);
         self
     }
 }
@@ -387,12 +406,16 @@ pub struct TrajectoryReport {
 }
 
 /// One entry of the search portfolio: a gain flavour plus an optional
-/// forced first toggle. The spec list is built in the exact order the
-/// historical sequential scan visited, so the merge is reproducible.
+/// forced first toggle and an optional starting cut (multilevel
+/// refinement seeds the trajectory from a projected coarse cut instead
+/// of the all-software configuration). The spec list is built in the
+/// exact order the historical sequential scan visited, so the merge is
+/// reproducible.
 struct TrajectorySpec<'s> {
     config: &'s SearchConfig,
     flavour: &'static str,
     seed: Option<NodeId>,
+    start: Option<&'s NodeSet>,
 }
 
 /// Everything one [`Search`] run produced: the best cut, the merged
@@ -410,6 +433,11 @@ pub struct SearchOutcome {
     /// Per-trajectory wall times and statistics; empty unless the
     /// search was built with [`Search::profiled`].
     pub reports: Vec<TrajectoryReport>,
+    /// Per-level V-cycle evidence when the multilevel pipeline actually
+    /// ran (the block exceeded [`MultilevelConfig::min_coarse_ops`] free
+    /// nodes under a [`SearchConfig::with_multilevel`] config); `None`
+    /// for single-level searches.
+    pub multilevel: Option<MultilevelReport>,
 }
 
 /// One ISEGEN bi-partition of a basic block (paper Fig. 2), builder
@@ -503,7 +531,7 @@ impl Search {
         io: IoConstraints,
         pool: &mut Vec<SearchScratch>,
     ) -> SearchOutcome {
-        let (cut, stats, reports) = search_impl(
+        let (cut, stats, reports, multilevel) = search_impl(
             ctx,
             io,
             &self.config,
@@ -515,6 +543,7 @@ impl Search {
             cut,
             stats,
             reports: if self.profile { reports } else { Vec::new() },
+            multilevel,
         }
     }
 }
@@ -541,7 +570,7 @@ pub fn bipartition_with_stats(
     forbidden: Option<&NodeSet>,
 ) -> (Cut, CacheStats) {
     let mut pool = Vec::new();
-    let (cut, stats, _) = search_impl(ctx, io, config, forbidden, 1, &mut pool);
+    let (cut, stats, _, _) = search_impl(ctx, io, config, forbidden, 1, &mut pool);
     (cut, stats)
 }
 
@@ -571,13 +600,15 @@ pub fn bipartition_profiled(
     threads: usize,
     pool: &mut Vec<SearchScratch>,
 ) -> (Cut, CacheStats, Vec<TrajectoryReport>) {
-    search_impl(ctx, io, config, forbidden, threads, pool)
+    let (cut, stats, reports, _) = search_impl(ctx, io, config, forbidden, threads, pool);
+    (cut, stats, reports)
 }
 
 /// The engine under [`Search`] and the deprecated `bipartition*` shims:
-/// portfolio search on up to `threads` threads, drawing per-worker
-/// [`SearchScratch`] arenas from `pool`, reporting per-trajectory wall
-/// times alongside the merged statistics.
+/// computes the free set, dispatches oversized blocks to the multilevel
+/// pipeline when one is configured, and otherwise runs the single-level
+/// portfolio. Blocks at or below the multilevel threshold take the exact
+/// single-level code path, so enabling multilevel is a no-op for them.
 fn search_impl(
     ctx: &BlockContext<'_>,
     io: IoConstraints,
@@ -585,14 +616,46 @@ fn search_impl(
     forbidden: Option<&NodeSet>,
     threads: usize,
     pool: &mut Vec<SearchScratch>,
-) -> (Cut, CacheStats, Vec<TrajectoryReport>) {
+) -> (
+    Cut,
+    CacheStats,
+    Vec<TrajectoryReport>,
+    Option<MultilevelReport>,
+) {
     let n = ctx.node_count();
-    let mut stats = CacheStats::default();
     // Nodes the search may toggle: eligible and not forbidden.
     let mut free = ctx.eligible().clone();
     if let Some(f) = forbidden {
         free.subtract(f);
     }
+    if free.is_empty() {
+        return (Cut::empty(n), CacheStats::default(), Vec::new(), None);
+    }
+    if let Some(ml) = config.multilevel {
+        if free.len() > ml.min_coarse_ops.max(1) {
+            return multilevel_search(ctx, io, config, &ml, &free, threads, pool);
+        }
+    }
+    let (cut, stats, reports) = portfolio_search(ctx, io, config, &free, threads, pool, None);
+    (cut, stats, reports, None)
+}
+
+/// One single-level portfolio run over an explicit free set: the weight
+/// flavours (± restart seeds) fan out, and the results merge in spec
+/// order. With `start` set (multilevel refinement), every trajectory is
+/// seeded from that cut and restart diversification is skipped — the
+/// projected cut already places the trajectory in the right basin.
+pub(crate) fn portfolio_search(
+    ctx: &BlockContext<'_>,
+    io: IoConstraints,
+    config: &SearchConfig,
+    free: &NodeSet,
+    threads: usize,
+    pool: &mut Vec<SearchScratch>,
+    start: Option<&NodeSet>,
+) -> (Cut, CacheStats, Vec<TrajectoryReport>) {
+    let n = ctx.node_count();
+    let mut stats = CacheStats::default();
     if free.is_empty() {
         return (Cut::empty(n), stats, Vec::new());
     }
@@ -617,17 +680,21 @@ fn search_impl(
             config: cfg,
             flavour,
             seed: None,
+            start,
         });
-        for seed in restart_seeds(ctx, io, cfg, &free_nodes) {
-            specs.push(TrajectorySpec {
-                config: cfg,
-                flavour,
-                seed: Some(seed),
-            });
+        if start.is_none() {
+            for seed in restart_seeds(ctx, io, cfg, &free_nodes) {
+                specs.push(TrajectorySpec {
+                    config: cfg,
+                    flavour,
+                    seed: Some(seed),
+                    start: None,
+                });
+            }
         }
     }
 
-    let results = run_trajectories(ctx, io, &free, &free_nodes, &specs, threads, pool);
+    let results = run_trajectories(ctx, io, free, &free_nodes, &specs, threads, pool);
 
     // Deterministic merge: visit the results in spec order and keep the
     // first strict improvement — exactly the comparison sequence of the
@@ -751,10 +818,28 @@ fn run_trajectory(
         stats.arena_allocs = 1;
     }
 
+    // Seeded refinement (multilevel uncoarsening): the trajectory starts
+    // from the projected coarse cut instead of the all-software
+    // configuration. The seed becomes the incumbent only when it is
+    // already a legal positive-merit cut at *this* level — a coarse cut
+    // may under-count fine I/O, and an illegal start is exactly the
+    // "allow a cut to be illegal" regime of the paper's pass loop: the
+    // toggles get the chance to legalize it, and only legal states are
+    // ever recorded.
     let mut best_cut = Cut::empty(n);
     let mut best_merit = 0.0f64;
+    if let Some(seed) = spec.start {
+        if !seed.is_empty() {
+            let c = Cut::evaluate(ctx, seed.clone());
+            if c.satisfies_io(io) && c.merit() > 0.0 && ctx.is_convex(c.nodes()) {
+                best_merit = c.merit();
+                best_cut = c;
+            }
+        }
+    }
+    let start_nodes = spec.start.unwrap_or_else(|| best_cut.nodes());
     let mut engine =
-        ToggleEngine::from_cut_in(ctx, best_cut.nodes(), std::mem::take(&mut scratch.arena));
+        ToggleEngine::from_cut_in(ctx, start_nodes, std::mem::take(&mut scratch.arena));
     let cache = &mut scratch.cache;
     let marked = &mut scratch.marked;
     let best_nodes = &mut scratch.best_nodes;
@@ -1154,6 +1239,7 @@ pub fn trajectory_commit_trace(
         config,
         flavour: "base",
         seed: None,
+        start: None,
     };
     let mut scratch = SearchScratch::new();
     let _ = run_trajectory(
@@ -1311,7 +1397,7 @@ impl CutFinder for IsegenFinder {
         threads: usize,
     ) -> Cut {
         let threads = threads.max(self.portfolio_threads);
-        let (cut, stats, _) =
+        let (cut, stats, _, _) =
             search_impl(ctx, io, &self.config, forbidden, threads, &mut self.pool);
         if let Ok(mut acc) = self.stats.lock() {
             acc.absorb(stats);

@@ -65,6 +65,7 @@
 mod addendum;
 mod audit;
 mod cache;
+mod coarsen;
 mod constraints;
 mod context;
 mod cut;
@@ -77,6 +78,9 @@ mod speedup;
 pub use addendum::AddendumTable;
 pub use audit::AuditReport;
 pub use cache::{CacheStats, GainCache};
+#[doc(hidden)]
+pub use coarsen::roundtrip_audit;
+pub use coarsen::{LevelReport, MultilevelConfig, MultilevelReport};
 pub use constraints::IoConstraints;
 pub use context::{BlockContext, ContextData};
 pub use cut::Cut;

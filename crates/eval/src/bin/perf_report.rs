@@ -20,15 +20,22 @@
 //! CI smoke configuration (record-only, no thresholds). `--threads N`
 //! pins the batched-driver and portfolio thread counts (default:
 //! available parallelism).
+//!
+//! `--strategy multilevel` runs a different report entirely: the
+//! single- vs multi-level (coarsen→K-L→uncoarsen) comparison over every
+//! large/huge-tier registry block, with per-level refinement stats,
+//! written to `BENCH_multilevel.json`.
 
 use isegen_core::{
-    BlockContext, Cut, CutFinder, Generator, IoConstraints, IseConfig, IsegenFinder, Search,
-    SearchConfig, SelectionStrategy, ToggleEngine, TrajectoryReport,
+    BlockContext, Cut, CutFinder, Generator, IoConstraints, IseConfig, IsegenFinder,
+    MultilevelConfig, MultilevelReport, Search, SearchConfig, SelectionStrategy, ToggleEngine,
+    TrajectoryReport,
 };
 use isegen_graph::{NodeId, NodeSet};
 use isegen_ir::{Application, BasicBlock, LatencyModel};
 use isegen_workloads::{
-    random_application, workload_by_name, workloads_in, Category, RandomWorkloadConfig,
+    random_application, workload_by_name, workloads_in, workloads_in_tiers, Category,
+    RandomWorkloadConfig, SizeTier,
 };
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,8 +76,23 @@ impl CutFinder for CountingFinder {
     }
 }
 
+struct MultilevelRow {
+    workload: String,
+    tier: &'static str,
+    nodes: usize,
+    free_ops: usize,
+    single_ms: f64,
+    single_merit: f64,
+    multi_ms: f64,
+    multi_merit: f64,
+    /// `single_ms / multi_ms` — above 1 the pipeline is a speedup.
+    speedup: f64,
+    report: MultilevelReport,
+}
+
 struct ToggleRow {
     workload: String,
+    tier: &'static str,
     nodes: usize,
     toggles: u64,
     wall_ms: f64,
@@ -79,6 +101,7 @@ struct ToggleRow {
 
 struct KlRow {
     workload: String,
+    tier: &'static str,
     nodes: usize,
     wall_ms: f64,
     fresh_probes: u64,
@@ -173,6 +196,12 @@ fn audit_spot_check(model: &LatencyModel) {
     );
 }
 
+/// Size tier of a block by its operation count (mirrors the registry's
+/// classification, so synthetic `randN` rows report a tier too).
+fn tier_of(block: &BasicBlock) -> &'static str {
+    SizeTier::of(block.operation_count()).name()
+}
+
 fn bench_toggles(name: &str, block: &BasicBlock, model: &LatencyModel, rounds: u64) -> ToggleRow {
     let ctx = BlockContext::new(block, model);
     let eligible: Vec<NodeId> = ctx.eligible().iter().collect();
@@ -191,6 +220,7 @@ fn bench_toggles(name: &str, block: &BasicBlock, model: &LatencyModel, rounds: u
     let wall_ms = ms(start);
     ToggleRow {
         workload: name.to_string(),
+        tier: tier_of(block),
         nodes: ctx.node_count(),
         toggles,
         wall_ms,
@@ -213,6 +243,7 @@ fn bench_kl(
     let (cut, stats) = (outcome.cut, outcome.stats);
     KlRow {
         workload: name.to_string(),
+        tier: tier_of(block),
         nodes: ctx.node_count(),
         wall_ms: ms(start),
         fresh_probes: stats.fresh_probes,
@@ -326,14 +357,126 @@ fn bench_portfolio(
     }
 }
 
+fn bench_multilevel(
+    name: &str,
+    block: &BasicBlock,
+    model: &LatencyModel,
+    threads: usize,
+) -> MultilevelRow {
+    let ctx = BlockContext::new(block, model);
+    let io = IoConstraints::new(4, 2);
+    // Best of two interleaved runs (see bench_driver): the minimum is
+    // the honest algorithmic cost on a noisy shared machine.
+    let mut single_ms = f64::INFINITY;
+    let mut multi_ms = f64::INFINITY;
+    let mut single_merit = 0.0;
+    let mut multi_merit = 0.0;
+    let mut report = None;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let single = Search::new(SearchConfig::default())
+            .threads(threads)
+            .run(&ctx, io);
+        single_ms = single_ms.min(ms(start));
+        single_merit = single.cut.merit();
+        let ml_config = SearchConfig::default().with_multilevel(MultilevelConfig::default());
+        let start = Instant::now();
+        let multi = Search::new(ml_config).threads(threads).run(&ctx, io);
+        multi_ms = multi_ms.min(ms(start));
+        multi_merit = multi.cut.merit();
+        report = multi.multilevel;
+    }
+    MultilevelRow {
+        workload: name.to_string(),
+        tier: tier_of(block),
+        nodes: ctx.node_count(),
+        free_ops: ctx.eligible().len(),
+        single_ms,
+        single_merit,
+        multi_ms,
+        multi_merit,
+        speedup: single_ms / multi_ms,
+        report: report.expect("multilevel pipeline ran on a large block"),
+    }
+}
+
+/// The `--strategy multilevel` sweep: single- vs multi-level search on
+/// every large/huge-tier block, with per-level stats, written to
+/// `out_path` (committed as `BENCH_multilevel.json`).
+fn multilevel_sweep(threads: usize, out_path: &str) {
+    let model = LatencyModel::paper_default();
+    let specs = workloads_in_tiers(&[SizeTier::Large, SizeTier::Huge]);
+    assert!(!specs.is_empty(), "no large/huge workloads in the registry");
+    let mut rows = Vec::with_capacity(specs.len());
+    println!("multilevel (single- vs multi-level V-cycle, {threads} threads):");
+    for spec in &specs {
+        let app = spec.application();
+        let row = bench_multilevel(spec.name, largest_block(&app), &model, threads);
+        println!(
+            "  {:>10} [{:<5}] n={:<5} single {:>9.2} ms merit={:<9.2} multi {:>9.2} ms merit={:<9.2} {:>5.2}x  coarsen {:>6.2} ms  fell_back={}",
+            row.workload,
+            row.tier,
+            row.nodes,
+            row.single_ms,
+            row.single_merit,
+            row.multi_ms,
+            row.multi_merit,
+            row.speedup,
+            row.report.coarsen_wall_ms,
+            row.report.fell_back
+        );
+        for (i, l) in row.report.levels.iter().enumerate() {
+            println!(
+                "      level {:>2}  n={:<5} free={:<5} seed={:<5} band={:<5} merit={:<9.2} pops={:<8} {:>8.2} ms",
+                i, l.nodes, l.free_ops, l.seed_ops, l.band_ops, l.merit, l.refine_pops, l.wall_ms
+            );
+        }
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"report\": \"isegen multilevel coarsen-search-uncoarsen\",\n");
+    let _ = writeln!(
+        json,
+        "  \"threads\": {},\n  \"cpus\": {},",
+        threads,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"tier\": \"{}\", \"nodes\": {}, \"free_ops\": {}, \"single_ms\": {:.3}, \"single_merit\": {:.4}, \"multi_ms\": {:.3}, \"multi_merit\": {:.4}, \"speedup\": {:.3}, \"coarsen_ms\": {:.3}, \"fell_back\": {}, \"levels\": [",
+            r.workload, r.tier, r.nodes, r.free_ops, r.single_ms, r.single_merit,
+            r.multi_ms, r.multi_merit, r.speedup, r.report.coarsen_wall_ms, r.report.fell_back
+        );
+        for (j, l) in r.report.levels.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      {{\"nodes\": {}, \"free_ops\": {}, \"seed_ops\": {}, \"band_ops\": {}, \"merit\": {:.4}, \"refine_pops\": {}, \"wall_ms\": {:.3}}}{}",
+                l.nodes, l.free_ops, l.seed_ops, l.band_ops, l.merit, l.refine_pops, l.wall_ms,
+                if j + 1 < r.report.levels.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "    ]}}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write multilevel report");
+    println!("wrote {out_path}");
+}
+
 const USAGE: &str = "usage: perf_report [--full] [--threads N] [--out PATH] [--portfolio-out PATH]
   --full               full-size sweeps (CI quick mode is the default)
   --threads N          batched-driver and portfolio thread count
                        (default: available parallelism)
-  --strategy S         K-L selection strategy for the kl sweep: queue
-                       (default) or scan (the pre-queue reference, for
-                       before/after comparisons)
-  --out PATH           JSON report path (default BENCH_kl.json)
+  --strategy S         queue (default) or scan select the K-L strategy
+                       for the kl sweep; multilevel instead runs the
+                       single- vs multi-level V-cycle sweep over the
+                       large/huge tiers and writes BENCH_multilevel.json
+  --out PATH           JSON report path (default BENCH_kl.json, or
+                       BENCH_multilevel.json with --strategy multilevel)
   --portfolio-out PATH portfolio report path (default BENCH_portfolio.json)";
 
 /// Prints the problem and the usage to stderr, then exits with code 2 —
@@ -344,10 +487,11 @@ fn usage_error(message: &str) -> ! {
 }
 
 fn main() {
-    let mut out_path = "BENCH_kl.json".to_string();
+    let mut out_path: Option<String> = None;
     let mut portfolio_out_path = "BENCH_portfolio.json".to_string();
     let mut full = false;
     let mut strategy = SelectionStrategy::Queue;
+    let mut multilevel = false;
     let mut threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -356,7 +500,7 @@ fn main() {
         match arg.as_str() {
             "--full" => full = true,
             "--out" => match args.next() {
-                Some(path) => out_path = path,
+                Some(path) => out_path = Some(path),
                 None => usage_error("--out needs a path"),
             },
             "--portfolio-out" => match args.next() {
@@ -370,7 +514,8 @@ fn main() {
             "--strategy" => match args.next().as_deref() {
                 Some("queue") => strategy = SelectionStrategy::Queue,
                 Some("scan") => strategy = SelectionStrategy::Scan,
-                _ => usage_error("--strategy needs `queue` or `scan`"),
+                Some("multilevel") => multilevel = true,
+                _ => usage_error("--strategy needs `queue`, `scan` or `multilevel`"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -379,6 +524,13 @@ fn main() {
             other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
+
+    if multilevel {
+        let out = out_path.unwrap_or_else(|| "BENCH_multilevel.json".to_string());
+        multilevel_sweep(threads, &out);
+        return;
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_kl.json".to_string());
 
     let model = LatencyModel::paper_default();
     audit_spot_check(&model);
@@ -480,15 +632,15 @@ fn main() {
     println!("toggle throughput (incremental engine):");
     for r in &toggle_rows {
         println!(
-            "  {:>8}  n={:<5} {:>9} toggles in {:>8.2} ms  ({:>10.0} toggles/s)",
-            r.workload, r.nodes, r.toggles, r.wall_ms, r.toggles_per_sec
+            "  {:>8} [{:<6}] n={:<5} {:>9} toggles in {:>8.2} ms  ({:>10.0} toggles/s)",
+            r.workload, r.tier, r.nodes, r.toggles, r.wall_ms, r.toggles_per_sec
         );
     }
     println!("K-L bipartition (gain cache):");
     for r in &kl_rows {
         println!(
-            "  {:>8}  n={:<5} {:>8.2} ms  fresh={:<8} cached={:<9} avoided={:>5.1}%  commits={:<6} flushes={} traj={} reuses={}  pops={} stale={} reins={}  merit={:.2}",
-            r.workload, r.nodes, r.wall_ms, r.fresh_probes, r.cached_probes, r.avoided_pct,
+            "  {:>8} [{:<6}] n={:<5} {:>8.2} ms  fresh={:<8} cached={:<9} avoided={:>5.1}%  commits={:<6} flushes={} traj={} reuses={}  pops={} stale={} reins={}  merit={:.2}",
+            r.workload, r.tier, r.nodes, r.wall_ms, r.fresh_probes, r.cached_probes, r.avoided_pct,
             r.commits, r.full_invalidations, r.trajectories, r.arena_reuses,
             r.queue_pops, r.queue_stale_revalidations, r.queue_reinsertions, r.merit
         );
@@ -568,8 +720,8 @@ fn main() {
     for (i, r) in toggle_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"workload\": \"{}\", \"nodes\": {}, \"toggles\": {}, \"wall_ms\": {:.3}, \"toggles_per_sec\": {:.0}}}{}",
-            r.workload, r.nodes, r.toggles, r.wall_ms, r.toggles_per_sec,
+            "    {{\"workload\": \"{}\", \"tier\": \"{}\", \"nodes\": {}, \"toggles\": {}, \"wall_ms\": {:.3}, \"toggles_per_sec\": {:.0}}}{}",
+            r.workload, r.tier, r.nodes, r.toggles, r.wall_ms, r.toggles_per_sec,
             if i + 1 < toggle_rows.len() { "," } else { "" }
         );
     }
@@ -577,8 +729,8 @@ fn main() {
     for (i, r) in kl_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"workload\": \"{}\", \"nodes\": {}, \"wall_ms\": {:.3}, \"fresh_probes\": {}, \"cached_probes\": {}, \"probes_avoided_pct\": {:.2}, \"commits\": {}, \"full_invalidations\": {}, \"trajectories\": {}, \"arena_reuses\": {}, \"queue_pops\": {}, \"queue_stale_revalidations\": {}, \"queue_reinsertions\": {}, \"merit\": {:.4}}}{}",
-            r.workload, r.nodes, r.wall_ms, r.fresh_probes, r.cached_probes, r.avoided_pct,
+            "    {{\"workload\": \"{}\", \"tier\": \"{}\", \"nodes\": {}, \"wall_ms\": {:.3}, \"fresh_probes\": {}, \"cached_probes\": {}, \"probes_avoided_pct\": {:.2}, \"commits\": {}, \"full_invalidations\": {}, \"trajectories\": {}, \"arena_reuses\": {}, \"queue_pops\": {}, \"queue_stale_revalidations\": {}, \"queue_reinsertions\": {}, \"merit\": {:.4}}}{}",
+            r.workload, r.tier, r.nodes, r.wall_ms, r.fresh_probes, r.cached_probes, r.avoided_pct,
             r.commits, r.full_invalidations, r.trajectories, r.arena_reuses,
             r.queue_pops, r.queue_stale_revalidations, r.queue_reinsertions, r.merit,
             if i + 1 < kl_rows.len() { "," } else { "" }

@@ -16,6 +16,8 @@
 //!   (a cut is *convex* when no path leaves and re-enters it).
 //! * [`components`] — connected components of a cut-induced subgraph
 //!   (ISEGEN explicitly supports disconnected cuts).
+//! * [`Contraction`] — topologically-renumbered cluster quotients, the
+//!   substrate of the multilevel coarsen→search→uncoarsen pipeline.
 //! * [`path`] — critical-path and barrier-distance computations used by the
 //!   merit function and the directional-growth gain component.
 //! * [`gen`] — layered random DAG generation for property tests and scaling
@@ -58,6 +60,7 @@ mod node;
 mod topo;
 
 pub mod components;
+mod contract;
 pub mod convex;
 pub mod dot;
 pub mod gen;
@@ -65,6 +68,7 @@ pub mod path;
 mod reach;
 
 pub use bitset::NodeSet;
+pub use contract::Contraction;
 pub use dag::Dag;
 pub use error::GraphError;
 pub use node::NodeId;

@@ -30,6 +30,36 @@ impl BasicBlock {
         }
     }
 
+    /// Assembles a block directly from a prebuilt DAG, execution
+    /// frequency and live-out set, bypassing the builder's arity
+    /// validation — the escape hatch for *synthetic* blocks whose nodes
+    /// do not obey operation arities, e.g. the supernode quotient blocks
+    /// of the multilevel coarsening pass (a supernode inherits every
+    /// inter-cluster edge of its members). [`BlockBuilder`](crate::BlockBuilder)
+    /// remains the validated front door for real program blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live_outs`' capacity differs from the DAG's node count.
+    pub fn from_dag(
+        name: impl Into<String>,
+        dag: Dag<Operation>,
+        freq: u64,
+        live_outs: NodeSet,
+    ) -> Self {
+        assert_eq!(
+            live_outs.capacity(),
+            dag.node_count(),
+            "live-out set does not match DAG"
+        );
+        BasicBlock {
+            name: name.into(),
+            dag,
+            freq,
+            live_outs,
+        }
+    }
+
     /// The block's name (unique within an application by convention).
     #[inline]
     pub fn name(&self) -> &str {

@@ -70,6 +70,10 @@ pub struct SelectionKey {
     pub(crate) restarts: usize,
     /// Gain weights by bit pattern (exact, NaN included).
     pub(crate) weights: [u64; 5],
+    /// Multilevel knobs `(min_coarse_ops, max_levels, boundary_band)`
+    /// when the coarsen→K-L→uncoarsen pipeline is on; `None` keeps
+    /// single-level memos from ever aliasing multilevel ones.
+    pub(crate) multilevel: Option<(usize, usize, usize)>,
 }
 
 impl SelectionKey {
@@ -89,6 +93,9 @@ impl SelectionKey {
                 w.growth.to_bits(),
                 w.independence.to_bits(),
             ],
+            multilevel: search
+                .multilevel
+                .map(|ml| (ml.min_coarse_ops, ml.max_levels, ml.boundary_band)),
         }
     }
 }
@@ -555,5 +562,16 @@ mod tests {
             SelectionKey::new(&base, &nan_search),
             "NaN keys are stable"
         );
+        // Multilevel on/off and each knob must produce distinct keys —
+        // a single-level memo must never answer a multilevel request.
+        use isegen_core::MultilevelConfig;
+        let ml = search.clone().with_multilevel(MultilevelConfig::default());
+        let km = SelectionKey::new(&base, &ml);
+        assert_ne!(k1, km);
+        let ml2 = search
+            .clone()
+            .with_multilevel(MultilevelConfig::default().with_boundary_band(5));
+        assert_ne!(km, SelectionKey::new(&base, &ml2));
+        assert_eq!(km, SelectionKey::new(&base, &ml.clone()));
     }
 }

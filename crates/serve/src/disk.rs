@@ -102,7 +102,10 @@ pub fn encode_record(record: &Record) -> Vec<u8> {
             key,
             selection,
         } => {
-            out.push(2);
+            // Tag 2 is the pre-multilevel layout; single-level keys keep
+            // using it so logs written by older builds replay unchanged.
+            // Multilevel keys get tag 3 with the three knobs appended.
+            out.push(if key.multilevel.is_some() { 3 } else { 2 });
             put_u64(&mut out, *app_hash);
             put_u32(&mut out, key.io.0);
             put_u32(&mut out, key.io.1);
@@ -112,6 +115,11 @@ pub fn encode_record(record: &Record) -> Vec<u8> {
             put_u64(&mut out, key.restarts as u64);
             for w in key.weights {
                 put_u64(&mut out, w);
+            }
+            if let Some((min_coarse_ops, max_levels, boundary_band)) = key.multilevel {
+                put_u64(&mut out, min_coarse_ops as u64);
+                put_u64(&mut out, max_levels as u64);
+                put_u64(&mut out, boundary_band as u64);
             }
             put_u64(&mut out, selection.total_sw_cycles);
             put_u64(&mut out, selection.saved_cycles);
@@ -242,16 +250,20 @@ pub fn decode_record(payload: &[u8]) -> Result<Record, DecodeError> {
                 canonical: text,
             }
         }
-        2 => {
+        tag @ (2 | 3) => {
             let app_hash = r.u64()?;
-            let key = SelectionKey {
+            let mut key = SelectionKey {
                 io: (r.u32()?, r.u32()?),
                 max_ises: r.u64()? as usize,
                 reuse_matching: r.u8()? != 0,
                 max_passes: r.u64()? as usize,
                 restarts: r.u64()? as usize,
                 weights: [r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?],
+                multilevel: None,
             };
+            if tag == 3 {
+                key.multilevel = Some((r.u64()? as usize, r.u64()? as usize, r.u64()? as usize));
+            }
             let total_sw_cycles = r.u64()?;
             let saved_cycles = r.u64()?;
             let n_ises = r.count(1)?;

@@ -38,15 +38,20 @@
 //!
 //! `config` members (all optional): `io` (`[inputs, outputs]`),
 //! `max_ises`, `reuse`, `threads`, `portfolio_threads`, `max_passes`,
-//! `restarts` and `weights` (`{"merit":…, "io_penalty":…, "affinity":…,
-//! "growth":…, "independence":…}`). Defaults are the paper's headline
-//! configuration. `threads` is the overall driver budget (block waves ×
-//! intra-block portfolios, split automatically); `portfolio_threads`
-//! additionally floors the intra-block portfolio fan-out — useful when a
-//! request has one huge block and `threads` is left at 1.
+//! `restarts`, `weights` (`{"merit":…, "io_penalty":…, "affinity":…,
+//! "growth":…, "independence":…}`) and `multilevel`
+//! (`{"min_coarse_ops":…, "max_levels":…, "boundary_band":…}`, each
+//! member optional). Defaults are the paper's headline configuration.
+//! `threads` is the overall driver budget (block waves × intra-block
+//! portfolios, split automatically); `portfolio_threads` additionally
+//! floors the intra-block portfolio fan-out — useful when a request has
+//! one huge block and `threads` is left at 1. `multilevel` enables the
+//! coarsen→K-L→uncoarsen pipeline on blocks whose free-node count
+//! exceeds `min_coarse_ops`; smaller blocks run the single-level search
+//! unchanged.
 
 use crate::json::Json;
-use isegen_core::{GainWeights, IoConstraints, IseConfig, SearchConfig};
+use isegen_core::{GainWeights, IoConstraints, IseConfig, MultilevelConfig, SearchConfig};
 use std::fmt;
 
 /// Upper bound on `max_ises`, `max_passes`, `restarts` and `threads` in
@@ -156,6 +161,19 @@ fn bounded(obj: &Json, key: &'static str, default: usize) -> Result<usize, Proto
     }
 }
 
+fn bounded_ml(obj: &Json, key: &'static str, default: usize) -> Result<usize, ProtoError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_u64() {
+            Some(n) if (1..=MAX_KNOB).contains(&n) => Ok(n as usize),
+            _ => Err(ProtoError::new(
+                "protocol",
+                format!("config.multilevel.{key} must be an integer in 1..={MAX_KNOB}"),
+            )),
+        },
+    }
+}
+
 fn weight(obj: &Json, key: &'static str, default: f64) -> Result<f64, ProtoError> {
     match obj.get(key) {
         None => Ok(default),
@@ -214,6 +232,21 @@ pub fn parse_config(config: Option<&Json>) -> Result<RequestConfig, ProtoError> 
     }
     out.search.max_passes = bounded(obj, "max_passes", out.search.max_passes)?;
     out.search.restarts = bounded(obj, "restarts", out.search.restarts)?;
+    if let Some(ml) = obj.get("multilevel") {
+        if !matches!(ml, Json::Obj(_)) {
+            return Err(ProtoError::new(
+                "protocol",
+                "config.multilevel must be an object",
+            ));
+        }
+        let d = MultilevelConfig::default();
+        out.search = out.search.with_multilevel(
+            MultilevelConfig::new()
+                .with_min_coarse_ops(bounded_ml(ml, "min_coarse_ops", d.min_coarse_ops)?)
+                .with_max_levels(bounded_ml(ml, "max_levels", d.max_levels)?)
+                .with_boundary_band(bounded_ml(ml, "boundary_band", d.boundary_band)?),
+        );
+    }
     if let Some(w) = obj.get("weights") {
         if !matches!(w, Json::Obj(_)) {
             return Err(ProtoError::new(
@@ -315,6 +348,51 @@ mod tests {
         // absent portfolio knob defaults to a sequential portfolio
         let j = json::parse(r#"{"threads":8}"#).unwrap();
         assert_eq!(parse_config(Some(&j)).unwrap().portfolio_threads, 1);
+    }
+
+    #[test]
+    fn multilevel_config_parses_with_defaults() {
+        // Absent → multilevel stays off.
+        let j = json::parse(r#"{"threads":2}"#).unwrap();
+        assert_eq!(parse_config(Some(&j)).unwrap().search.multilevel, None);
+        // Empty object → on, library defaults.
+        let j = json::parse(r#"{"multilevel":{}}"#).unwrap();
+        assert_eq!(
+            parse_config(Some(&j)).unwrap().search.multilevel,
+            Some(MultilevelConfig::default())
+        );
+        // Partial object → unspecified members keep their defaults.
+        let j = json::parse(r#"{"multilevel":{"min_coarse_ops":256,"boundary_band":3}}"#).unwrap();
+        let ml = parse_config(Some(&j)).unwrap().search.multilevel.unwrap();
+        assert_eq!(ml.min_coarse_ops, 256);
+        assert_eq!(ml.max_levels, MultilevelConfig::default().max_levels);
+        assert_eq!(ml.boundary_band, 3);
+    }
+
+    #[test]
+    fn hostile_multilevel_configs_are_structured_errors() {
+        let cases = [
+            r#"{"multilevel":true}"#,
+            r#"{"multilevel":"on"}"#,
+            r#"{"multilevel":[512]}"#,
+            r#"{"multilevel":{"min_coarse_ops":0}}"#,
+            r#"{"multilevel":{"min_coarse_ops":1e9}}"#,
+            r#"{"multilevel":{"min_coarse_ops":"big"}}"#,
+            r#"{"multilevel":{"min_coarse_ops":3.5}}"#,
+            r#"{"multilevel":{"min_coarse_ops":4294967296}}"#,
+            r#"{"multilevel":{"max_levels":0}}"#,
+            r#"{"multilevel":{"max_levels":-1}}"#,
+            r#"{"multilevel":{"boundary_band":0}}"#,
+            r#"{"multilevel":{"boundary_band":99999999}}"#,
+        ];
+        for text in cases {
+            let j = json::parse(text).unwrap();
+            let err = parse_config(Some(&j)).unwrap_err();
+            assert_eq!(err.kind, "protocol", "{text}");
+            if text.contains(':') && text.contains("coarse") {
+                assert!(err.message.contains("config.multilevel.min_coarse_ops"));
+            }
+        }
     }
 
     #[test]

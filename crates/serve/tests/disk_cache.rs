@@ -53,16 +53,29 @@ proptest! {
 
     /// Any selection record — including NaN latencies, which survive as
     /// bit patterns — re-encodes to identical bytes after a decode.
+    /// Keys without multilevel knobs use the legacy tag-2 layout, keys
+    /// with them the tag-3 layout; both must carry the knobs faithfully.
     fn selection_records_round_trip_via_bytes(
         app_hash in any::<u64>(),
         total_sw in any::<u64>(),
         saved in any::<u64>(),
+        with_ml in any::<bool>(),
+        ml_knobs in (1usize..4096, 1usize..4096, 1usize..4096),
         ise_seeds in proptest::collection::vec(
             (0usize..4, any::<u64>(), any::<u64>(), any::<u64>(), 1usize..24),
             0..4,
         ),
     ) {
-        let key = SelectionKey::new(&IseConfig::paper_default(), &SearchConfig::default());
+        let mut search = SearchConfig::default();
+        if let Some((min_coarse_ops, max_levels, boundary_band)) = with_ml.then_some(ml_knobs) {
+            search = search.with_multilevel(
+                isegen_core::MultilevelConfig::new()
+                    .with_min_coarse_ops(min_coarse_ops)
+                    .with_max_levels(max_levels)
+                    .with_boundary_band(boundary_band),
+            );
+        }
+        let key = SelectionKey::new(&IseConfig::paper_default(), &search);
         let ises = ise_seeds
             .iter()
             .map(|&(block, saved_per, sw, hw_bits, cap)| {

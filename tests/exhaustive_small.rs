@@ -46,6 +46,18 @@ fn block_from_dag(dag: &Dag<()>) -> Option<BasicBlock> {
 fn check_against_oracle(block: &BasicBlock, model: &LatencyModel, io: IoConstraints, tag: &str) {
     let ctx = BlockContext::new(block, model);
     let heuristic = Search::default().run(&ctx, io).cut;
+    // Every enumerated block sits far below the coarsening threshold, so
+    // an enabled multilevel pipeline must collapse to the single-level
+    // search bit-for-bit — same cut, not just same merit.
+    let multilevel = Search::new(
+        SearchConfig::default().with_multilevel(isegen::core::MultilevelConfig::default()),
+    )
+    .run(&ctx, io)
+    .cut;
+    assert!(
+        multilevel == heuristic,
+        "{tag}: multilevel did not collapse to the single-level cut below the threshold"
+    );
     if !heuristic.is_empty() {
         assert!(
             ctx.is_convex(heuristic.nodes()),
